@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+
+	"scads"
+	"scads/internal/balancer"
+	"scads/internal/planner"
+)
+
+// runE11 exercises the workload-driven repartitioning of §3.3.1
+// ("current workload information will be used to automatically
+// configure system parameters such as partitioning"): a skewed
+// social workload concentrates on one primary; successive rebalance
+// rounds split the hot range at the tracker's median observed key and
+// move ranges until primaries spread across the cluster.
+func runE11() {
+	lc, err := scads.NewLocalCluster(4, scads.Config{})
+	must(err)
+	defer lc.Close()
+	must(lc.DefineSchema(socialDDL))
+
+	for i := 0; i < 200; i++ {
+		must(lc.Insert("users", scads.Row{
+			"id":       fmt.Sprintf("user%04d", i),
+			"name":     fmt.Sprintf("User %d", i),
+			"birthday": i%365 + 1,
+		}))
+	}
+
+	ns := planner.TableNamespace("users")
+	skew := func() {
+		// 80% of traffic on 10% of the keyspace.
+		for i := 0; i < 400; i++ {
+			for j := 0; j < 4; j++ {
+				lc.Get("users", scads.Row{"id": fmt.Sprintf("user%04d", j*5)})
+			}
+			lc.Get("users", scads.Row{"id": fmt.Sprintf("user%04d", i%200)})
+		}
+	}
+	layout := func() (ranges int, primaries map[string]int) {
+		m, _ := lc.Router().Map(ns)
+		primaries = map[string]int{}
+		for _, rng := range m.Ranges() {
+			primaries[rng.Replicas[0]]++
+		}
+		return m.Len(), primaries
+	}
+
+	fmt.Printf("%-8s %8s %10s %8s %8s\n", "round", "ranges", "primaries", "splits", "moves")
+	r0, p0 := layout()
+	fmt.Printf("%-8s %8d %10d %8s %8s\n", "start", r0, len(p0), "-", "-")
+	for round := 1; round <= 3; round++ {
+		skew()
+		plan, err := lc.Rebalance(scads.BalanceConfig{})
+		must(err)
+		splits, moves := 0, 0
+		for _, a := range plan {
+			switch a.Kind {
+			case balancer.ActionSplit:
+				splits++
+			case balancer.ActionMove:
+				moves++
+			}
+		}
+		r, p := layout()
+		fmt.Printf("round-%d  %8d %10d %8d %8d\n", round, r, len(p), splits, moves)
+	}
+
+	_, p := layout()
+	fmt.Println("\nprimary ranges per node after rebalancing:")
+	for node, n := range p {
+		fmt.Printf("  %-10s %d\n", node, n)
+	}
+	fmt.Println("\nthe hot range is split at the tracker's median observed key, then")
+	fmt.Println("whole ranges move until no node exceeds 1.5x the mean load — all 200")
+	fmt.Println("rows stay readable throughout (verified by the test suite).")
+}

@@ -1,0 +1,66 @@
+// Command scads-bench regenerates every figure and table of the SCADS
+// paper (see EXPERIMENTS.md). Each experiment prints the series or
+// table the paper reports, produced by the real system components.
+//
+// Usage:
+//
+//	scads-bench -exp all
+//	scads-bench -exp e1        # Figure 1: Animoto scale-up
+//	scads-bench -exp e3        # Figure 3: index-maintenance table
+//	scads-bench -exp e4b       # Figure 4 row 2: write consistency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+)
+
+var experiments = []struct {
+	id   string
+	name string
+	run  func()
+}{
+	{"e1", "Figure 1: Animoto viral scale-up (50 -> 3400 servers)", runE1},
+	{"e2", "Figure 2: provisioning feedback loop reaction", runE2},
+	{"e3", "Figure 3: index-maintenance table", runE3},
+	{"e4a", "Figure 4 row 1: performance SLA", runE4a},
+	{"e4b", "Figure 4 row 2: write consistency spectrum", runE4b},
+	{"e4c", "Figure 4 row 3: read-consistency staleness bound", runE4c},
+	{"e4d", "Figure 4 row 4: session guarantees", runE4d},
+	{"e4e", "Figure 4 row 5: durability SLA", runE4e},
+	{"e5", "Scale independence: latency flat in user count", runE5},
+	{"e6", "O(K) update bound: Facebook accepted, Twitter rejected", runE6},
+	{"e7", "Scale-down economics: diurnal day, elastic vs static", runE7},
+	{"e8", "Deadline priority queue vs FIFO (ablation)", runE8},
+	{"e9", "Advisor: pre-deployment cost & downtime-vs-cost guidance", runE9},
+	{"e10", "Partition contention: priority order arbitration (§3.3.1)", runE10},
+	{"e11", "Workload-driven repartitioning: hot-range split & move", runE11},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e11, e4a..e4e) or 'all'")
+	flag.Parse()
+
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		ran = true
+		fmt.Printf("\n=== %s: %s ===\n\n", strings.ToUpper(e.id), e.name)
+		start := time.Now()
+		e.run()
+		fmt.Printf("\n[%s completed in %v]\n", e.id, time.Since(start).Truncate(time.Millisecond))
+	}
+	if !ran {
+		log.Printf("unknown experiment %q; available:", *exp)
+		for _, e := range experiments {
+			log.Printf("  %-4s %s", e.id, e.name)
+		}
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,192 @@
+// Command scads-ctl is the operator tool for running storage nodes: it
+// speaks the same binary TCP protocol the coordinator uses and lets an
+// operator ping nodes, dump per-node statistics, read raw keys, scan
+// key ranges, and drop ranges during manual repartitioning.
+//
+// Usage:
+//
+//	scads-ctl -addr host:7070 ping
+//	scads-ctl -addr host:7070 stats
+//	scads-ctl -addr host:7070 get  -ns tbl_users -key user0001
+//	scads-ctl -addr host:7070 scan -ns tbl_users -start a -end z -limit 20
+//	scads-ctl -addr a:7070,b:7070 stats        # fan out to many nodes
+//	scads-ctl -addr host:7070 droprange -ns tbl_users -start a -end b
+//
+// Keys are given as text; pass -hex to supply hex-encoded binary keys
+// (index namespaces use order-preserving binary encodings).
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"scads/internal/rpc"
+)
+
+func main() {
+	var (
+		addrs = flag.String("addr", "127.0.0.1:7070", "node address(es), comma-separated")
+		ns    = flag.String("ns", "", "namespace (tbl_<table>, idx_<query>, view_<query>)")
+		key   = flag.String("key", "", "key for get")
+		start = flag.String("start", "", "range start (inclusive) for scan/droprange")
+		end   = flag.String("end", "", "range end (exclusive; empty = to namespace end)")
+		limit = flag.Int("limit", 50, "max records for scan")
+		isHex = flag.Bool("hex", false, "keys/bounds are hex-encoded binary")
+	)
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tr := rpc.NewTCPTransport()
+	exit := 0
+	for _, addr := range strings.Split(*addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if err := runOne(tr, addr, cmd, params{
+			ns: *ns, key: *key, start: *start, end: *end, limit: *limit, hex: *isHex,
+		}); err != nil {
+			log.Printf("%s: %v", addr, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+type params struct {
+	ns, key, start, end string
+	limit               int
+	hex                 bool
+}
+
+func (p params) decode(s string) ([]byte, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if p.hex {
+		return hex.DecodeString(s)
+	}
+	return []byte(s), nil
+}
+
+func runOne(tr rpc.Transport, addr, cmd string, p params) error {
+	switch cmd {
+	case "ping":
+		resp, err := tr.Call(addr, rpc.Request{Method: rpc.MethodPing})
+		if err != nil {
+			return err
+		}
+		if e := resp.Error(); e != nil {
+			return e
+		}
+		fmt.Printf("%s: ok\n", addr)
+		return nil
+
+	case "stats":
+		resp, err := tr.Call(addr, rpc.Request{Method: rpc.MethodStats})
+		if err != nil {
+			return err
+		}
+		if e := resp.Error(); e != nil {
+			return e
+		}
+		fmt.Printf("%s: records=%d queue-depth=%d\n", addr, resp.RecordCount, resp.QueueDepth)
+		return nil
+
+	case "get":
+		if p.ns == "" || p.key == "" {
+			return fmt.Errorf("get needs -ns and -key")
+		}
+		k, err := p.decode(p.key)
+		if err != nil {
+			return err
+		}
+		resp, err := tr.Call(addr, rpc.Request{Method: rpc.MethodGet, Namespace: p.ns, Key: k})
+		if err != nil {
+			return err
+		}
+		if e := resp.Error(); e != nil {
+			return e
+		}
+		if !resp.Found {
+			fmt.Printf("%s: (not found)\n", addr)
+			return nil
+		}
+		fmt.Printf("%s: version=%d value=%s\n", addr, resp.Version, printable(resp.Value))
+		return nil
+
+	case "scan":
+		if p.ns == "" {
+			return fmt.Errorf("scan needs -ns")
+		}
+		s, err := p.decode(p.start)
+		if err != nil {
+			return err
+		}
+		e, err := p.decode(p.end)
+		if err != nil {
+			return err
+		}
+		resp, err := tr.Call(addr, rpc.Request{
+			Method: rpc.MethodScan, Namespace: p.ns, Start: s, End: e, Limit: p.limit,
+		})
+		if err != nil {
+			return err
+		}
+		if er := resp.Error(); er != nil {
+			return er
+		}
+		for _, rec := range resp.Records {
+			fmt.Printf("%s: key=%s version=%d value=%s\n",
+				addr, printable(rec.Key), rec.Version, printable(rec.Value))
+		}
+		fmt.Printf("%s: %d record(s)\n", addr, len(resp.Records))
+		return nil
+
+	case "droprange":
+		if p.ns == "" {
+			return fmt.Errorf("droprange needs -ns")
+		}
+		s, err := p.decode(p.start)
+		if err != nil {
+			return err
+		}
+		e, err := p.decode(p.end)
+		if err != nil {
+			return err
+		}
+		resp, err := tr.Call(addr, rpc.Request{
+			Method: rpc.MethodDropRange, Namespace: p.ns, Start: s, End: e,
+		})
+		if err != nil {
+			return err
+		}
+		if er := resp.Error(); er != nil {
+			return er
+		}
+		fmt.Printf("%s: range dropped\n", addr)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (ping, stats, get, scan, droprange)", cmd)
+	}
+}
+
+// printable renders a value, hex-escaping non-text bytes (index keys
+// use binary order-preserving encodings).
+func printable(b []byte) string {
+	for _, c := range b {
+		if c < 0x20 || c > 0x7e {
+			return "0x" + hex.EncodeToString(b)
+		}
+	}
+	return string(b)
+}

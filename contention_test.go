@@ -1,0 +1,276 @@
+package scads
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/consistency"
+	"scads/internal/planner"
+)
+
+// partitionedCluster builds the §3.3.1 scenario: two replicas, the
+// replication link to the secondary severed, fresh writes on the
+// primary only, clock advanced past the staleness bound, and then the
+// primary crashed so reads can only reach the stale secondary. It
+// returns the cluster and virtual clock.
+func partitionedCluster(t *testing.T, priority string) (*LocalCluster, *clock.Virtual) {
+	t.Helper()
+	vc := clock.NewVirtual(t0)
+	lc, err := NewLocalCluster(2, Config{Clock: vc, ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	if err := lc.DefineSchema(socialDDL); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.ApplyConsistency(fmt.Sprintf(`
+namespace users {
+  staleness: 5s;
+  priority: %s;
+}
+`, priority)); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := lc.Router().Map(planner.TableNamespace("users"))
+	primary := m.Ranges()[0].Replicas[0]
+	secondary := m.Ranges()[0].Replicas[1]
+
+	// v1 reaches both replicas.
+	if err := lc.Insert("users", Row{"id": "a", "name": "v1", "birthday": 1}); err != nil {
+		t.Fatal(err)
+	}
+	lc.Pump().Drain(100)
+
+	// The datacenter link drops: the secondary serves reads but stops
+	// receiving updates. v2 lands on the primary only.
+	lc.PartitionReplica(secondary)
+	if err := lc.Insert("users", Row{"id": "a", "name": "v2", "birthday": 1}); err != nil {
+		t.Fatal(err)
+	}
+	lc.Pump().Drain(100) // delivery to the secondary fails and parks
+
+	vc.Advance(10 * time.Second) // secondary now provably stale
+	lc.CrashNode(primary)        // clients can only reach the stale side
+	return lc, vc
+}
+
+func TestPartitionContentionConsistencyFirst(t *testing.T) {
+	lc, _ := partitionedCluster(t, "read-consistency > availability")
+	_, _, err := lc.Get("users", Row{"id": "a"})
+	if !errors.Is(err, ErrStaleReplicas) {
+		t.Fatalf("err = %v, want ErrStaleReplicas", err)
+	}
+	st := lc.Contention()
+	if st.Total != 1 || st.ReadsFailed != 1 || st.StaleServed != 0 {
+		t.Fatalf("contention stats = %+v, want one failed read", st)
+	}
+	evs := lc.ContentionEvents()
+	if len(evs) != 1 {
+		t.Fatalf("want 1 event, got %d", len(evs))
+	}
+	ev := evs[0]
+	if ev.Table != "users" || ev.Won != consistency.AxisReadConsistency ||
+		ev.Sacrificed != consistency.AxisAvailability || ev.StaleServed {
+		t.Errorf("unexpected event %+v", ev)
+	}
+}
+
+func TestPartitionContentionAvailabilityFirst(t *testing.T) {
+	lc, _ := partitionedCluster(t, "availability > read-consistency")
+	r, found, err := lc.Get("users", Row{"id": "a"})
+	if err != nil || !found {
+		t.Fatalf("Get = %v %v %v, want stale success", r, found, err)
+	}
+	// The stale replica still has v1: availability won, consistency lost.
+	if r["name"] != "v1" {
+		t.Errorf("name = %v, want the stale v1", r["name"])
+	}
+	st := lc.Contention()
+	if st.Total != 1 || st.StaleServed != 1 || st.ReadsFailed != 0 {
+		t.Fatalf("contention stats = %+v, want one stale serve", st)
+	}
+	evs := lc.ContentionEvents()
+	if len(evs) != 1 || !evs[0].StaleServed || evs[0].Sacrificed != consistency.AxisReadConsistency {
+		t.Fatalf("unexpected events %+v", evs)
+	}
+}
+
+func TestPartitionHealDeliversParkedUpdates(t *testing.T) {
+	lc, vc := partitionedCluster(t, "availability > read-consistency")
+	m, _ := lc.Router().Map(planner.TableNamespace("users"))
+	secondary := m.Ranges()[0].Replicas[1]
+
+	// One stale read during the partition records a contention.
+	if r, _, err := lc.Get("users", Row{"id": "a"}); err != nil || r["name"] != "v1" {
+		t.Fatalf("pre-heal read = %v %v, want stale v1", r, err)
+	}
+
+	// Heal the link; parked retries deliver once their backoff elapses.
+	lc.HealReplica(secondary)
+	for i := 0; i < 20; i++ {
+		vc.Advance(time.Second)
+		lc.Pump().Drain(100)
+	}
+	if pending := lc.Pump().Stats().Pending; pending != 0 {
+		t.Fatalf("pending = %d after heal, want 0", pending)
+	}
+	r, found, err := lc.Get("users", Row{"id": "a"})
+	if err != nil || !found || r["name"] != "v2" {
+		t.Fatalf("post-heal read = %v %v %v, want fresh v2", r, found, err)
+	}
+	// The healed read is fresh: no new contention was recorded.
+	if st := lc.Contention(); st.Total != 1 {
+		t.Fatalf("contention total = %d, want the 1 pre-heal event only", st.Total)
+	}
+}
+
+func TestPartitionedReplicaStillServesReads(t *testing.T) {
+	// PartitionReplica severs only replication; direct reads keep
+	// working (that's what makes serving stale data possible at all).
+	vc := clock.NewVirtual(t0)
+	lc, err := NewLocalCluster(2, Config{Clock: vc, ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.DefineSchema(socialDDL); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Insert("users", Row{"id": "a", "name": "A", "birthday": 1}); err != nil {
+		t.Fatal(err)
+	}
+	lc.Pump().Drain(100)
+
+	m, _ := lc.Router().Map(planner.TableNamespace("users"))
+	for _, id := range m.Ranges()[0].Replicas[1:] {
+		lc.PartitionReplica(id)
+	}
+	// Reads rotate over replicas; all must still answer.
+	for i := 0; i < 4; i++ {
+		if _, found, err := lc.Get("users", Row{"id": "a"}); err != nil || !found {
+			t.Fatalf("read %d failed during replication-only partition: %v", i, err)
+		}
+	}
+}
+
+func TestOnContentionCallback(t *testing.T) {
+	lc, _ := partitionedCluster(t, "read-consistency > availability")
+	var notified []ContentionEvent
+	lc.OnContention(func(ev ContentionEvent) { notified = append(notified, ev) })
+	lc.Get("users", Row{"id": "a"})
+	lc.Get("users", Row{"id": "a"})
+	if len(notified) != 2 {
+		t.Fatalf("callback fired %d times, want 2", len(notified))
+	}
+	lc.OnContention(nil)
+	lc.Get("users", Row{"id": "a"})
+	if len(notified) != 2 {
+		t.Fatal("callback fired after being cleared")
+	}
+}
+
+func TestContentionLogBounded(t *testing.T) {
+	lc, _ := partitionedCluster(t, "read-consistency > availability")
+	for i := 0; i < maxContentionEvents+50; i++ {
+		lc.Get("users", Row{"id": "a"})
+	}
+	evs := lc.ContentionEvents()
+	if len(evs) != maxContentionEvents {
+		t.Fatalf("log length = %d, want bounded at %d", len(evs), maxContentionEvents)
+	}
+	if st := lc.Contention(); st.Total != maxContentionEvents+50 {
+		t.Fatalf("counter = %d, want %d (counters absorb dropped events)",
+			st.Total, maxContentionEvents+50)
+	}
+}
+
+func TestGetStallWaitsForReplication(t *testing.T) {
+	// §3.3.1: "a client query would stall until the updates can be
+	// confirmed". Consistency-first + partition: GetStall blocks; the
+	// link heals and replication drains; the stalled read returns the
+	// fresh value instead of an error.
+	lc, vc := partitionedCluster(t, "read-consistency > availability")
+	m, _ := lc.Router().Map(planner.TableNamespace("users"))
+	secondary := m.Ranges()[0].Replicas[1]
+
+	// Heal the link and drain the parked update so the secondary has
+	// v2 by the time the stalled reader polls again. Parked retries
+	// wait out their backoff on the virtual clock.
+	lc.HealReplica(secondary)
+
+	type result struct {
+		r   Row
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		r, _, err := lc.GetStall("users", Row{"id": "a"}, nil, time.Minute)
+		done <- result{r, err}
+	}()
+
+	// Drive the virtual clock and the pump until the reader returns.
+	for i := 0; ; i++ {
+		select {
+		case res := <-done:
+			if res.err != nil {
+				t.Fatalf("stalled read failed: %v", res.err)
+			}
+			if res.r["name"] != "v2" {
+				t.Fatalf("stalled read = %v, want fresh v2", res.r["name"])
+			}
+			return
+		default:
+		}
+		if i > 100000 {
+			t.Fatal("stalled read never returned")
+		}
+		lc.Pump().Drain(100)
+		if vc.PendingTimers() > 0 {
+			vc.Advance(5 * time.Millisecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func TestGetStallTimesOut(t *testing.T) {
+	lc, vc := partitionedCluster(t, "read-consistency > availability")
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := lc.GetStall("users", Row{"id": "a"}, nil, 50*time.Millisecond)
+		done <- err
+	}()
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrStaleReplicas) {
+				t.Fatalf("err = %v, want ErrStaleReplicas after timeout", err)
+			}
+			return
+		default:
+		}
+		if i > 100000 {
+			t.Fatal("GetStall did not time out")
+		}
+		if vc.PendingTimers() > 0 {
+			vc.Advance(5 * time.Millisecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func TestGetStallAvailabilityFirstNeverStalls(t *testing.T) {
+	lc, _ := partitionedCluster(t, "availability > read-consistency")
+	// No clock advancement needed: the stale value returns immediately.
+	r, found, err := lc.GetStall("users", Row{"id": "a"}, nil, time.Minute)
+	if err != nil || !found || r["name"] != "v1" {
+		t.Fatalf("GetStall = %v %v %v, want immediate stale v1", r, found, err)
+	}
+}

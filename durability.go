@@ -1,0 +1,119 @@
+package scads
+
+import (
+	"fmt"
+
+	"scads/internal/consistency"
+	"scads/internal/planner"
+)
+
+// DurabilityPlan reports, for one namespace, what its declared
+// durability SLA requires given the failure model.
+type DurabilityPlan struct {
+	Table            string
+	Target           float64 // declared survival probability
+	NodeFailureProb  float64 // per repair window
+	RequiredReplicas int
+	CurrentReplicas  int // minimum across the namespace's ranges
+}
+
+// Satisfied reports whether the current replication meets the target.
+func (p DurabilityPlan) Satisfied() bool {
+	return p.CurrentReplicas >= p.RequiredReplicas
+}
+
+// PlanDurability evaluates every namespace with a declared durability
+// SLA (Figure 4 row 5) against a node-failure probability per repair
+// window, returning what each needs. This is the calculation the paper
+// describes: "durability may require persisting a write to multiple
+// machines"; the failure model supplies pFail, the spec supplies the
+// target, and the system derives the replication factor.
+func (c *Cluster) PlanDurability(pFailPerWindow float64) ([]DurabilityPlan, error) {
+	c.mu.RLock()
+	specs := make([]consistency.Spec, 0, len(c.specs))
+	for _, s := range c.specs {
+		specs = append(specs, s)
+	}
+	c.mu.RUnlock()
+	consistency.SortSpecs(specs)
+
+	var plans []DurabilityPlan
+	for _, spec := range specs {
+		if spec.Durability <= 0 {
+			continue
+		}
+		need, err := consistency.RequiredReplicas(pFailPerWindow, spec.Durability)
+		if err != nil {
+			return nil, err
+		}
+		ns := planner.TableNamespace(spec.Namespace)
+		m, ok := c.router.Map(ns)
+		if !ok {
+			return nil, fmt.Errorf("scads: durability spec for %q but no partition map", spec.Namespace)
+		}
+		cur := -1
+		for _, rng := range m.Ranges() {
+			if cur < 0 || len(rng.Replicas) < cur {
+				cur = len(rng.Replicas)
+			}
+		}
+		plans = append(plans, DurabilityPlan{
+			Table:            spec.Namespace,
+			Target:           spec.Durability,
+			NodeFailureProb:  pFailPerWindow,
+			RequiredReplicas: need,
+			CurrentReplicas:  cur,
+		})
+	}
+	return plans, nil
+}
+
+// EnforceDurability raises the replication factor of every
+// under-replicated namespace (per PlanDurability) by copying each
+// deficient range onto additional serving nodes. Returns the plans
+// after enforcement.
+func (c *Cluster) EnforceDurability(pFailPerWindow float64) ([]DurabilityPlan, error) {
+	plans, err := c.PlanDurability(pFailPerWindow)
+	if err != nil {
+		return nil, err
+	}
+	for i, plan := range plans {
+		if plan.Satisfied() {
+			continue
+		}
+		ns := planner.TableNamespace(plan.Table)
+		m, _ := c.router.Map(ns)
+		for _, rng := range m.Ranges() {
+			deficit := plan.RequiredReplicas - len(rng.Replicas)
+			if deficit <= 0 {
+				continue
+			}
+			var adds []string
+			have := map[string]bool{}
+			for _, id := range rng.Replicas {
+				have[id] = true
+			}
+			for _, mem := range c.dir.Up() {
+				if len(adds) == deficit {
+					break
+				}
+				if !have[mem.ID] {
+					adds = append(adds, mem.ID)
+				}
+			}
+			if len(adds) < deficit {
+				return plans, fmt.Errorf("scads: durability for %q needs %d replicas but only %d nodes are serving",
+					plan.Table, plan.RequiredReplicas, len(c.dir.Up()))
+			}
+			key := rng.Start
+			if key == nil {
+				key = []byte{}
+			}
+			if err := c.ReplicateRangeTo(ns, key, adds); err != nil {
+				return plans, err
+			}
+		}
+		plans[i].CurrentReplicas = plan.RequiredReplicas
+	}
+	return plans, nil
+}

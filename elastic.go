@@ -1,0 +1,107 @@
+package scads
+
+import (
+	"log"
+	"sort"
+	"time"
+
+	"scads/internal/director"
+)
+
+// Observe rolls the SLA monitor's current interval into a
+// director.Observation, attaching the replication backlog at risk of
+// missing its staleness deadlines (§3.3.2) and the requirement
+// contentions since the previous Observe (§3.3.1). This is the
+// live-cluster counterpart of the simulator's analytic telemetry — the
+// "observe" edge of the Figure 2 loop. margin is how far before a
+// deadline an undelivered update counts as at risk.
+func (c *Cluster) Observe(margin time.Duration) director.Observation {
+	iv := c.monitor.Roll()
+	atRisk := c.pump.AtRisk(margin)
+	total := c.Contention().Total
+	last := c.lastObservedContention.Swap(total)
+	return director.Observation{
+		Rate:              iv.Rate,
+		Latency:           iv.Latency,
+		SuccessRate:       iv.SuccessRate,
+		SLAMet:            iv.Met,
+		ReplicationAtRisk: atRisk,
+		Contentions:       int(total - last),
+	}
+}
+
+// ElasticActuator adapts a LocalCluster into the director's Actuator:
+// Request boots real storage nodes and respreads every namespace onto
+// them; Release decommissions the newest nodes, migrating their ranges
+// to survivors first. This closes the Figure 2 loop against actual
+// data-bearing nodes rather than the abstract cloud simulator.
+type ElasticActuator struct {
+	lc *LocalCluster
+	// OnError receives rebalancing errors (default: log).
+	OnError func(error)
+}
+
+var _ director.Actuator = (*ElasticActuator)(nil)
+
+// NewElasticActuator returns an actuator managing lc's node set.
+func NewElasticActuator(lc *LocalCluster) *ElasticActuator {
+	return &ElasticActuator{lc: lc}
+}
+
+// Running implements director.Actuator.
+func (a *ElasticActuator) Running() int {
+	return len(a.lc.Directory().Up())
+}
+
+// Booting implements director.Actuator. In-process nodes boot
+// instantly.
+func (a *ElasticActuator) Booting() int { return 0 }
+
+// Request implements director.Actuator: boot n nodes and move data
+// onto them.
+func (a *ElasticActuator) Request(n int) {
+	for i := 0; i < n; i++ {
+		if _, err := a.lc.AddStorageNode(); err != nil {
+			a.fail(err)
+			return
+		}
+	}
+	if err := a.lc.SpreadAll(); err != nil {
+		a.fail(err)
+	}
+}
+
+// Release implements director.Actuator: decommission the n
+// most-recently added serving nodes, draining their data first.
+func (a *ElasticActuator) Release(n int) {
+	up := a.lc.Directory().Up()
+	if len(up)-n < 1 {
+		n = len(up) - 1 // never go below one node
+	}
+	ids := make([]string, len(up))
+	for i, m := range up {
+		ids[i] = m.ID
+	}
+	sort.Strings(ids) // node-### sorts by creation order
+	for i := 0; i < n; i++ {
+		victim := ids[len(ids)-1-i]
+		var survivors []string
+		for _, id := range ids[:len(ids)-1-i] {
+			survivors = append(survivors, id)
+		}
+		if err := a.lc.DecommissionNode(victim, survivors); err != nil {
+			a.fail(err)
+			return
+		}
+		a.lc.Transport.Unregister("local://" + victim)
+		a.lc.Directory().Remove(victim)
+	}
+}
+
+func (a *ElasticActuator) fail(err error) {
+	if a.OnError != nil {
+		a.OnError(err)
+		return
+	}
+	log.Printf("scads: elastic actuator: %v", err)
+}

@@ -1,0 +1,167 @@
+package scads
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/director"
+)
+
+func TestElasticActuatorGrowsAndShrinksRealCluster(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	lc, err := NewLocalCluster(2, Config{Clock: vc, ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.DefineSchema(socialDDL); err != nil {
+		t.Fatal(err)
+	}
+	seedUsers(t, lc.Cluster, 60)
+	if err := lc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Split so there is something to spread.
+	if err := lc.SplitTable("users", "user0020", "user0040"); err != nil {
+		t.Fatal(err)
+	}
+
+	act := NewElasticActuator(lc)
+	act.OnError = func(err error) { t.Fatalf("actuator: %v", err) }
+	d := director.New(vc, act, director.Config{
+		SLALatency:        100 * time.Millisecond,
+		Policy:            director.Reactive,
+		MinServers:        2,
+		ScaleDownCooldown: time.Minute,
+	})
+
+	if act.Running() != 2 {
+		t.Fatalf("running = %d", act.Running())
+	}
+
+	// Violation: the reactive policy must add a real node.
+	d.Step(director.Observation{Rate: 5000, Latency: time.Second, SuccessRate: 90, SLAMet: false})
+	if act.Running() != 3 {
+		t.Fatalf("running after violation = %d", act.Running())
+	}
+	// The new node actually carries ranges after the spread.
+	usedNodes := map[string]bool{}
+	for _, ns := range lc.Router().Namespaces() {
+		m, _ := lc.Router().Map(ns)
+		for id := range m.NodesInUse() {
+			usedNodes[id] = true
+		}
+	}
+	if len(usedNodes) != 3 {
+		t.Fatalf("only %d nodes carry data after grow: %v", len(usedNodes), usedNodes)
+	}
+	// All data still readable after the migration.
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("user%04d", i)
+		if _, found, err := lc.Get("users", Row{"id": id}); err != nil || !found {
+			t.Fatalf("Get(%s) after grow: found=%v err=%v", id, found, err)
+		}
+	}
+
+	// Deep underload: the director eventually shrinks back, draining
+	// the released node's data to survivors first.
+	vc.Advance(2 * time.Minute)
+	d.Step(director.Observation{Rate: 1, Latency: time.Millisecond, SuccessRate: 100, SLAMet: true})
+	if act.Running() != 2 {
+		t.Fatalf("running after shrink = %d", act.Running())
+	}
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("user%04d", i)
+		if _, found, err := lc.Get("users", Row{"id": id}); err != nil || !found {
+			t.Fatalf("Get(%s) after shrink: found=%v err=%v", id, found, err)
+		}
+	}
+	// Writes still work after both transitions.
+	if err := lc.Insert("users", Row{"id": "after", "name": "A", "birthday": 9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElasticActuatorNeverBelowOneNode(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	lc, err := NewLocalCluster(2, Config{Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.DefineSchema(socialDDL); err != nil {
+		t.Fatal(err)
+	}
+	act := NewElasticActuator(lc)
+	act.Release(10)
+	if act.Running() != 1 {
+		t.Fatalf("running = %d, want floor of 1", act.Running())
+	}
+}
+
+func TestObserveCarriesContentionDelta(t *testing.T) {
+	lc, _ := partitionedCluster(t, "read-consistency > availability")
+	for i := 0; i < 3; i++ {
+		lc.Get("users", Row{"id": "a"})
+	}
+	obs := lc.Observe(time.Second)
+	if obs.Contentions != 3 {
+		t.Fatalf("Contentions = %d, want 3", obs.Contentions)
+	}
+	// The delta was consumed: a second observation reports only new
+	// contentions.
+	if obs2 := lc.Observe(time.Second); obs2.Contentions != 0 {
+		t.Fatalf("second Observe Contentions = %d, want 0", obs2.Contentions)
+	}
+	lc.Get("users", Row{"id": "a"})
+	if obs3 := lc.Observe(time.Second); obs3.Contentions != 1 {
+		t.Fatalf("third Observe Contentions = %d, want 1", obs3.Contentions)
+	}
+}
+
+func TestObserveFeedsDirector(t *testing.T) {
+	lc, _ := partitionedCluster(t, "read-consistency > availability")
+	lc.Get("users", Row{"id": "a"})
+
+	act := NewElasticActuator(lc)
+	d := director.New(lc.Clock(), act, director.Config{
+		SLALatency: 100 * time.Millisecond,
+		Policy:     director.Reactive,
+	})
+	dec := d.Step(lc.Observe(time.Second))
+	if !strings.Contains(dec.Reason, "contention(1)") {
+		t.Fatalf("Reason = %q, want the contention noted", dec.Reason)
+	}
+	if d.ContentionsNoted() != 1 {
+		t.Fatalf("ContentionsNoted = %d", d.ContentionsNoted())
+	}
+}
+
+func TestObserveReportsSLAInterval(t *testing.T) {
+	lc, _ := newSocialCluster(t, 2, 1)
+	seedUsers(t, lc.Cluster, 10)
+	for i := 0; i < 20; i++ {
+		lc.Get("users", Row{"id": "user0001"})
+	}
+	obs := lc.Observe(time.Second)
+	if obs.SuccessRate != 100 {
+		t.Fatalf("SuccessRate = %v", obs.SuccessRate)
+	}
+	if !obs.SLAMet {
+		t.Fatal("healthy cluster should meet the SLA")
+	}
+}
+
+func TestObserveReplicationAtRisk(t *testing.T) {
+	// Updates parked behind a severed link count as at risk once their
+	// deadline is close.
+	lc, vc := partitionedCluster(t, "availability > read-consistency")
+	_ = vc
+	obs := lc.Observe(time.Hour) // generous margin: everything pending is at risk
+	if obs.ReplicationAtRisk == 0 {
+		t.Fatal("parked updates should be at risk")
+	}
+}

@@ -1,0 +1,138 @@
+// Social network: the paper's §3.2 running example end to end — the
+// friends index, the friends-of-friends cascade, and the
+// friends-with-upcoming-birthdays materialized join view, maintained
+// asynchronously as users befriend each other and edit profiles.
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scads"
+)
+
+const schema = `
+ENTITY profiles (
+    id string PRIMARY KEY,
+    name string,
+    birthday int
+)
+ENTITY friendships (
+    f1 string,
+    f2 string,
+    PRIMARY KEY (f1, f2),
+    CARDINALITY f1 5000,
+    CARDINALITY f2 5000
+)
+
+QUERY profile
+SELECT * FROM profiles WHERE id = ?user LIMIT 1
+
+QUERY friends
+SELECT * FROM friendships WHERE f1 = ?user LIMIT 5000
+
+QUERY friendsOfFriends
+SELECT b.* FROM friendships a JOIN friendships b ON a.f2 = b.f1
+WHERE a.f1 = ?user LIMIT 500
+
+QUERY friendsWithUpcomingBirthdays
+SELECT p.* FROM friendships f JOIN profiles p ON f.f2 = p.id
+WHERE f.f1 = ?user ORDER BY p.birthday LIMIT 50
+`
+
+func main() {
+	cluster, err := scads.NewLocalCluster(4, scads.Config{ReplicationFactor: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.DefineSchema(schema); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.ApplyConsistency(`
+namespace profiles {
+  performance: 99.9% reads < 100ms, 99.99% success;
+  staleness: 10m;
+  session: read-your-writes;
+}
+namespace friendships {
+  staleness: 30s;
+  priority: availability > read-consistency;
+}
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("the compiled Figure 3 maintenance table:")
+	fmt.Println(cluster.FormatMaintenanceTable())
+
+	// Populate a little town.
+	people := []struct {
+		id, name string
+		birthday int
+	}{
+		{"alice", "Alice", 105}, {"bob", "Bob", 42}, {"carol", "Carol", 233},
+		{"dave", "Dave", 17}, {"erin", "Erin", 301},
+	}
+	for _, p := range people {
+		must(cluster.Insert("profiles", scads.Row{"id": p.id, "name": p.name, "birthday": p.birthday}))
+	}
+	befriend := func(a, b string) {
+		must(cluster.Insert("friendships", scads.Row{"f1": a, "f2": b}))
+		must(cluster.Insert("friendships", scads.Row{"f1": b, "f2": a}))
+	}
+	befriend("alice", "bob")
+	befriend("alice", "carol")
+	befriend("bob", "dave")
+	befriend("carol", "erin")
+	must(cluster.FlushAll()) // drain async index maintenance
+
+	show := func(header string, rows []scads.Row, cols ...string) {
+		fmt.Println(header)
+		for _, r := range rows {
+			fmt.Print(" ")
+			for _, c := range cols {
+				fmt.Printf(" %v", r[c])
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	rows, err := cluster.Query("friends", map[string]any{"user": "alice"})
+	must(err)
+	show("alice's friends:", rows, "f2")
+
+	rows, err = cluster.Query("friendsOfFriends", map[string]any{"user": "alice"})
+	must(err)
+	show("alice's friends-of-friends (via the cascading self-join view):", rows, "f1", "f2")
+
+	rows, err = cluster.Query("friendsWithUpcomingBirthdays", map[string]any{"user": "alice"})
+	must(err)
+	show("alice's friends by upcoming birthday:", rows, "birthday", "name")
+
+	// Bob edits his birthday; the view reorders asynchronously.
+	fmt.Println("bob moves his birthday to day 360...")
+	must(cluster.Insert("profiles", scads.Row{"id": "bob", "name": "Bob", "birthday": 360}))
+	must(cluster.FlushAll())
+	rows, err = cluster.Query("friendsWithUpcomingBirthdays", map[string]any{"user": "alice"})
+	must(err)
+	show("alice's birthday list after the edit:", rows, "birthday", "name")
+
+	// Unfriending removes carol from every derived structure.
+	fmt.Println("alice unfriends carol...")
+	must(cluster.Delete("friendships", scads.Row{"f1": "alice", "f2": "carol"}))
+	must(cluster.Delete("friendships", scads.Row{"f1": "carol", "f2": "alice"}))
+	must(cluster.FlushAll())
+	rows, err = cluster.Query("friendsWithUpcomingBirthdays", map[string]any{"user": "alice"})
+	must(err)
+	show("alice's birthday list after unfriending:", rows, "birthday", "name")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package advisor
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Format renders the report as the human-readable guidance sheet the
+// paper describes showing to developers before deployment.
+func (r *Report) Format() string {
+	var b strings.Builder
+
+	b.WriteString("QUERY TEMPLATES\n")
+	fmt.Fprintf(&b, "  %-32s %-12s %8s %8s %12s %6s\n",
+		"query", "shape", "servers", "O(K)", "p-latency", "SLA")
+	for _, q := range r.Queries {
+		if !q.Accepted {
+			fmt.Fprintf(&b, "  %-32s REJECTED: %s\n", q.Query, q.Reason)
+			continue
+		}
+		ok := "ok"
+		if !q.MeetsSLA {
+			ok = "MISS"
+		}
+		fmt.Fprintf(&b, "  %-32s %-12s %8d %8d %12s %6s\n",
+			q.Query, q.Shape, q.ServersTouched, q.UpdateWork,
+			q.PredictedLatency.Round(100*time.Microsecond), ok)
+	}
+
+	b.WriteString("\nMATERIALIZED STRUCTURES\n")
+	fmt.Fprintf(&b, "  %-40s %12s %10s %12s %14s\n",
+		"index", "entries", "entry-B", "storage", "maint-ops/s")
+	for _, ia := range r.Indexes {
+		name := ia.Name
+		if ia.Aux {
+			name += " (aux)"
+		}
+		fmt.Fprintf(&b, "  %-40s %12d %10d %12s %14.1f\n",
+			name, ia.Entries, ia.EntryBytes, FormatBytes(ia.StorageBytes), ia.MaintRatePerSec)
+	}
+
+	c := r.Cluster
+	b.WriteString("\nCLUSTER SIZING\n")
+	fmt.Fprintf(&b, "  reads %.0f/s + writes %.0f/s + maintenance %.0f/s (write amplification %.1fx)\n",
+		c.ReadRate, c.WriteRate, c.MaintenanceRate, c.WriteAmplification)
+	fmt.Fprintf(&b, "  servers %d x replication %d = %d nodes\n",
+		c.Servers, c.ReplicationFactor, c.TotalNodes)
+	fmt.Fprintf(&b, "  storage %s x %d replicas = %s\n",
+		FormatBytes(c.StorageBytes), c.ReplicationFactor, FormatBytes(c.ReplicatedBytes))
+	fmt.Fprintf(&b, "  monthly: compute $%.2f + storage $%.2f = $%.2f\n",
+		c.MonthlyComputeUSD, c.MonthlyStorageUSD, c.MonthlyTotalUSD)
+
+	b.WriteString("\nEXPECTED DOWNTIME vs COST (per §3.3.1)\n")
+	fmt.Fprintf(&b, "  %8s %14s %18s %14s %12s\n",
+		"replicas", "availability", "downtime-min/mo", "durability", "$/month")
+	for _, p := range r.Curve {
+		fmt.Fprintf(&b, "  %8d %13.5f%% %18.3f %13.7f%% %12.2f\n",
+			p.Replicas, p.Availability*100, p.DowntimeMinutesPerMonth,
+			p.Durability*100, p.MonthlyUSD)
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count in human units.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<40:
+		return fmt.Sprintf("%.2fTiB", float64(n)/(1<<40))
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,397 @@
+package analyzer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"scads/internal/query"
+)
+
+const socialSchema = `
+ENTITY users (
+    id string PRIMARY KEY,
+    name string,
+    birthday int
+)
+ENTITY friendships (
+    f1 string,
+    f2 string,
+    PRIMARY KEY (f1, f2),
+    CARDINALITY f1 5000,
+    CARDINALITY f2 5000
+)
+QUERY findUser
+SELECT * FROM users WHERE id = ?user LIMIT 1
+
+QUERY friends
+SELECT * FROM friendships WHERE f1 = ?user LIMIT 5000
+
+QUERY friendsWithUpcomingBirthdays
+SELECT p.* FROM friendships f JOIN users p ON f.f2 = p.id
+WHERE f.f1 = ?user ORDER BY p.birthday LIMIT 50
+`
+
+func analyzeOne(t *testing.T, src, name string) (*Result, error) {
+	t.Helper()
+	s, err := query.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	q, ok := s.Queries[name]
+	if !ok {
+		t.Fatalf("query %q not in schema", name)
+	}
+	return AnalyzeQuery(s, q, Config{})
+}
+
+func TestAcceptsSocialQueries(t *testing.T) {
+	s := query.MustParse(socialSchema)
+	results, err := Analyze(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("accepted %d queries, want 3", len(results))
+	}
+
+	fu := results["findUser"]
+	if fu.Shape != ShapePKLookup || fu.Fanout != 1 || fu.ServersTouched != 1 {
+		t.Fatalf("findUser = %+v", fu)
+	}
+
+	fr := results["friends"]
+	if fr.Shape != ShapeIndexScan {
+		t.Fatalf("friends shape = %v", fr.Shape)
+	}
+	if fr.Fanout != 5000 {
+		t.Fatalf("friends fanout = %d", fr.Fanout)
+	}
+
+	bd := results["friendsWithUpcomingBirthdays"]
+	if bd.Shape != ShapeJoinView {
+		t.Fatalf("birthdays shape = %v", bd.Shape)
+	}
+	if bd.Fanout != 50 { // LIMIT-tightened from 5000
+		t.Fatalf("birthdays fanout=%d", bd.Fanout)
+	}
+	if bd.UpdateWork != 5001 { // 5000 reverse fan-in + 1 forward lookup
+		t.Fatalf("birthdays updateWork=%d", bd.UpdateWork)
+	}
+	if bd.LookedFanout != 1 {
+		t.Fatalf("birthdays lookedFanout=%d", bd.LookedFanout)
+	}
+	if bd.Driving.Name != "friendships" || bd.Looked.Name != "users" {
+		t.Fatalf("birthdays tables = %s, %s", bd.Driving.Name, bd.Looked.Name)
+	}
+}
+
+func TestRejectsTwitterShape(t *testing.T) {
+	// Unbounded followers: no CARDINALITY on followee.
+	src := `
+ENTITY users ( id string PRIMARY KEY, name string )
+ENTITY follows (
+    follower string,
+    followee string,
+    PRIMARY KEY (follower, followee),
+    CARDINALITY follower 5000
+)
+QUERY followersOf
+SELECT u.* FROM follows f JOIN users u ON f.follower = u.id
+WHERE f.followee = ?user LIMIT 100
+`
+	_, err := analyzeOne(t, src, "followersOf")
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("Twitter-shaped query accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "CARDINALITY") {
+		t.Fatalf("rejection does not explain the missing bound: %v", err)
+	}
+}
+
+func TestRejectsUnboundedReverseMaintenance(t *testing.T) {
+	// Fan-out is bounded (follower card) but reverse fan-in of the
+	// join column is not: updating a user row would touch unbounded
+	// view entries.
+	src := `
+ENTITY users ( id string PRIMARY KEY, name string )
+ENTITY follows (
+    follower string,
+    followee string,
+    PRIMARY KEY (follower, followee),
+    CARDINALITY follower 5000
+)
+QUERY following
+SELECT u.* FROM follows f JOIN users u ON f.followee = u.id
+WHERE f.follower = ?user LIMIT 100
+`
+	_, err := analyzeOne(t, src, "following")
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("unbounded reverse maintenance accepted: %v", err)
+	}
+}
+
+func TestAcceptsBothCardinalitiesDeclared(t *testing.T) {
+	src := `
+ENTITY users ( id string PRIMARY KEY, name string )
+ENTITY follows (
+    follower string,
+    followee string,
+    PRIMARY KEY (follower, followee),
+    CARDINALITY follower 5000,
+    CARDINALITY followee 5000
+)
+QUERY following
+SELECT u.* FROM follows f JOIN users u ON f.followee = u.id
+WHERE f.follower = ?user LIMIT 100
+`
+	res, err := analyzeOne(t, src, "following")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdateWork != 5001 {
+		t.Fatalf("UpdateWork = %d", res.UpdateWork)
+	}
+}
+
+func TestPKPrefixJoinFriendsOfFriends(t *testing.T) {
+	// The Figure 3 cascade: a friendships self-join through the PK
+	// prefix. Bounded because f1 declares a cardinality.
+	src := `
+ENTITY friendships ( f1 string, f2 string, PRIMARY KEY (f1, f2), CARDINALITY f1 5000, CARDINALITY f2 5000 )
+QUERY friendsOfFriends
+SELECT b.* FROM friendships a JOIN friendships b ON a.f2 = b.f1
+WHERE a.f1 = ?user LIMIT 200
+`
+	res, err := analyzeOne(t, src, "friendsOfFriends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shape != ShapeJoinView {
+		t.Fatalf("Shape = %v", res.Shape)
+	}
+	if res.LookedFanout != 5000 {
+		t.Fatalf("LookedFanout = %d", res.LookedFanout)
+	}
+	if res.Fanout != 200 { // LIMIT-tightened from 5000*5000
+		t.Fatalf("Fanout = %d", res.Fanout)
+	}
+	if res.UpdateWork != 10000 { // 5000 reverse + 5000 forward
+		t.Fatalf("UpdateWork = %d", res.UpdateWork)
+	}
+
+	// Without the bound on the prefix column it is rejected.
+	src2 := `
+ENTITY friendships ( f1 string, f2 string, PRIMARY KEY (f1, f2), CARDINALITY f2 5000 )
+QUERY friendsOfFriends
+SELECT b.* FROM friendships a JOIN friendships b ON a.f2 = b.f1
+WHERE a.f1 = ?user LIMIT 200
+`
+	// (fanout check happens after join-bound check; with only f2
+	// bounded, the prefix join on b.f1 is unbounded)
+	if _, err := analyzeOne(t, src2, "friendsOfFriends"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("unbounded prefix join accepted: %v", err)
+	}
+}
+
+func TestRejectsNonKeyJoin(t *testing.T) {
+	src := `
+ENTITY users ( id string PRIMARY KEY, city string )
+ENTITY posts ( id string PRIMARY KEY, author string, CARDINALITY author 1000 )
+QUERY postsByCity
+SELECT p.* FROM users u JOIN posts p ON u.city = p.author
+WHERE u.id = ?user LIMIT 10
+`
+	_, err := analyzeOne(t, src, "postsByCity")
+	if !errors.Is(err, ErrUnbounded) || !strings.Contains(err.Error(), "primary key") {
+		t.Fatalf("non-key join accepted: %v", err)
+	}
+}
+
+func TestRejectsExcessiveLimit(t *testing.T) {
+	src := `
+ENTITY t ( a string PRIMARY KEY )
+QUERY q SELECT * FROM t LIMIT 50000
+`
+	_, err := analyzeOne(t, src, "q")
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("50k LIMIT accepted: %v", err)
+	}
+}
+
+func TestRejectsUpdateWorkAboveK(t *testing.T) {
+	src := `
+ENTITY users ( id string PRIMARY KEY, name string )
+ENTITY edges (
+    a string, b string,
+    PRIMARY KEY (a, b),
+    CARDINALITY a 9000,
+    CARDINALITY b 9000
+)
+QUERY q
+SELECT u.* FROM edges e JOIN users u ON e.b = u.id WHERE e.a = ?x LIMIT 100
+`
+	s := query.MustParse(src)
+	_, err := AnalyzeQuery(s, s.Queries["q"], Config{MaxUpdateWork: 5000})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("update work above K accepted: %v", err)
+	}
+	// With the default K it passes.
+	if _, err := AnalyzeQuery(s, s.Queries["q"], Config{}); err != nil {
+		t.Fatalf("update work below default K rejected: %v", err)
+	}
+}
+
+func TestRangePredicateShapes(t *testing.T) {
+	base := `
+ENTITY msgs (
+    channel string,
+    ts int,
+    author string,
+    PRIMARY KEY (channel, ts),
+    CARDINALITY channel 10000
+)
+`
+	// range + matching ORDER BY: accepted.
+	res, err := analyzeOne(t, base+`
+QUERY recent SELECT * FROM msgs WHERE channel = ?c AND ts > ?since ORDER BY ts DESC LIMIT 50
+`, "recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RangePred == nil || res.RangePred.Col.Column != "ts" {
+		t.Fatalf("RangePred = %+v", res.RangePred)
+	}
+
+	// range + conflicting ORDER BY: rejected.
+	if _, err := analyzeOne(t, base+`
+QUERY bad SELECT * FROM msgs WHERE channel = ?c AND ts > ?since ORDER BY author LIMIT 50
+`, "bad"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("conflicting order accepted: %v", err)
+	}
+
+	// two range predicates: rejected.
+	if _, err := analyzeOne(t, base+`
+QUERY bad2 SELECT * FROM msgs WHERE ts > ?a AND channel < ?b LIMIT 50
+`, "bad2"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("two ranges accepted: %v", err)
+	}
+
+	// equality after range: rejected (cannot form a contiguous range).
+	if _, err := analyzeOne(t, base+`
+QUERY bad3 SELECT * FROM msgs WHERE ts > ?a AND channel = ?c LIMIT 50
+`, "bad3"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("eq-after-range accepted: %v", err)
+	}
+
+	// same column constrained twice: rejected.
+	if _, err := analyzeOne(t, base+`
+QUERY bad4 SELECT * FROM msgs WHERE channel = ?a AND channel = ?b LIMIT 50
+`, "bad4"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("duplicate eq accepted: %v", err)
+	}
+}
+
+func TestMixedOrderDirectionsRejected(t *testing.T) {
+	src := `
+ENTITY t ( a string, b int, c int, PRIMARY KEY (a), CARDINALITY a 10 )
+QUERY q SELECT * FROM t ORDER BY b, c DESC LIMIT 5
+`
+	if _, err := analyzeOne(t, src, "q"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("mixed-direction order accepted: %v", err)
+	}
+}
+
+func TestJoinRequiresDrivingPredicate(t *testing.T) {
+	src := `
+ENTITY users ( id string PRIMARY KEY, name string )
+ENTITY friendships ( f1 string, f2 string, PRIMARY KEY (f1, f2), CARDINALITY f1 5000, CARDINALITY f2 5000 )
+QUERY q
+SELECT p.* FROM friendships f JOIN users p ON f.f2 = p.id LIMIT 10
+`
+	if _, err := analyzeOne(t, src, "q"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("join without driving predicate accepted: %v", err)
+	}
+}
+
+func TestJoinPredicateOnLookedTableRejected(t *testing.T) {
+	src := `
+ENTITY users ( id string PRIMARY KEY, name string )
+ENTITY friendships ( f1 string, f2 string, PRIMARY KEY (f1, f2), CARDINALITY f1 5000, CARDINALITY f2 5000 )
+QUERY q
+SELECT p.* FROM friendships f JOIN users p ON f.f2 = p.id
+WHERE f.f1 = ?user AND p.name = ?n LIMIT 10
+`
+	if _, err := analyzeOne(t, src, "q"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("predicate on looked-up table accepted: %v", err)
+	}
+}
+
+func TestReversedJoinSpellingAccepted(t *testing.T) {
+	src := `
+ENTITY users ( id string PRIMARY KEY, birthday int )
+ENTITY friendships ( f1 string, f2 string, PRIMARY KEY (f1, f2), CARDINALITY f1 5000, CARDINALITY f2 5000 )
+QUERY q
+SELECT p.* FROM friendships f JOIN users p ON p.id = f.f2
+WHERE f.f1 = ?user LIMIT 10
+`
+	res, err := analyzeOne(t, src, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shape != ShapeJoinView {
+		t.Fatalf("Shape = %v", res.Shape)
+	}
+}
+
+func TestLimitTightensFanout(t *testing.T) {
+	src := `
+ENTITY friendships ( f1 string, f2 string, PRIMARY KEY (f1, f2), CARDINALITY f1 5000 )
+QUERY topFriends SELECT * FROM friendships WHERE f1 = ?user LIMIT 10
+`
+	res, err := analyzeOne(t, src, "topFriends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fanout != 10 {
+		t.Fatalf("Fanout = %d, want LIMIT-tightened 10", res.Fanout)
+	}
+}
+
+func TestAnalyzeAggregatesRejections(t *testing.T) {
+	src := `
+ENTITY users ( id string PRIMARY KEY, name string )
+ENTITY follows ( follower string, followee string, PRIMARY KEY (follower, followee) )
+QUERY good SELECT * FROM users WHERE id = ?u LIMIT 1
+QUERY bad1 SELECT u.* FROM follows f JOIN users u ON f.follower = u.id WHERE f.followee = ?x LIMIT 10
+QUERY bad2 SELECT * FROM users LIMIT 99999
+`
+	s := query.MustParse(src)
+	results, err := Analyze(s, Config{})
+	if err == nil {
+		t.Fatal("expected aggregated rejections")
+	}
+	if len(results) != 1 || results["good"] == nil {
+		t.Fatalf("results = %v", results)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bad1") || !strings.Contains(msg, "bad2") {
+		t.Fatalf("aggregated error missing queries: %v", msg)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if ShapePKLookup.String() != "pk-lookup" || ShapeIndexScan.String() != "index-scan" || ShapeJoinView.String() != "join-view" {
+		t.Fatal("Shape strings wrong")
+	}
+}
+
+func BenchmarkAnalyzeSocialSchema(b *testing.B) {
+	s := query.MustParse(socialSchema)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(s, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/record"
+	"scads/internal/rpc"
+	"scads/internal/storage"
+)
+
+func newTestNode(t testing.TB, id string) *Node {
+	t.Helper()
+	e, err := storage.Open(storage.Options{NodeID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return NewNode(id, e)
+}
+
+func TestNodeServeCRUD(t *testing.T) {
+	n := newTestNode(t, "n1")
+
+	resp := n.Serve(rpc.Request{Method: rpc.MethodPing})
+	if !resp.Found || string(resp.Value) != "n1" {
+		t.Fatalf("ping = %+v", resp)
+	}
+
+	resp = n.Serve(rpc.Request{Method: rpc.MethodPut, Namespace: "users", Key: []byte("alice"), Value: []byte("p")})
+	if resp.Error() != nil || resp.Version == 0 {
+		t.Fatalf("put = %+v", resp)
+	}
+
+	resp = n.Serve(rpc.Request{Method: rpc.MethodGet, Namespace: "users", Key: []byte("alice")})
+	if !resp.Found || !bytes.Equal(resp.Value, []byte("p")) {
+		t.Fatalf("get = %+v", resp)
+	}
+
+	resp = n.Serve(rpc.Request{Method: rpc.MethodDelete, Namespace: "users", Key: []byte("alice")})
+	if resp.Error() != nil {
+		t.Fatalf("delete = %+v", resp)
+	}
+	resp = n.Serve(rpc.Request{Method: rpc.MethodGet, Namespace: "users", Key: []byte("alice")})
+	if resp.Found {
+		t.Fatal("deleted key still found")
+	}
+}
+
+func TestNodeScanBoundedAndOrdered(t *testing.T) {
+	n := newTestNode(t, "n1")
+	for i := 0; i < 50; i++ {
+		n.Serve(rpc.Request{Method: rpc.MethodPut, Namespace: "ns", Key: []byte(fmt.Sprintf("k-%03d", i)), Value: []byte("v")})
+	}
+	resp := n.Serve(rpc.Request{
+		Method: rpc.MethodScan, Namespace: "ns",
+		Start: []byte("k-010"), End: []byte("k-040"), Limit: 10,
+	})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if len(resp.Records) != 10 {
+		t.Fatalf("scan returned %d records, want limit 10", len(resp.Records))
+	}
+	if string(resp.Records[0].Key) != "k-010" {
+		t.Fatalf("first key = %q", resp.Records[0].Key)
+	}
+	for i := 1; i < len(resp.Records); i++ {
+		if bytes.Compare(resp.Records[i-1].Key, resp.Records[i].Key) >= 0 {
+			t.Fatal("scan out of order")
+		}
+	}
+}
+
+func TestNodeApplyVersioned(t *testing.T) {
+	n := newTestNode(t, "n1")
+	recs := []record.Record{
+		{Key: []byte("k"), Value: []byte("new"), Version: 100},
+		{Key: []byte("k"), Value: []byte("stale"), Version: 50},
+	}
+	resp := n.Serve(rpc.Request{Method: rpc.MethodApply, Namespace: "ns", Records: recs})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	got := n.Serve(rpc.Request{Method: rpc.MethodGet, Namespace: "ns", Key: []byte("k")})
+	if string(got.Value) != "new" {
+		t.Fatalf("LWW violated over apply: %q", got.Value)
+	}
+}
+
+func TestNodeDropRange(t *testing.T) {
+	n := newTestNode(t, "n1")
+	for i := 0; i < 20; i++ {
+		n.Serve(rpc.Request{Method: rpc.MethodPut, Namespace: "ns", Key: []byte(fmt.Sprintf("k-%02d", i)), Value: []byte("v")})
+	}
+	resp := n.Serve(rpc.Request{Method: rpc.MethodDropRange, Namespace: "ns", Start: []byte("k-05"), End: []byte("k-15")})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if resp.RecordCount != 10 {
+		t.Fatalf("dropped %d records, want 10", resp.RecordCount)
+	}
+	for i := 0; i < 20; i++ {
+		got := n.Serve(rpc.Request{Method: rpc.MethodGet, Namespace: "ns", Key: []byte(fmt.Sprintf("k-%02d", i))})
+		wantFound := i < 5 || i >= 15
+		if got.Found != wantFound {
+			t.Fatalf("key %02d found=%v want %v", i, got.Found, wantFound)
+		}
+	}
+}
+
+func TestNodeStatsAndCounters(t *testing.T) {
+	n := newTestNode(t, "n1")
+	for i := 0; i < 5; i++ {
+		n.Serve(rpc.Request{Method: rpc.MethodPut, Namespace: "ns", Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v")})
+	}
+	for i := 0; i < 3; i++ {
+		n.Serve(rpc.Request{Method: rpc.MethodGet, Namespace: "ns", Key: []byte("k0")})
+	}
+	if n.WriteCount() != 5 || n.ReadCount() != 3 {
+		t.Fatalf("counters = r%d w%d", n.ReadCount(), n.WriteCount())
+	}
+	resp := n.Serve(rpc.Request{Method: rpc.MethodStats})
+	if resp.RecordCount != 5 {
+		t.Fatalf("stats RecordCount = %d", resp.RecordCount)
+	}
+}
+
+func TestNodeInvalidNamespace(t *testing.T) {
+	n := newTestNode(t, "n1")
+	resp := n.Serve(rpc.Request{Method: rpc.MethodGet, Namespace: "../bad", Key: []byte("k")})
+	if resp.Error() == nil {
+		t.Fatal("invalid namespace accepted")
+	}
+}
+
+func TestNodeOverTCP(t *testing.T) {
+	n := newTestNode(t, "n1")
+	s := rpc.NewServer(n)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tr := rpc.NewTCPTransport()
+	defer tr.Close()
+
+	if _, err := tr.Call(addr, rpc.Request{Method: rpc.MethodPut, Namespace: "ns", Key: []byte("k"), Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tr.Call(addr, rpc.Request{Method: rpc.MethodGet, Namespace: "ns", Key: []byte("k")})
+	if err != nil || !resp.Found || string(resp.Value) != "v" {
+		t.Fatalf("get over TCP: %v %+v", err, resp)
+	}
+}
+
+func TestDirectoryLifecycle(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	d := NewDirectory(vc)
+	d.Join("n1", "addr1")
+	d.Join("n2", "addr2")
+
+	if b, u, dn := d.CountByStatus(); b != 2 || u != 0 || dn != 0 {
+		t.Fatalf("counts after join = %d %d %d", b, u, dn)
+	}
+	d.MarkUp("n1")
+	d.MarkUp("n2")
+	if len(d.Up()) != 2 {
+		t.Fatal("MarkUp failed")
+	}
+
+	m, ok := d.Get("n1")
+	if !ok || m.Addr != "addr1" || m.Status != StatusUp {
+		t.Fatalf("Get = %+v %v", m, ok)
+	}
+
+	d.MarkDown("n2")
+	if up := d.Up(); len(up) != 1 || up[0].ID != "n1" {
+		t.Fatalf("Up after MarkDown = %v", up)
+	}
+
+	// Heartbeat resurrects a down node.
+	d.Heartbeat("n2")
+	if len(d.Up()) != 2 {
+		t.Fatal("heartbeat did not resurrect")
+	}
+
+	d.Remove("n2")
+	if _, ok := d.Get("n2"); ok {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestDirectoryExpireStale(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	d := NewDirectory(vc)
+	d.Join("n1", "a1")
+	d.Join("n2", "a2")
+	d.MarkUp("n1")
+	d.MarkUp("n2")
+
+	vc.Advance(5 * time.Second)
+	d.Heartbeat("n1") // n2 goes silent
+
+	vc.Advance(6 * time.Second)
+	expired := d.ExpireStale(10 * time.Second)
+	if len(expired) != 1 || expired[0] != "n2" {
+		t.Fatalf("expired = %v, want [n2]", expired)
+	}
+	if up := d.Up(); len(up) != 1 || up[0].ID != "n1" {
+		t.Fatalf("Up after expiry = %v", up)
+	}
+	// Booting nodes are never expired.
+	d.Join("n3", "a3")
+	vc.Advance(time.Hour)
+	for _, id := range d.ExpireStale(10 * time.Second) {
+		if id == "n3" {
+			t.Fatal("booting node expired")
+		}
+	}
+}
+
+func TestDirectoryMembersSorted(t *testing.T) {
+	d := NewDirectory(clock.NewVirtual(time.Unix(0, 0)))
+	for _, id := range []string{"z", "a", "m"} {
+		d.Join(id, id+"-addr")
+	}
+	ms := d.Members()
+	if ms[0].ID != "a" || ms[1].ID != "m" || ms[2].ID != "z" {
+		t.Fatalf("Members not sorted: %v", ms)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusBooting.String() != "booting" || StatusUp.String() != "up" || StatusDown.String() != "down" {
+		t.Fatal("Status strings wrong")
+	}
+	if Status(99).String() == "" {
+		t.Fatal("unknown status has empty string")
+	}
+}

@@ -1,0 +1,182 @@
+// Package cluster provides the storage-node service (the rpc.Handler a
+// SCADS data node exposes) and the cluster membership directory with
+// heartbeat-based failure detection.
+package cluster
+
+import (
+	"sync/atomic"
+
+	"scads/internal/record"
+	"scads/internal/rpc"
+	"scads/internal/storage"
+)
+
+// Node is one SCADS storage node: a storage engine plus the request
+// dispatch that makes it reachable over any rpc.Transport.
+type Node struct {
+	id     string
+	engine *storage.Engine
+
+	// Request counters for capacity modelling.
+	reads  atomic.Int64
+	writes atomic.Int64
+}
+
+// NewNode wraps engine as a servable storage node.
+func NewNode(id string, engine *storage.Engine) *Node {
+	return &Node{id: id, engine: engine}
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.id }
+
+// Engine exposes the underlying storage engine (used by local tooling
+// and tests; remote callers go through Serve).
+func (n *Node) Engine() *storage.Engine { return n.engine }
+
+// ReadCount and WriteCount report requests served since start.
+func (n *Node) ReadCount() int64  { return n.reads.Load() }
+func (n *Node) WriteCount() int64 { return n.writes.Load() }
+
+// Serve implements rpc.Handler.
+func (n *Node) Serve(req rpc.Request) rpc.Response {
+	switch req.Method {
+	case rpc.MethodPing:
+		return rpc.Response{Found: true, Value: []byte(n.id)}
+	case rpc.MethodGet:
+		return n.get(req)
+	case rpc.MethodPut:
+		return n.put(req)
+	case rpc.MethodDelete:
+		return n.del(req)
+	case rpc.MethodScan:
+		return n.scan(req)
+	case rpc.MethodApply:
+		return n.apply(req)
+	case rpc.MethodDropRange:
+		return n.dropRange(req)
+	case rpc.MethodStats:
+		return n.stats(req)
+	default:
+		return rpc.Unimplemented(req)
+	}
+}
+
+func (n *Node) namespace(name string) (*storage.Namespace, rpc.Response, bool) {
+	ns, err := n.engine.Namespace(name)
+	if err != nil {
+		return nil, rpc.Response{Err: rpc.ErrString(err)}, false
+	}
+	return ns, rpc.Response{}, true
+}
+
+func (n *Node) get(req rpc.Request) rpc.Response {
+	n.reads.Add(1)
+	ns, errResp, ok := n.namespace(req.Namespace)
+	if !ok {
+		return errResp
+	}
+	rec, found, err := ns.GetRecord(req.Key)
+	if err != nil {
+		return rpc.Response{Err: rpc.ErrString(err)}
+	}
+	if !found || rec.Tombstone {
+		return rpc.Response{Found: false}
+	}
+	return rpc.Response{Found: true, Value: rec.Value, Version: rec.Version}
+}
+
+func (n *Node) put(req rpc.Request) rpc.Response {
+	n.writes.Add(1)
+	ns, errResp, ok := n.namespace(req.Namespace)
+	if !ok {
+		return errResp
+	}
+	ver, err := ns.Put(req.Key, req.Value)
+	if err != nil {
+		return rpc.Response{Err: rpc.ErrString(err)}
+	}
+	return rpc.Response{Found: true, Version: ver}
+}
+
+func (n *Node) del(req rpc.Request) rpc.Response {
+	n.writes.Add(1)
+	ns, errResp, ok := n.namespace(req.Namespace)
+	if !ok {
+		return errResp
+	}
+	ver, err := ns.Delete(req.Key)
+	if err != nil {
+		return rpc.Response{Err: rpc.ErrString(err)}
+	}
+	return rpc.Response{Found: true, Version: ver}
+}
+
+func (n *Node) scan(req rpc.Request) rpc.Response {
+	n.reads.Add(1)
+	ns, errResp, ok := n.namespace(req.Namespace)
+	if !ok {
+		return errResp
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > 10000 {
+		// Scale independence: a node never serves an unbounded scan.
+		limit = 10000
+	}
+	var recs []record.Record
+	err := ns.ScanLive(req.Start, req.End, func(r record.Record) bool {
+		recs = append(recs, r.Clone())
+		return len(recs) < limit
+	})
+	if err != nil {
+		return rpc.Response{Err: rpc.ErrString(err)}
+	}
+	return rpc.Response{Found: true, Records: recs}
+}
+
+func (n *Node) apply(req rpc.Request) rpc.Response {
+	n.writes.Add(1)
+	ns, errResp, ok := n.namespace(req.Namespace)
+	if !ok {
+		return errResp
+	}
+	for _, rec := range req.Records {
+		if err := ns.Apply(rec); err != nil {
+			return rpc.Response{Err: rpc.ErrString(err)}
+		}
+	}
+	return rpc.Response{Found: true}
+}
+
+func (n *Node) dropRange(req rpc.Request) rpc.Response {
+	ns, errResp, ok := n.namespace(req.Namespace)
+	if !ok {
+		return errResp
+	}
+	// Collect keys first (the scan snapshot makes this safe), then
+	// tombstone them.
+	var keys [][]byte
+	err := ns.ScanAll(req.Start, req.End, func(r record.Record) bool {
+		if !r.Tombstone {
+			keys = append(keys, append([]byte(nil), r.Key...))
+		}
+		return true
+	})
+	if err != nil {
+		return rpc.Response{Err: rpc.ErrString(err)}
+	}
+	for _, k := range keys {
+		if _, err := ns.Delete(k); err != nil {
+			return rpc.Response{Err: rpc.ErrString(err)}
+		}
+	}
+	return rpc.Response{Found: true, RecordCount: int64(len(keys))}
+}
+
+func (n *Node) stats(req rpc.Request) rpc.Response {
+	s := n.engine.Stats()
+	return rpc.Response{
+		Found:       true,
+		RecordCount: s.RecordCount,
+	}
+}

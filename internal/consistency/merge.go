@@ -1,0 +1,110 @@
+package consistency
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MergeFunc combines two conflicting values into one. Implementations
+// should be commutative and associative so replicas converge no matter
+// the delivery order (the paper's "if conflicts are acceptable and can
+// be intelligently resolved, the developer may specify a function that
+// will merge conflicting writes").
+type MergeFunc func(a, b []byte) []byte
+
+// MergeRegistry maps names (referenced by merge(...) clauses in specs)
+// to functions. Safe for concurrent use.
+type MergeRegistry struct {
+	mu  sync.RWMutex
+	fns map[string]MergeFunc
+}
+
+// NewMergeRegistry returns a registry pre-populated with the built-in
+// merges: "union" (newline-separated set union), "max" and "min"
+// (numeric), and "concat-sets" (alias of union).
+func NewMergeRegistry() *MergeRegistry {
+	r := &MergeRegistry{fns: make(map[string]MergeFunc)}
+	r.Register("union", UnionMerge)
+	r.Register("concat-sets", UnionMerge)
+	r.Register("max", MaxMerge)
+	r.Register("min", MinMerge)
+	return r
+}
+
+// Register binds name to fn, replacing any previous binding.
+func (r *MergeRegistry) Register(name string, fn MergeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns[name] = fn
+}
+
+// Lookup returns the function bound to name.
+func (r *MergeRegistry) Lookup(name string) (MergeFunc, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.fns[name]
+	if !ok {
+		return nil, fmt.Errorf("consistency: merge function %q not registered", name)
+	}
+	return fn, nil
+}
+
+// UnionMerge treats values as newline-separated sets and returns their
+// sorted union — the canonical convergent merge for "append-ish" data
+// like tags or attendee lists.
+func UnionMerge(a, b []byte) []byte {
+	set := map[string]bool{}
+	for _, part := range strings.Split(string(a), "\n") {
+		if part != "" {
+			set[part] = true
+		}
+	}
+	for _, part := range strings.Split(string(b), "\n") {
+		if part != "" {
+			set[part] = true
+		}
+	}
+	items := make([]string, 0, len(set))
+	for s := range set {
+		items = append(items, s)
+	}
+	sort.Strings(items)
+	return []byte(strings.Join(items, "\n"))
+}
+
+// MaxMerge keeps the numerically larger value; non-numeric values fall
+// back to byte comparison.
+func MaxMerge(a, b []byte) []byte {
+	if cmpNumericOrBytes(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// MinMerge keeps the numerically smaller value.
+func MinMerge(a, b []byte) []byte {
+	if cmpNumericOrBytes(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+func cmpNumericOrBytes(a, b []byte) int {
+	fa, errA := strconv.ParseFloat(string(a), 64)
+	fb, errB := strconv.ParseFloat(string(b), 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return bytes.Compare(a, b)
+}

@@ -1,0 +1,45 @@
+package consistency
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Serializer provides the Serializable write mode: it funnels every
+// read-modify-write for a given (namespace, key) through an exclusive
+// critical section, so updates interleave as if executed one at a time
+// — "writes to a given document type must be serializable, as in a
+// traditional RDBMS" (§3.3.1).
+//
+// Lock striping bounds memory: the per-key guarantee holds because two
+// equal keys always hash to the same stripe (unequal keys may share a
+// stripe, which affects only throughput, never correctness).
+type Serializer struct {
+	stripes []sync.Mutex
+}
+
+// NewSerializer returns a serializer with the given number of lock
+// stripes (rounded up to at least 1; 1024 is a reasonable default).
+func NewSerializer(stripes int) *Serializer {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &Serializer{stripes: make([]sync.Mutex, stripes)}
+}
+
+// Do runs fn while holding the stripe lock for (namespace, key). fn
+// typically reads the current value, computes, and writes back.
+func (s *Serializer) Do(namespace string, key []byte, fn func() error) error {
+	i := s.stripeFor(namespace, key)
+	s.stripes[i].Lock()
+	defer s.stripes[i].Unlock()
+	return fn()
+}
+
+func (s *Serializer) stripeFor(namespace string, key []byte) int {
+	h := fnv.New32a()
+	h.Write([]byte(namespace))
+	h.Write([]byte{0})
+	h.Write(key)
+	return int(h.Sum32() % uint32(len(s.stripes)))
+}

@@ -1,0 +1,257 @@
+package director
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+)
+
+var t0 = time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+
+// fakeActuator tracks requested/released capacity with instant boot.
+type fakeActuator struct {
+	running int
+	booting int
+}
+
+func (f *fakeActuator) Running() int { return f.running }
+func (f *fakeActuator) Booting() int { return f.booting }
+func (f *fakeActuator) Request(n int) {
+	f.booting += n
+}
+func (f *fakeActuator) Release(n int) {
+	f.running -= n
+	if f.running < 0 {
+		f.running = 0
+	}
+}
+func (f *fakeActuator) finishBoot() {
+	f.running += f.booting
+	f.booting = 0
+}
+
+func cfg(policy Policy) Config {
+	return Config{
+		SLALatency:        100 * time.Millisecond,
+		ForecastHorizon:   5 * time.Minute,
+		MinServers:        1,
+		ScaleDownCooldown: 10 * time.Minute,
+		Policy:            policy,
+	}
+}
+
+func TestReactiveScalesUpOnViolation(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 8}
+	d := New(vc, act, cfg(Reactive))
+	dec := d.Step(Observation{Rate: 1000, Latency: 500 * time.Millisecond, SuccessRate: 100, SLAMet: false})
+	if dec.Added != 2 { // 25% of 8
+		t.Fatalf("Added = %d, want 2", dec.Added)
+	}
+	if !strings.Contains(dec.Reason, "violation") {
+		t.Fatalf("Reason = %q", dec.Reason)
+	}
+}
+
+func TestReactiveScalesDownOnUnderload(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 20}
+	d := New(vc, act, cfg(Reactive))
+	vc.Advance(time.Hour) // past any cooldown
+	dec := d.Step(Observation{Rate: 10, Latency: 5 * time.Millisecond, SuccessRate: 100, SLAMet: true})
+	if dec.Removed != 2 { // 10% of 20
+		t.Fatalf("Removed = %d, want 2: %+v", dec.Removed, dec)
+	}
+	if act.running != 18 {
+		t.Fatalf("running = %d", act.running)
+	}
+}
+
+func TestScaleDownCooldownPreventsThrash(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 20}
+	d := New(vc, act, cfg(Reactive))
+	vc.Advance(time.Hour)
+	obs := Observation{Rate: 10, Latency: 5 * time.Millisecond, SuccessRate: 100, SLAMet: true}
+	first := d.Step(obs)
+	if first.Removed == 0 {
+		t.Fatal("first scale-down blocked")
+	}
+	vc.Advance(time.Minute) // within cooldown
+	second := d.Step(obs)
+	if second.Removed != 0 {
+		t.Fatalf("scale-down inside cooldown: %+v", second)
+	}
+	if !strings.Contains(second.Reason, "cooldown") {
+		t.Fatalf("Reason = %q", second.Reason)
+	}
+	vc.Advance(11 * time.Minute)
+	third := d.Step(obs)
+	if third.Removed == 0 {
+		t.Fatal("scale-down after cooldown blocked")
+	}
+}
+
+func TestMinServersFloor(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 2}
+	c := cfg(Reactive)
+	c.MinServers = 2
+	d := New(vc, act, c)
+	vc.Advance(time.Hour)
+	dec := d.Step(Observation{Rate: 0, Latency: time.Millisecond, SuccessRate: 100, SLAMet: true})
+	if dec.Target < 2 || act.running < 2 {
+		t.Fatalf("floor violated: %+v running=%d", dec, act.running)
+	}
+}
+
+func TestMaxServersCap(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 10}
+	c := cfg(Reactive)
+	c.MaxServers = 12
+	d := New(vc, act, c)
+	dec := d.Step(Observation{Rate: 1e6, Latency: time.Second, SLAMet: false})
+	if dec.Target > 12 {
+		t.Fatalf("cap violated: %+v", dec)
+	}
+}
+
+func TestReplicationBacklogBoost(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 4}
+	d := New(vc, act, cfg(Reactive))
+	dec := d.Step(Observation{Rate: 100, Latency: 10 * time.Millisecond, SuccessRate: 100, SLAMet: true,
+		ReplicationAtRisk: 2500})
+	// Steady reactive target would be ≤ running; the backlog boost of
+	// 1+2500/1000 = 3 must push the target above the current size.
+	if dec.Target <= 4 || dec.Added == 0 {
+		t.Fatalf("backlog boost missing: %+v", dec)
+	}
+	if !strings.Contains(dec.Reason, "repl-backlog") {
+		t.Fatalf("Reason = %q", dec.Reason)
+	}
+}
+
+// trainModel feeds the director observations until the capacity model
+// fits: rate per server r gives latency base+k·ρ/(1-ρ) with cap 1000.
+func trainModel(t *testing.T, d *Director, act *fakeActuator, vc *clock.Virtual) {
+	t.Helper()
+	latency := func(ratePerServer float64) time.Duration {
+		rho := ratePerServer / 1000
+		return 5*time.Millisecond + time.Duration(float64(20*time.Millisecond)*rho/(1-rho))
+	}
+	for i := 0; i < 40; i++ {
+		rate := 100 + float64(i)*20 // per server, ramping to 880
+		total := rate * float64(act.running)
+		d.Step(Observation{Rate: total, Latency: latency(rate), SuccessRate: 100, SLAMet: true})
+		act.finishBoot()
+		vc.Advance(30 * time.Second)
+	}
+	if _, _, _, ok := d.Capacity.Params(); !ok {
+		t.Fatal("capacity model did not fit during training")
+	}
+}
+
+func TestModelDrivenProvisionsAheadOfRamp(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 4}
+	c := cfg(ModelDriven)
+	c.ForecastHorizon = 10 * time.Minute
+	d := New(vc, act, c)
+	trainModel(t, d, act, vc)
+
+	// Now drive a steep ramp: rate grows 20%/minute. The model-driven
+	// director should provision for the *forecast* rate, i.e. target
+	// more servers than current load alone would need.
+	rate := 1000.0
+	var lastDec Decision
+	for i := 0; i < 15; i++ {
+		lastDec = d.Step(Observation{Rate: rate, Latency: 50 * time.Millisecond, SuccessRate: 100, SLAMet: true})
+		act.finishBoot()
+		vc.Advance(time.Minute)
+		rate *= 1.2
+	}
+	if lastDec.Forecast <= lastDec.Observed.Rate {
+		t.Fatalf("forecast (%v) did not exceed current rate (%v) on a ramp", lastDec.Forecast, lastDec.Observed.Rate)
+	}
+	if !strings.Contains(lastDec.Reason, "forecast") {
+		t.Fatalf("Reason = %q", lastDec.Reason)
+	}
+	// Target must cover the forecast at the learned per-server
+	// capacity, not just current load.
+	perServer := d.Capacity.UsableCapacity(0.1, 0.2)
+	needCurrent := int(lastDec.Observed.Rate/perServer) + 1
+	if lastDec.Target <= needCurrent {
+		t.Fatalf("target %d does not provision ahead (current need %d)", lastDec.Target, needCurrent)
+	}
+}
+
+func TestModelDrivenFallsBackWhenUnfit(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 4}
+	d := New(vc, act, cfg(ModelDriven))
+	dec := d.Step(Observation{Rate: 100, Latency: time.Second, SLAMet: false})
+	if !strings.Contains(dec.Reason, "unfit") {
+		t.Fatalf("Reason = %q", dec.Reason)
+	}
+	if dec.Added == 0 {
+		t.Fatal("unfit director ignored a violation")
+	}
+}
+
+func TestDecisionsLogged(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 1}
+	d := New(vc, act, cfg(Reactive))
+	for i := 0; i < 5; i++ {
+		d.Step(Observation{Rate: 10, Latency: time.Millisecond, SuccessRate: 100, SLAMet: true})
+	}
+	if got := len(d.Decisions()); got != 5 {
+		t.Fatalf("decisions = %d", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if ModelDriven.String() != "model-driven" || Reactive.String() != "reactive" {
+		t.Fatal("Policy strings")
+	}
+}
+
+func TestContentionSignalBoostsTargetAndIsNoted(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 4}
+	d := New(vc, act, cfg(Reactive))
+	// 50ms is inside the steady band (between SLALatency/3 and the
+	// bound), so without the contention signal the target would stay
+	// at running.
+	dec := d.Step(Observation{
+		Rate: 10, Latency: 50 * time.Millisecond, SuccessRate: 90, SLAMet: true,
+		Contentions: 3,
+	})
+	if !strings.Contains(dec.Reason, "contention(3)") {
+		t.Fatalf("Reason = %q, want contention annotation", dec.Reason)
+	}
+	if dec.Target <= 4 {
+		t.Fatalf("Target = %d, want boost above running", dec.Target)
+	}
+	d.Step(Observation{Rate: 10, Latency: time.Millisecond, SLAMet: true, Contentions: 2})
+	if got := d.ContentionsNoted(); got != 5 {
+		t.Fatalf("ContentionsNoted = %d, want 5", got)
+	}
+}
+
+func TestNoContentionNoAnnotation(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 4}
+	d := New(vc, act, cfg(Reactive))
+	dec := d.Step(Observation{Rate: 10, Latency: time.Millisecond, SuccessRate: 100, SLAMet: true})
+	if strings.Contains(dec.Reason, "contention") {
+		t.Fatalf("Reason = %q, want no contention annotation", dec.Reason)
+	}
+	if d.ContentionsNoted() != 0 {
+		t.Fatal("noted contentions without any observed")
+	}
+}

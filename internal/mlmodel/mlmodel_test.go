@@ -1,0 +1,366 @@
+package mlmodel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 2x + 3 exactly.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 10; i++ {
+		xs = append(xs, []float64{float64(i)})
+		ys = append(ys, 2*float64(i)+3)
+	}
+	m, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-2) > 1e-9 || math.Abs(m.Intercept-3) > 1e-9 {
+		t.Fatalf("fit = %+v", m)
+	}
+	if m.R2 < 0.9999 {
+		t.Fatalf("R2 = %v", m.R2)
+	}
+	if got := m.Predict([]float64{100}); math.Abs(got-203) > 1e-6 {
+		t.Fatalf("Predict(100) = %v", got)
+	}
+}
+
+func TestFitLinearMultivariate(t *testing.T) {
+	// y = 1.5a - 2b + 0.5 with noise.
+	r := rand.New(rand.NewSource(7))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		a, b := r.Float64()*10, r.Float64()*10
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, 1.5*a-2*b+0.5+r.NormFloat64()*0.01)
+	}
+	m, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-1.5) > 0.01 || math.Abs(m.Coef[1]+2) > 0.01 {
+		t.Fatalf("coefs = %v", m.Coef)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if _, err := FitLinear([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+	// Collinear features → singular.
+	xs := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	ys := []float64{1, 2, 3, 4}
+	if _, err := FitLinear(xs, ys); err == nil {
+		t.Fatal("singular design accepted")
+	}
+	// Ragged rows.
+	if _, err := FitLinear([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestP2MatchesExactQuantile(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	p99 := NewP2(0.99)
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		// Long-tailed latency-like distribution.
+		x := math.Exp(r.NormFloat64())
+		p99.Add(x)
+		all = append(all, x)
+	}
+	sort.Float64s(all)
+	exact := all[int(0.99*float64(len(all)))]
+	got := p99.Quantile()
+	if math.Abs(got-exact)/exact > 0.15 {
+		t.Fatalf("P2 p99 = %v, exact = %v", got, exact)
+	}
+	if p99.Count() != 20000 {
+		t.Fatalf("Count = %d", p99.Count())
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	p := NewP2(0.5)
+	if !math.IsNaN(p.Quantile()) {
+		t.Fatal("empty estimator should return NaN")
+	}
+	p.Add(5)
+	if p.Quantile() != 5 {
+		t.Fatalf("1-sample quantile = %v", p.Quantile())
+	}
+	p.Add(1)
+	p.Add(9)
+	q := p.Quantile()
+	if q != 5 {
+		t.Fatalf("3-sample median = %v", q)
+	}
+}
+
+func TestWindowQuantile(t *testing.T) {
+	w := NewWindow(100)
+	if !math.IsNaN(w.Quantile(0.5)) || !math.IsNaN(w.Max()) || !math.IsNaN(w.Mean()) {
+		t.Fatal("empty window should be NaN")
+	}
+	for i := 1; i <= 100; i++ {
+		w.Add(float64(i))
+	}
+	if got := w.Quantile(0.5); got != 50 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := w.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := w.Quantile(1.0); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := w.Max(); got != 100 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := w.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Ring behaviour: adding 100 more evicts the old ones.
+	for i := 101; i <= 200; i++ {
+		w.Add(float64(i))
+	}
+	if got := w.Quantile(0.0); got != 101 {
+		t.Fatalf("min after wrap = %v", got)
+	}
+	if w.Len() != 100 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestWindowQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		q1 = math.Mod(math.Abs(q1), 1)
+		q2 = math.Mod(math.Abs(q2), 1)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		w := NewWindow(len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+			w.Add(v)
+		}
+		return w.Quantile(q1) <= w.Quantile(q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// synthLatency produces latency from a known queueing curve.
+func synthLatency(rate, capacity, base, k float64) float64 {
+	rho := rate / capacity
+	return base + k*rho/(1-rho)
+}
+
+func TestCapacityModelRecoversCurve(t *testing.T) {
+	const capacity, base, k = 1000.0, 0.005, 0.020
+	m := &CapacityModel{}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		rate := 50 + r.Float64()*850 // up to 90% utilisation
+		lat := synthLatency(rate, capacity, base, k) * (1 + r.NormFloat64()*0.02)
+		m.Observe(rate, lat)
+	}
+	if !m.Fit() {
+		t.Fatal("Fit failed")
+	}
+	gotCap, gotBase, _, ok := m.Params()
+	if !ok {
+		t.Fatal("Params not fit")
+	}
+	if math.Abs(gotCap-capacity)/capacity > 0.25 {
+		t.Fatalf("capacity = %v, want ~%v", gotCap, capacity)
+	}
+	if math.Abs(gotBase-base) > 0.01 {
+		t.Fatalf("base = %v, want ~%v", gotBase, base)
+	}
+
+	// Predicted latency increases with rate and blows up near capacity.
+	l200 := m.PredictLatency(200)
+	l800 := m.PredictLatency(800)
+	if !(l200 < l800) {
+		t.Fatalf("latency not increasing: %v vs %v", l200, l800)
+	}
+	if !math.IsInf(m.PredictLatency(gotCap*1.1), 1) {
+		t.Fatal("saturated rate should predict +Inf")
+	}
+
+	// UsableCapacity at 100ms SLA should be below raw capacity but
+	// positive; ServersNeeded scales linearly.
+	usable := m.UsableCapacity(0.100, 0.2)
+	if usable <= 0 || usable >= capacity {
+		t.Fatalf("usable = %v", usable)
+	}
+	n1 := m.ServersNeeded(usable*3, 0.100, 0.2, 1)
+	if n1 != 3 {
+		t.Fatalf("ServersNeeded = %d, want 3", n1)
+	}
+}
+
+func TestCapacityModelFallbacks(t *testing.T) {
+	m := &CapacityModel{}
+	if m.Fit() {
+		t.Fatal("Fit with no data succeeded")
+	}
+	if !math.IsNaN(m.PredictLatency(10)) {
+		t.Fatal("unfit PredictLatency should be NaN")
+	}
+	if got := m.ServersNeeded(1000, 0.1, 0.2, 7); got != 7 {
+		t.Fatalf("fallback ServersNeeded = %d", got)
+	}
+	if got := m.ServersNeeded(1000, 0.1, 0.2, 0); got != 1 {
+		t.Fatalf("fallback floor = %d", got)
+	}
+	// Bad samples are ignored.
+	m.Observe(-5, 1)
+	m.Observe(5, -1)
+	m.Observe(5, math.NaN())
+	if m.Observations() != 0 {
+		t.Fatal("bad samples recorded")
+	}
+	// Unachievable SLA.
+	for i := 0; i < 50; i++ {
+		m.Observe(float64(i+1)*10, synthLatency(float64(i+1)*10, 1000, 0.5, 0.1))
+	}
+	if m.UsableCapacity(0.001, 0) != 0 {
+		t.Fatal("unachievable SLA returned capacity")
+	}
+}
+
+func TestForecasterTrend(t *testing.T) {
+	f := NewForecaster(false)
+	t0 := time.Date(2009, 1, 4, 12, 0, 0, 0, time.UTC)
+	// Load ramps 100 req/s per minute.
+	for i := 0; i <= 30; i++ {
+		f.Observe(t0.Add(time.Duration(i)*time.Minute), float64(1000+100*i))
+	}
+	now := t0.Add(30 * time.Minute)
+	got := f.Forecast(now, 10*time.Minute)
+	want := 1000.0 + 100*40
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("Forecast = %v, want ~%v", got, want)
+	}
+}
+
+func TestForecasterEmptyAndThin(t *testing.T) {
+	f := NewForecaster(false)
+	if got := f.Forecast(time.Now(), time.Minute); got != 0 {
+		t.Fatalf("empty forecast = %v", got)
+	}
+	t0 := time.Date(2009, 1, 4, 12, 0, 0, 0, time.UTC)
+	f.Observe(t0, 500)
+	if got := f.Forecast(t0, time.Minute); got != 500 {
+		t.Fatalf("single-sample forecast = %v", got)
+	}
+}
+
+func TestForecasterNeverNegative(t *testing.T) {
+	f := NewForecaster(false)
+	t0 := time.Date(2009, 1, 4, 12, 0, 0, 0, time.UTC)
+	// Steeply falling load.
+	for i := 0; i <= 10; i++ {
+		f.Observe(t0.Add(time.Duration(i)*time.Minute), float64(1000-100*i))
+	}
+	if got := f.Forecast(t0.Add(10*time.Minute), 30*time.Minute); got < 0 {
+		t.Fatalf("negative forecast: %v", got)
+	}
+}
+
+func TestForecasterPeriodic(t *testing.T) {
+	f := NewForecaster(true)
+	f.TrendWindow = 20 * time.Minute
+	t0 := time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+	// Two days of a diurnal pattern: peak at noon, trough at midnight.
+	diurnal := func(tm time.Time) float64 {
+		h := float64(tm.Hour()) + float64(tm.Minute())/60
+		return 1000 + 800*math.Sin((h-6)/24*2*math.Pi)
+	}
+	for m := 0; m < 2*24*60; m += 10 {
+		tm := t0.Add(time.Duration(m) * time.Minute)
+		f.Observe(tm, diurnal(tm))
+	}
+	// At 9am on day 3, forecast 3 hours ahead (noon): the periodic
+	// component should anticipate the rise toward the peak.
+	now := t0.Add(48*time.Hour + 9*time.Hour)
+	f.Observe(now, diurnal(now))
+	got := f.Forecast(now, 3*time.Hour)
+	want := diurnal(now.Add(3 * time.Hour))
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("periodic forecast = %v, want ~%v", got, want)
+	}
+	if f.HistoryLen() == 0 {
+		t.Fatal("history empty")
+	}
+}
+
+func TestForecasterHistoryTrimmed(t *testing.T) {
+	f := NewForecaster(false)
+	t0 := time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+	for h := 0; h < 100; h++ {
+		f.Observe(t0.Add(time.Duration(h)*time.Hour), 100)
+	}
+	if f.HistoryLen() > 49 {
+		t.Fatalf("history not trimmed: %d", f.HistoryLen())
+	}
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	p := NewP2(0.999)
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Add(r.Float64())
+	}
+}
+
+func BenchmarkWindowQuantile(b *testing.B) {
+	w := NewWindow(1000)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		w.Add(r.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Add(r.Float64())
+		_ = w.Quantile(0.999)
+	}
+}
+
+func BenchmarkCapacityFit(b *testing.B) {
+	m := &CapacityModel{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		rate := 50 + r.Float64()*850
+		m.Observe(rate, synthLatency(rate, 1000, 0.005, 0.02))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(500, 0.01) // invalidate
+		if !m.Fit() {
+			b.Fatal("fit failed")
+		}
+	}
+}

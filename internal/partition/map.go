@@ -1,0 +1,276 @@
+// Package partition implements range partitioning of a namespace's
+// keyspace across storage nodes, and the router that sends each
+// operation to the right replica group.
+//
+// SCADS queries are bounded contiguous index scans (§3.1), so range
+// partitioning guarantees any query touches at most a small constant
+// number of adjacent partitions — the property behind the paper's
+// "at most one read from a small constant number of computers".
+package partition
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Range is one contiguous slice of the keyspace assigned to a replica
+// group. Start is inclusive (nil = beginning of keyspace), End is
+// exclusive (nil = end of keyspace).
+type Range struct {
+	Start    []byte
+	End      []byte
+	Replicas []string // node IDs; Replicas[0] is the primary
+}
+
+// Contains reports whether key falls inside r.
+func (r Range) Contains(key []byte) bool {
+	if r.Start != nil && bytes.Compare(key, r.Start) < 0 {
+		return false
+	}
+	if r.End != nil && bytes.Compare(key, r.End) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Overlaps reports whether r intersects [start, end) (nil bounds are
+// infinite).
+func (r Range) Overlaps(start, end []byte) bool {
+	if r.End != nil && start != nil && bytes.Compare(r.End, start) <= 0 {
+		return false
+	}
+	if r.Start != nil && end != nil && bytes.Compare(end, r.Start) <= 0 {
+		return false
+	}
+	return true
+}
+
+func (r Range) clone() Range {
+	c := Range{Replicas: append([]string(nil), r.Replicas...)}
+	if r.Start != nil {
+		c.Start = append([]byte(nil), r.Start...)
+	}
+	if r.End != nil {
+		c.End = append([]byte(nil), r.End...)
+	}
+	return c
+}
+
+// String renders the range for logs.
+func (r Range) String() string {
+	s, e := "-inf", "+inf"
+	if r.Start != nil {
+		s = fmt.Sprintf("%x", r.Start)
+	}
+	if r.End != nil {
+		e = fmt.Sprintf("%x", r.End)
+	}
+	return fmt.Sprintf("[%s,%s)->%v", s, e, r.Replicas)
+}
+
+// Errors returned by map mutations.
+var (
+	ErrNoSuchRange  = errors.New("partition: no range contains that key")
+	ErrBadSplit     = errors.New("partition: split point at range boundary")
+	ErrNeedReplicas = errors.New("partition: replica set must be non-empty")
+)
+
+// Map is the partition map of one namespace: an ordered list of
+// contiguous ranges covering the whole keyspace. Safe for concurrent
+// use.
+type Map struct {
+	mu     sync.RWMutex
+	ranges []Range
+	ver    uint64 // bumped on every mutation, for cache invalidation
+}
+
+// NewMap returns a map with a single range covering everything,
+// assigned to the given replica group.
+func NewMap(replicas []string) (*Map, error) {
+	if len(replicas) == 0 {
+		return nil, ErrNeedReplicas
+	}
+	return &Map{ranges: []Range{{Replicas: append([]string(nil), replicas...)}}, ver: 1}, nil
+}
+
+// Version returns the mutation counter.
+func (m *Map) Version() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ver
+}
+
+// Lookup returns the range containing key.
+func (m *Map) Lookup(key []byte) Range {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ranges[m.indexOf(key)].clone()
+}
+
+// indexOf returns the index of the range containing key. Caller holds
+// the lock. The map invariant (total coverage) guarantees a hit.
+func (m *Map) indexOf(key []byte) int {
+	lo, hi := 0, len(m.ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := m.ranges[mid]
+		if r.Start != nil && bytes.Compare(key, r.Start) < 0 {
+			hi = mid
+		} else if r.End != nil && bytes.Compare(key, r.End) >= 0 {
+			lo = mid + 1
+		} else {
+			return mid
+		}
+	}
+	return len(m.ranges) - 1
+}
+
+// Overlapping returns the ranges intersecting [start, end) in keyspace
+// order.
+func (m *Map) Overlapping(start, end []byte) []Range {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Range
+	for _, r := range m.ranges {
+		if r.Overlaps(start, end) {
+			out = append(out, r.clone())
+		}
+	}
+	return out
+}
+
+// Ranges returns a copy of all ranges in keyspace order.
+func (m *Map) Ranges() []Range {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Range, len(m.ranges))
+	for i, r := range m.ranges {
+		out[i] = r.clone()
+	}
+	return out
+}
+
+// Len returns the number of ranges.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.ranges)
+}
+
+// Split divides the range containing at into [start, at) and
+// [at, end), both initially assigned to the same replica group.
+func (m *Map) Split(at []byte) error {
+	if at == nil {
+		return ErrBadSplit
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := m.indexOf(at)
+	r := m.ranges[i]
+	if r.Start != nil && bytes.Equal(r.Start, at) {
+		return ErrBadSplit
+	}
+	left := r.clone()
+	right := r.clone()
+	left.End = append([]byte(nil), at...)
+	right.Start = append([]byte(nil), at...)
+	m.ranges = append(m.ranges[:i:i], append([]Range{left, right}, m.ranges[i+1:]...)...)
+	m.ver++
+	return nil
+}
+
+// Merge joins the range containing at with its successor.
+func (m *Map) Merge(at []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := m.indexOf(at)
+	if i+1 >= len(m.ranges) {
+		return ErrNoSuchRange
+	}
+	merged := m.ranges[i].clone()
+	merged.End = m.ranges[i+1].End
+	m.ranges = append(m.ranges[:i:i], append([]Range{merged}, m.ranges[i+2:]...)...)
+	m.ver++
+	return nil
+}
+
+// SetReplicas reassigns the replica group of the range containing key.
+func (m *Map) SetReplicas(key []byte, replicas []string) error {
+	if len(replicas) == 0 {
+		return ErrNeedReplicas
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := m.indexOf(key)
+	m.ranges[i].Replicas = append([]string(nil), replicas...)
+	m.ver++
+	return nil
+}
+
+// ReplaceNode substitutes newID for oldID in every replica group that
+// contains oldID, returning how many ranges changed. Used when the
+// director replaces a failed or decommissioned node.
+func (m *Map) ReplaceNode(oldID, newID string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := 0
+	for i := range m.ranges {
+		for j, id := range m.ranges[i].Replicas {
+			if id == oldID {
+				m.ranges[i].Replicas[j] = newID
+				changed++
+				break
+			}
+		}
+	}
+	if changed > 0 {
+		m.ver++
+	}
+	return changed
+}
+
+// NodesInUse returns the set of node IDs referenced by any range.
+func (m *Map) NodesInUse() map[string]bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]bool)
+	for _, r := range m.ranges {
+		for _, id := range r.Replicas {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// Validate checks the map invariants: non-empty, contiguous, totally
+// covering, every range has replicas.
+func (m *Map) Validate() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.ranges) == 0 {
+		return errors.New("partition: empty map")
+	}
+	if m.ranges[0].Start != nil {
+		return errors.New("partition: first range does not start at -inf")
+	}
+	if m.ranges[len(m.ranges)-1].End != nil {
+		return errors.New("partition: last range does not end at +inf")
+	}
+	for i, r := range m.ranges {
+		if len(r.Replicas) == 0 {
+			return fmt.Errorf("partition: range %d has no replicas", i)
+		}
+		if i > 0 {
+			prev := m.ranges[i-1]
+			if prev.End == nil || r.Start == nil || !bytes.Equal(prev.End, r.Start) {
+				return fmt.Errorf("partition: gap or overlap between range %d and %d", i-1, i)
+			}
+			if r.End != nil && bytes.Compare(r.Start, r.End) >= 0 {
+				return fmt.Errorf("partition: range %d is empty or inverted", i)
+			}
+		}
+	}
+	return nil
+}

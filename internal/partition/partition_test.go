@@ -1,0 +1,368 @@
+package partition
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/cluster"
+	"scads/internal/record"
+	"scads/internal/rpc"
+	"scads/internal/storage"
+)
+
+func TestNewMapCoversEverything(t *testing.T) {
+	m, err := NewMap([]string{"n1", "n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "a", "zzz", "\xff\xff"} {
+		rng := m.Lookup([]byte(k))
+		if !rng.Contains([]byte(k)) {
+			t.Fatalf("Lookup(%q) returned non-containing range %v", k, rng)
+		}
+	}
+	if _, err := NewMap(nil); err != ErrNeedReplicas {
+		t.Fatalf("NewMap(nil) = %v", err)
+	}
+}
+
+func TestSplitAndLookup(t *testing.T) {
+	m, _ := NewMap([]string{"n1"})
+	if err := m.Split([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	left := m.Lookup([]byte("a"))
+	right := m.Lookup([]byte("z"))
+	if left.End == nil || !bytes.Equal(left.End, []byte("m")) {
+		t.Fatalf("left = %v", left)
+	}
+	if right.Start == nil || !bytes.Equal(right.Start, []byte("m")) {
+		t.Fatalf("right = %v", right)
+	}
+	// Boundary key belongs to the right range (start inclusive).
+	if got := m.Lookup([]byte("m")); !bytes.Equal(got.Start, []byte("m")) {
+		t.Fatalf("Lookup(m) = %v", got)
+	}
+	// Splitting at an existing boundary fails.
+	if err := m.Split([]byte("m")); err != ErrBadSplit {
+		t.Fatalf("double split = %v", err)
+	}
+	if err := m.Split(nil); err != ErrBadSplit {
+		t.Fatalf("nil split = %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	m, _ := NewMap([]string{"n1"})
+	m.Split([]byte("g"))
+	m.Split([]byte("p"))
+	if m.Len() != 3 {
+		t.Fatal("setup failed")
+	}
+	if err := m.Merge([]byte("g")); err != nil { // merges [g,p) with [p,inf)
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len after merge = %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Merging the last range fails.
+	if err := m.Merge([]byte("z")); err != ErrNoSuchRange {
+		t.Fatalf("merge last = %v", err)
+	}
+}
+
+func TestSetReplicasAndReplaceNode(t *testing.T) {
+	m, _ := NewMap([]string{"n1", "n2"})
+	m.Split([]byte("m"))
+	if err := m.SetReplicas([]byte("z"), []string{"n3"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup([]byte("z")).Replicas; len(got) != 1 || got[0] != "n3" {
+		t.Fatalf("replicas = %v", got)
+	}
+	if err := m.SetReplicas([]byte("z"), nil); err != ErrNeedReplicas {
+		t.Fatal("empty replica set accepted")
+	}
+	changed := m.ReplaceNode("n1", "n9")
+	if changed != 1 {
+		t.Fatalf("ReplaceNode changed %d ranges, want 1", changed)
+	}
+	if got := m.Lookup([]byte("a")).Replicas[0]; got != "n9" {
+		t.Fatalf("primary after replace = %q", got)
+	}
+	nodes := m.NodesInUse()
+	if !nodes["n9"] || !nodes["n2"] || !nodes["n3"] || nodes["n1"] {
+		t.Fatalf("NodesInUse = %v", nodes)
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	m, _ := NewMap([]string{"n1"})
+	m.Split([]byte("g"))
+	m.Split([]byte("p"))
+	// [nil,g) [g,p) [p,nil)
+	cases := []struct {
+		start, end string
+		want       int
+	}{
+		{"a", "b", 1},
+		{"a", "h", 2},
+		{"a", "z", 3},
+		{"h", "i", 1},
+		{"q", "z", 1},
+		{"g", "p", 1},
+	}
+	for _, c := range cases {
+		got := m.Overlapping([]byte(c.start), []byte(c.end))
+		if len(got) != c.want {
+			t.Errorf("Overlapping(%q,%q) = %d ranges, want %d", c.start, c.end, len(got), c.want)
+		}
+	}
+	if got := m.Overlapping(nil, nil); len(got) != 3 {
+		t.Errorf("Overlapping(nil,nil) = %d, want 3", len(got))
+	}
+}
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	m, _ := NewMap([]string{"n1"})
+	v0 := m.Version()
+	m.Split([]byte("m"))
+	if m.Version() <= v0 {
+		t.Fatal("Split did not bump version")
+	}
+	v1 := m.Version()
+	m.SetReplicas([]byte("a"), []string{"n2"})
+	if m.Version() <= v1 {
+		t.Fatal("SetReplicas did not bump version")
+	}
+}
+
+// Property: after any sequence of splits, the map stays valid and
+// every key maps to exactly one range that contains it.
+func TestQuickSplitsPreserveInvariants(t *testing.T) {
+	f := func(points [][]byte, probes [][]byte) bool {
+		m, _ := NewMap([]string{"n1"})
+		for _, p := range points {
+			if len(p) == 0 {
+				continue
+			}
+			m.Split(p) // errors (duplicate boundary) are fine
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		for _, k := range probes {
+			rng := m.Lookup(k)
+			if !rng.Contains(k) {
+				return false
+			}
+			// Exactly one range must contain k.
+			n := 0
+			for _, r := range m.Ranges() {
+				if r.Contains(k) {
+					n++
+				}
+			}
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- router tests ---
+
+type testCluster struct {
+	transport *rpc.LocalTransport
+	dir       *cluster.Directory
+	router    *Router
+	nodes     map[string]*cluster.Node
+}
+
+func newTestCluster(t testing.TB, ids ...string) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		transport: rpc.NewLocalTransport(),
+		dir:       cluster.NewDirectory(clock.NewVirtual(time.Unix(0, 0))),
+		nodes:     make(map[string]*cluster.Node),
+	}
+	tc.router = NewRouter(tc.transport, tc.dir)
+	for i, id := range ids {
+		e, err := storage.Open(storage.Options{NodeID: uint16(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		n := cluster.NewNode(id, e)
+		tc.nodes[id] = n
+		tc.transport.Register("addr-"+id, n)
+		tc.dir.Join(id, "addr-"+id)
+		tc.dir.MarkUp(id)
+	}
+	return tc
+}
+
+func TestRouterPutGet(t *testing.T) {
+	tc := newTestCluster(t, "n1", "n2")
+	m, _ := NewMap([]string{"n1", "n2"})
+	tc.router.SetMap("users", m)
+
+	ver, replicas, err := tc.router.Put("users", []byte("alice"), []byte("profile"))
+	if err != nil || ver == 0 {
+		t.Fatalf("Put: %v ver=%d", err, ver)
+	}
+	if len(replicas) != 2 || replicas[0] != "n1" {
+		t.Fatalf("replicas = %v", replicas)
+	}
+	// Write landed only on the primary.
+	v, _, found, err := tc.router.GetFrom("users", "n1", []byte("alice"))
+	if err != nil || !found || string(v) != "profile" {
+		t.Fatalf("GetFrom primary: %q %v %v", v, found, err)
+	}
+	_, _, found, _ = tc.router.GetFrom("users", "n2", []byte("alice"))
+	if found {
+		t.Fatal("write synchronously appeared on secondary (should be async)")
+	}
+	// Primary reads see it.
+	v, _, found, err = tc.router.Get("users", []byte("alice"), ReadPrimary)
+	if err != nil || !found || string(v) != "profile" {
+		t.Fatalf("Get primary: %q %v %v", v, found, err)
+	}
+}
+
+func TestRouterApplyPropagates(t *testing.T) {
+	tc := newTestCluster(t, "n1", "n2")
+	m, _ := NewMap([]string{"n1", "n2"})
+	tc.router.SetMap("users", m)
+
+	ver, _, err := tc.router.Put("users", []byte("k"), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []record.Record{{Key: []byte("k"), Value: []byte("v"), Version: ver}}
+	if err := tc.router.Apply("users", "n2", recs); err != nil {
+		t.Fatal(err)
+	}
+	v, gotVer, found, err := tc.router.GetFrom("users", "n2", []byte("k"))
+	if err != nil || !found || string(v) != "v" || gotVer != ver {
+		t.Fatalf("after apply: %q ver=%d found=%v err=%v", v, gotVer, found, err)
+	}
+}
+
+func TestRouterFailover(t *testing.T) {
+	tc := newTestCluster(t, "n1", "n2")
+	m, _ := NewMap([]string{"n1", "n2"})
+	tc.router.SetMap("users", m)
+	ver, _, _ := tc.router.Put("users", []byte("k"), []byte("v"))
+	// Replicate so both hold it.
+	tc.router.Apply("users", "n2", []record.Record{{Key: []byte("k"), Value: []byte("v"), Version: ver}})
+
+	// Kill the primary: ReadAny must fail over to n2.
+	tc.transport.SetDown("addr-n1", true)
+	v, _, found, err := tc.router.Get("users", []byte("k"), ReadAny)
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("failover read: %q %v %v", v, found, err)
+	}
+	// Writes need the primary: they must fail... unless the directory
+	// still lists it up but transport unreachable.
+	if _, _, err := tc.router.Put("users", []byte("k2"), []byte("v2")); err == nil {
+		t.Fatal("write succeeded with primary down")
+	}
+	// Down in the directory too: skip without calling.
+	tc.dir.MarkDown("n1")
+	if _, _, err := tc.router.Put("users", []byte("k3"), []byte("v3")); err == nil {
+		t.Fatal("write succeeded with primary marked down")
+	}
+	// Both replicas down: reads fail.
+	tc.dir.MarkDown("n2")
+	if _, _, _, err := tc.router.Get("users", []byte("k"), ReadAny); err == nil {
+		t.Fatal("read succeeded with all replicas down")
+	}
+}
+
+func TestRouterScanAcrossPartitions(t *testing.T) {
+	tc := newTestCluster(t, "n1", "n2")
+	m, _ := NewMap([]string{"n1"})
+	m.Split([]byte("k-50"))
+	m.SetReplicas([]byte("k-99"), []string{"n2"})
+	tc.router.SetMap("ns", m)
+
+	// Load each partition's node with its share.
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("k-%02d", i))
+		if _, _, err := tc.router.Put("ns", key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := tc.router.Scan("ns", []byte("k-40"), []byte("k-60"), 100, ReadPrimary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("scan returned %d records, want 20", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if bytes.Compare(recs[i-1].Key, recs[i].Key) >= 0 {
+			t.Fatal("cross-partition scan out of order")
+		}
+	}
+	// Limit is respected across partitions.
+	recs, err = tc.router.Scan("ns", []byte("k-40"), []byte("k-60"), 7, ReadPrimary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 {
+		t.Fatalf("limited scan returned %d records, want 7", len(recs))
+	}
+	// Unbounded scans are rejected.
+	if _, err := tc.router.Scan("ns", nil, nil, 0, ReadPrimary); err == nil {
+		t.Fatal("unbounded scan accepted")
+	}
+}
+
+func TestRouterUnknownNamespace(t *testing.T) {
+	tc := newTestCluster(t, "n1")
+	if _, _, _, err := tc.router.Get("ghost", []byte("k"), ReadAny); err == nil {
+		t.Fatal("unknown namespace accepted")
+	}
+}
+
+func TestReplicaOrderRotates(t *testing.T) {
+	tc := newTestCluster(t, "n1", "n2", "n3")
+	replicas := []string{"n1", "n2", "n3"}
+	seenFirst := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		order := tc.router.replicaOrder(replicas, ReadAny)
+		if len(order) != 3 {
+			t.Fatal("order lost replicas")
+		}
+		seenFirst[order[0]] = true
+	}
+	if len(seenFirst) != 3 {
+		t.Fatalf("ReadAny never rotated: %v", seenFirst)
+	}
+	order := tc.router.replicaOrder(replicas, ReadPrimary)
+	if order[0] != "n1" {
+		t.Fatal("ReadPrimary does not start at primary")
+	}
+}

@@ -1,0 +1,268 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"scads/internal/cluster"
+	"scads/internal/record"
+	"scads/internal/rpc"
+)
+
+// ReadPolicy selects which replica serves reads.
+type ReadPolicy int
+
+const (
+	// ReadAny rotates across replicas — the default relaxed-consistency
+	// read path (stale reads possible within the declared bound).
+	ReadAny ReadPolicy = iota
+	// ReadPrimary always reads the primary — used when the
+	// consistency spec demands read-your-writes without session state
+	// or serializable access.
+	ReadPrimary
+)
+
+// ErrNoReplicaAvailable is returned when every replica of the target
+// range is down or unreachable.
+var ErrNoReplicaAvailable = errors.New("partition: no replica available")
+
+// Router maps (namespace, key) to replica groups and performs the
+// client-side request fan-out. Safe for concurrent use.
+type Router struct {
+	transport rpc.Transport
+	dir       *cluster.Directory
+
+	mu   sync.RWMutex
+	maps map[string]*Map
+
+	rr atomic.Uint64 // round-robin counter for ReadAny
+}
+
+// NewRouter returns a Router resolving node addresses through dir and
+// calling through transport.
+func NewRouter(transport rpc.Transport, dir *cluster.Directory) *Router {
+	return &Router{transport: transport, dir: dir, maps: make(map[string]*Map)}
+}
+
+// SetMap installs the partition map for a namespace.
+func (r *Router) SetMap(namespace string, m *Map) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maps[namespace] = m
+}
+
+// Map returns the partition map for a namespace.
+func (r *Router) Map(namespace string) (*Map, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.maps[namespace]
+	return m, ok
+}
+
+// Namespaces lists namespaces with installed maps.
+func (r *Router) Namespaces() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.maps))
+	for ns := range r.maps {
+		out = append(out, ns)
+	}
+	return out
+}
+
+func (r *Router) mapFor(namespace string) (*Map, error) {
+	m, ok := r.Map(namespace)
+	if !ok {
+		return nil, fmt.Errorf("partition: no map for namespace %q", namespace)
+	}
+	return m, nil
+}
+
+// addrOf resolves a node ID to its address if the node is serving.
+func (r *Router) addrOf(nodeID string) (string, bool) {
+	m, ok := r.dir.Get(nodeID)
+	if !ok || m.Status != cluster.StatusUp {
+		return "", false
+	}
+	return m.Addr, true
+}
+
+// Get reads key, trying replicas according to policy with failover.
+// It returns the value, its version, and whether it was found.
+func (r *Router) Get(namespace string, key []byte, policy ReadPolicy) ([]byte, uint64, bool, error) {
+	m, err := r.mapFor(namespace)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	rng := m.Lookup(key)
+	order := r.replicaOrder(rng.Replicas, policy)
+	req := rpc.Request{Method: rpc.MethodGet, Namespace: namespace, Key: key}
+	for _, id := range order {
+		addr, ok := r.addrOf(id)
+		if !ok {
+			continue
+		}
+		resp, err := r.transport.Call(addr, req)
+		if err != nil {
+			continue // failover to the next replica
+		}
+		if e := resp.Error(); e != nil {
+			return nil, 0, false, e
+		}
+		return resp.Value, resp.Version, resp.Found, nil
+	}
+	return nil, 0, false, ErrNoReplicaAvailable
+}
+
+// GetFrom reads key from one specific replica (used by session
+// guarantees to pin reads and by experiments that measure staleness).
+func (r *Router) GetFrom(namespace, nodeID string, key []byte) ([]byte, uint64, bool, error) {
+	addr, ok := r.addrOf(nodeID)
+	if !ok {
+		return nil, 0, false, ErrNoReplicaAvailable
+	}
+	resp, err := r.transport.Call(addr, rpc.Request{Method: rpc.MethodGet, Namespace: namespace, Key: key})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if e := resp.Error(); e != nil {
+		return nil, 0, false, e
+	}
+	return resp.Value, resp.Version, resp.Found, nil
+}
+
+// Put writes to the primary replica of key's range and returns the
+// assigned version together with the replica group, so the caller can
+// schedule asynchronous propagation to the remaining replicas.
+func (r *Router) Put(namespace string, key, value []byte) (version uint64, replicas []string, err error) {
+	return r.write(namespace, key, value, rpc.MethodPut)
+}
+
+// Delete tombstones key on the primary replica.
+func (r *Router) Delete(namespace string, key []byte) (version uint64, replicas []string, err error) {
+	return r.write(namespace, key, nil, rpc.MethodDelete)
+}
+
+func (r *Router) write(namespace string, key, value []byte, method string) (uint64, []string, error) {
+	m, err := r.mapFor(namespace)
+	if err != nil {
+		return 0, nil, err
+	}
+	rng := m.Lookup(key)
+	primary := rng.Replicas[0]
+	addr, ok := r.addrOf(primary)
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: primary %s down", ErrNoReplicaAvailable, primary)
+	}
+	resp, err := r.transport.Call(addr, rpc.Request{Method: method, Namespace: namespace, Key: key, Value: value})
+	if err != nil {
+		return 0, nil, err
+	}
+	if e := resp.Error(); e != nil {
+		return 0, nil, e
+	}
+	return resp.Version, rng.Replicas, nil
+}
+
+// Apply delivers pre-versioned records to one specific node (the
+// replication pump's send path).
+func (r *Router) Apply(namespace, nodeID string, recs []record.Record) error {
+	addr, ok := r.addrOf(nodeID)
+	if !ok {
+		return ErrNoReplicaAvailable
+	}
+	resp, err := r.transport.Call(addr, rpc.Request{Method: rpc.MethodApply, Namespace: namespace, Records: recs})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// Scan performs a bounded range read across however many partitions
+// [start, end) spans, in key order, up to limit records. The analyzer
+// guarantees bounded plans, so the partition fan-out is a small
+// constant.
+func (r *Router) Scan(namespace string, start, end []byte, limit int, policy ReadPolicy) ([]record.Record, error) {
+	if limit <= 0 {
+		return nil, errors.New("partition: scan requires a positive limit (scale independence)")
+	}
+	m, err := r.mapFor(namespace)
+	if err != nil {
+		return nil, err
+	}
+	var out []record.Record
+	for _, rng := range m.Overlapping(start, end) {
+		if len(out) >= limit {
+			break
+		}
+		s, e := maxKey(start, rng.Start), minKey(end, rng.End)
+		recs, err := r.scanRange(namespace, rng, s, e, limit-len(out), policy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+func (r *Router) scanRange(namespace string, rng Range, start, end []byte, limit int, policy ReadPolicy) ([]record.Record, error) {
+	req := rpc.Request{Method: rpc.MethodScan, Namespace: namespace, Start: start, End: end, Limit: limit}
+	for _, id := range r.replicaOrder(rng.Replicas, policy) {
+		addr, ok := r.addrOf(id)
+		if !ok {
+			continue
+		}
+		resp, err := r.transport.Call(addr, req)
+		if err != nil {
+			continue
+		}
+		if e := resp.Error(); e != nil {
+			return nil, e
+		}
+		return resp.Records, nil
+	}
+	return nil, ErrNoReplicaAvailable
+}
+
+// replicaOrder returns the replica IDs in the order reads should try
+// them.
+func (r *Router) replicaOrder(replicas []string, policy ReadPolicy) []string {
+	if policy == ReadPrimary || len(replicas) == 1 {
+		return replicas
+	}
+	n := len(replicas)
+	off := int(r.rr.Add(1)) % n
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, replicas[(off+i)%n])
+	}
+	return out
+}
+
+func maxKey(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if string(a) >= string(b) {
+		return a
+	}
+	return b
+}
+
+func minKey(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if string(a) <= string(b) {
+		return a
+	}
+	return b
+}

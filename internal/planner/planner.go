@@ -1,0 +1,732 @@
+// Package planner compiles analyzer-accepted query templates into
+// physical artifacts (paper §3.2): the materialized indices/views each
+// query reads, the bounded range-scan plan that executes it, and the
+// table of index-maintenance triggers — Figure 3 of the paper — that
+// tells the update path exactly which structures to refresh when a
+// base table changes.
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scads/internal/analyzer"
+	"scads/internal/keycodec"
+	"scads/internal/query"
+	"scads/internal/row"
+)
+
+// Namespace naming conventions.
+const (
+	tablePrefix = "tbl."
+	indexPrefix = "idx."
+)
+
+// TableNamespace returns the storage namespace holding a base table.
+func TableNamespace(table string) string { return tablePrefix + table }
+
+// KeyCol is one component of an index or table key.
+type KeyCol struct {
+	// Source is the effective table name within the query ("f", "p");
+	// for table-scoped structures it is the table name itself.
+	Source string
+	Column string
+	// Desc marks ORDER BY ... DESC columns, stored complement-encoded
+	// so forward scans yield descending order.
+	Desc bool
+}
+
+// ProjectCol names one stored/output column.
+type ProjectCol struct {
+	Source string
+	Column string
+}
+
+// IndexDef describes one materialized index or join view.
+type IndexDef struct {
+	Name      string
+	Namespace string
+	// ServesQuery is the query this index answers ("" for auxiliary
+	// reverse indexes shared by maintenance).
+	ServesQuery string
+	Aux         bool
+
+	// Driving is the base table whose rows drive entries; DrivingEff
+	// is its effective name inside the query.
+	Driving    string
+	DrivingEff string
+
+	// Looked is the join's right table ("" for single-table indexes).
+	Looked       string
+	LookedEff    string
+	JoinLeftCol  string // driving column equated to the looked key
+	JoinRightCol string // looked PK (or PK-prefix) column
+	LookedFanout int    // 1 = full-PK join
+
+	KeyCols []KeyCol
+	Project []ProjectCol
+}
+
+// AccessKind is how a plan reads data.
+type AccessKind int
+
+// Access paths. All of them touch a bounded contiguous key range.
+const (
+	AccessPKGet AccessKind = iota
+	AccessTableScan
+	AccessIndexScan
+)
+
+// String implements fmt.Stringer.
+func (a AccessKind) String() string {
+	switch a {
+	case AccessPKGet:
+		return "pk-get"
+	case AccessTableScan:
+		return "table-scan"
+	case AccessIndexScan:
+		return "index-scan"
+	default:
+		return fmt.Sprintf("access(%d)", int(a))
+	}
+}
+
+// Binding supplies one key element at execution time: either a named
+// template parameter or a literal fixed in the query text.
+type Binding struct {
+	Param   string
+	Literal any
+}
+
+// RangeBinding is the optional inequality on the column right after
+// the equality prefix.
+type RangeBinding struct {
+	Op   query.CompareOp
+	Bind Binding
+	Desc bool
+}
+
+// Plan is the executable form of one query template.
+type Plan struct {
+	Query string
+	Shape analyzer.Shape
+
+	Access    AccessKind
+	Namespace string
+	Index     *IndexDef // nil for base-table access
+	Table     *query.TableDef
+
+	// KeyCols is the key layout of the access path; EqBindings bind
+	// its leading columns.
+	KeyCols    []KeyCol
+	EqBindings []Binding
+	Range      *RangeBinding
+
+	Limit int
+	// Project applies to the stored row at read time (base accesses
+	// store the full base row; index accesses store the pre-projected
+	// output row, so Project is empty for them).
+	Project []ProjectCol
+}
+
+// Output groups everything compilation produces.
+type Output struct {
+	Plans   map[string]*Plan
+	Indexes []*IndexDef // in deterministic order, aux indexes last
+	// Maintenance is the Figure 3 table.
+	Maintenance []MaintenanceEntry
+}
+
+// MaintenanceEntry is one row of the paper's Figure 3: when Field of
+// Table changes, Index must be updated.
+type MaintenanceEntry struct {
+	Index string
+	Table string
+	Field string
+}
+
+// Compile plans every accepted query in the schema.
+func Compile(s *query.Schema, results map[string]*analyzer.Result) (*Output, error) {
+	out := &Output{Plans: make(map[string]*Plan)}
+	indexByName := map[string]*IndexDef{}
+	var order []string
+
+	addIndex := func(def *IndexDef) {
+		if _, ok := indexByName[def.Name]; ok {
+			return
+		}
+		indexByName[def.Name] = def
+		order = append(order, def.Name)
+	}
+
+	for _, name := range s.QueryOrder {
+		res, ok := results[name]
+		if !ok {
+			continue // rejected by the analyzer
+		}
+		plan, defs, err := compileOne(s, res)
+		if err != nil {
+			return nil, err
+		}
+		out.Plans[name] = plan
+		for _, d := range defs {
+			addIndex(d)
+		}
+	}
+
+	// Queries first, aux structures after, stable within each group.
+	sort.SliceStable(order, func(i, j int) bool {
+		return !indexByName[order[i]].Aux && indexByName[order[j]].Aux
+	})
+	for _, n := range order {
+		out.Indexes = append(out.Indexes, indexByName[n])
+	}
+	out.Maintenance = maintenanceTable(out.Indexes)
+	return out, nil
+}
+
+func compileOne(s *query.Schema, res *analyzer.Result) (*Plan, []*IndexDef, error) {
+	q := res.Query
+	switch res.Shape {
+	case analyzer.ShapePKLookup:
+		return compilePKLookup(res)
+	case analyzer.ShapeIndexScan:
+		return compileSingleTable(res)
+	case analyzer.ShapeJoinView:
+		return compileJoinView(s, res)
+	default:
+		return nil, nil, fmt.Errorf("planner: query %s: unknown shape %v", q.Name, res.Shape)
+	}
+}
+
+func compilePKLookup(res *analyzer.Result) (*Plan, []*IndexDef, error) {
+	q := res.Query
+	t := res.Driving
+	plan := &Plan{
+		Query:     q.Name,
+		Shape:     res.Shape,
+		Access:    AccessPKGet,
+		Namespace: TableNamespace(t.Name),
+		Table:     t,
+		Limit:     q.Limit,
+		Project:   projectFor(q, q.From.Name(), t),
+	}
+	// Bind PK columns in PK order.
+	byCol := predsByColumn(res.EqPreds)
+	for _, pk := range t.PrimaryKey {
+		p := byCol[pk]
+		plan.KeyCols = append(plan.KeyCols, KeyCol{Source: q.From.Name(), Column: pk})
+		plan.EqBindings = append(plan.EqBindings, bindingOf(p))
+	}
+	return plan, nil, nil
+}
+
+func compileSingleTable(res *analyzer.Result) (*Plan, []*IndexDef, error) {
+	q := res.Query
+	t := res.Driving
+	eff := q.From.Name()
+
+	// Can the base table serve it? The equality columns must be a PK
+	// prefix (in some order), the range/first-order column must be the
+	// next PK column, any further order columns must continue the PK,
+	// and everything must be ascending.
+	if plan, ok := tryBaseScan(res); ok {
+		return plan, nil, nil
+	}
+
+	def := &IndexDef{
+		Name:        "idx_" + q.Name,
+		ServesQuery: q.Name,
+		Driving:     t.Name,
+		DrivingEff:  eff,
+	}
+	def.Namespace = indexPrefix + def.Name
+	def.KeyCols = buildKeyCols(res, eff, t, nil, nil)
+	def.Project = projectFor(q, eff, t)
+
+	plan := &Plan{
+		Query:     q.Name,
+		Shape:     res.Shape,
+		Access:    AccessIndexScan,
+		Namespace: def.Namespace,
+		Index:     def,
+		Table:     t,
+		KeyCols:   def.KeyCols,
+		Limit:     q.Limit,
+	}
+	var err error
+	plan.EqBindings, plan.Range, err = bindKey(res, plan.KeyCols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, []*IndexDef{def}, nil
+}
+
+func compileJoinView(s *query.Schema, res *analyzer.Result) (*Plan, []*IndexDef, error) {
+	q := res.Query
+	driving, looked := res.Driving, res.Looked
+	dEff, lEff := q.From.Name(), q.Join.Right.Name()
+
+	left, right := q.Join.LeftCol, q.Join.RightCol
+	if left.Qualifier != dEff { // reversed spelling
+		left, right = right, left
+	}
+
+	def := &IndexDef{
+		Name:         "view_" + q.Name,
+		ServesQuery:  q.Name,
+		Driving:      driving.Name,
+		DrivingEff:   dEff,
+		Looked:       looked.Name,
+		LookedEff:    lEff,
+		JoinLeftCol:  left.Column,
+		JoinRightCol: right.Column,
+		LookedFanout: res.LookedFanout,
+	}
+	def.Namespace = indexPrefix + def.Name
+	def.KeyCols = buildKeyCols(res, dEff, driving, looked, &lEff)
+	var err error
+	def.Project, err = joinProject(q, dEff, lEff, driving, looked)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	defs := []*IndexDef{def}
+	// Maintenance on a looked-table change needs all driving rows with
+	// leftCol = key. If leftCol is not the driving PK's first column,
+	// synthesize a reverse index.
+	if len(driving.PrimaryKey) == 0 || driving.PrimaryKey[0] != left.Column {
+		rev := reverseIndex(driving, left.Column)
+		defs = append(defs, rev)
+	}
+
+	plan := &Plan{
+		Query:     q.Name,
+		Shape:     res.Shape,
+		Access:    AccessIndexScan,
+		Namespace: def.Namespace,
+		Index:     def,
+		Table:     driving,
+		KeyCols:   def.KeyCols,
+		Limit:     q.Limit,
+	}
+	plan.EqBindings, plan.Range, err = bindKey(res, plan.KeyCols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, defs, nil
+}
+
+// ReverseIndexName names the auxiliary reverse index for
+// table.column.
+func ReverseIndexName(table, column string) string {
+	return "rev_" + table + "_" + column
+}
+
+func reverseIndex(t *query.TableDef, col string) *IndexDef {
+	def := &IndexDef{
+		Name:       ReverseIndexName(t.Name, col),
+		Aux:        true,
+		Driving:    t.Name,
+		DrivingEff: t.Name,
+	}
+	def.Namespace = indexPrefix + def.Name
+	def.KeyCols = []KeyCol{{Source: t.Name, Column: col}}
+	for _, pk := range t.PrimaryKey {
+		if pk != col {
+			def.KeyCols = append(def.KeyCols, KeyCol{Source: t.Name, Column: pk})
+		}
+	}
+	for _, c := range t.Columns {
+		def.Project = append(def.Project, ProjectCol{Source: t.Name, Column: c.Name})
+	}
+	return def
+}
+
+// buildKeyCols assembles the key layout: equality prefix, then order
+// (or range) columns, then whatever primary-key columns are needed for
+// uniqueness.
+func buildKeyCols(res *analyzer.Result, dEff string, driving *query.TableDef, looked *query.TableDef, lEff *string) []KeyCol {
+	var key []KeyCol
+	have := map[string]bool{}
+	add := func(src, col string, desc bool) {
+		id := src + "." + col
+		if have[id] {
+			return
+		}
+		have[id] = true
+		key = append(key, KeyCol{Source: src, Column: col, Desc: desc})
+	}
+	for _, p := range res.EqPreds {
+		add(dEff, p.Col.Column, false)
+	}
+	if len(res.OrderCols) > 0 {
+		for _, o := range res.OrderCols {
+			src := o.Col.Qualifier
+			if src == "" {
+				src = dEff
+			}
+			add(src, o.Col.Column, o.Desc)
+		}
+	} else if res.RangePred != nil {
+		add(dEff, res.RangePred.Col.Column, false)
+	}
+	for _, pk := range driving.PrimaryKey {
+		add(dEff, pk, false)
+	}
+	if looked != nil && res.LookedFanout > 1 {
+		for _, pk := range looked.PrimaryKey {
+			add(*lEff, pk, false)
+		}
+	}
+	return key
+}
+
+// bindKey produces the equality bindings (and optional range binding)
+// for the leading key columns.
+func bindKey(res *analyzer.Result, keyCols []KeyCol) ([]Binding, *RangeBinding, error) {
+	byCol := predsByColumn(res.EqPreds)
+	var eq []Binding
+	i := 0
+	for ; i < len(keyCols); i++ {
+		p, ok := byCol[keyCols[i].Column]
+		if !ok {
+			break
+		}
+		eq = append(eq, bindingOf(p))
+	}
+	if len(eq) != len(res.EqPreds) {
+		return nil, nil, fmt.Errorf("planner: query %s: equality predicates do not form the key prefix", res.Query.Name)
+	}
+	var rb *RangeBinding
+	if res.RangePred != nil {
+		if i >= len(keyCols) || keyCols[i].Column != res.RangePred.Col.Column {
+			return nil, nil, fmt.Errorf("planner: query %s: range column %s is not adjacent to the equality prefix",
+				res.Query.Name, res.RangePred.Col)
+		}
+		rb = &RangeBinding{Op: res.RangePred.Op, Bind: bindingOf(*res.RangePred), Desc: keyCols[i].Desc}
+	}
+	return eq, rb, nil
+}
+
+// tryBaseScan checks whether the base table's PK order already serves
+// the query.
+func tryBaseScan(res *analyzer.Result) (*Plan, bool) {
+	q := res.Query
+	t := res.Driving
+	eff := q.From.Name()
+	byCol := predsByColumn(res.EqPreds)
+
+	n := 0 // matched PK prefix length
+	var eq []Binding
+	for _, pk := range t.PrimaryKey {
+		p, ok := byCol[pk]
+		if !ok {
+			break
+		}
+		eq = append(eq, bindingOf(p))
+		n++
+	}
+	if n != len(res.EqPreds) {
+		return nil, false // some equality column is not in the PK prefix
+	}
+	next := n
+	var rng *RangeBinding
+	if res.RangePred != nil {
+		if next >= len(t.PrimaryKey) || t.PrimaryKey[next] != res.RangePred.Col.Column {
+			return nil, false
+		}
+		rng = &RangeBinding{Op: res.RangePred.Op, Bind: bindingOf(*res.RangePred)}
+		next++
+	}
+	for i, o := range res.OrderCols {
+		if o.Desc {
+			return nil, false // base rows are stored ascending
+		}
+		// The first order column may coincide with the range column.
+		if res.RangePred != nil && i == 0 && o.Col.Column == res.RangePred.Col.Column {
+			continue
+		}
+		if next >= len(t.PrimaryKey) || t.PrimaryKey[next] != o.Col.Column {
+			return nil, false
+		}
+		next++
+	}
+
+	var keyCols []KeyCol
+	for _, pk := range t.PrimaryKey {
+		keyCols = append(keyCols, KeyCol{Source: eff, Column: pk})
+	}
+	return &Plan{
+		Query:      q.Name,
+		Shape:      res.Shape,
+		Access:     AccessTableScan,
+		Namespace:  TableNamespace(t.Name),
+		Table:      t,
+		KeyCols:    keyCols,
+		EqBindings: eq,
+		Range:      rng,
+		Limit:      q.Limit,
+		Project:    projectFor(q, eff, t),
+	}, true
+}
+
+func predsByColumn(preds []query.Predicate) map[string]query.Predicate {
+	m := make(map[string]query.Predicate, len(preds))
+	for _, p := range preds {
+		m[p.Col.Column] = p
+	}
+	return m
+}
+
+func bindingOf(p query.Predicate) Binding {
+	if p.IsParam {
+		return Binding{Param: p.Param}
+	}
+	return Binding{Literal: p.Literal}
+}
+
+// projectFor expands a single-table SELECT list into concrete columns.
+func projectFor(q *query.QueryDef, eff string, t *query.TableDef) []ProjectCol {
+	if len(q.Select) == 0 {
+		out := make([]ProjectCol, len(t.Columns))
+		for i, c := range t.Columns {
+			out[i] = ProjectCol{Source: eff, Column: c.Name}
+		}
+		return out
+	}
+	var out []ProjectCol
+	for _, c := range q.Select {
+		if c.Column == "*" {
+			for _, col := range t.Columns {
+				out = append(out, ProjectCol{Source: eff, Column: col.Name})
+			}
+			continue
+		}
+		src := c.Qualifier
+		if src == "" {
+			src = eff
+		}
+		out = append(out, ProjectCol{Source: src, Column: c.Column})
+	}
+	return out
+}
+
+// joinProject expands a join SELECT list, checking for output-name
+// collisions.
+func joinProject(q *query.QueryDef, dEff, lEff string, driving, looked *query.TableDef) ([]ProjectCol, error) {
+	tableOf := func(eff string) *query.TableDef {
+		if eff == dEff {
+			return driving
+		}
+		return looked
+	}
+	var out []ProjectCol
+	if len(q.Select) == 0 {
+		return nil, fmt.Errorf("planner: query %s: SELECT * is ambiguous in a join; qualify as %s.* or %s.*", q.Name, dEff, lEff)
+	}
+	for _, c := range q.Select {
+		if c.Column == "*" {
+			t := tableOf(c.Qualifier)
+			for _, col := range t.Columns {
+				out = append(out, ProjectCol{Source: c.Qualifier, Column: col.Name})
+			}
+			continue
+		}
+		src := c.Qualifier
+		out = append(out, ProjectCol{Source: src, Column: c.Column})
+	}
+	seen := map[string]string{}
+	for _, pc := range out {
+		if prev, dup := seen[pc.Column]; dup && prev != pc.Source {
+			return nil, fmt.Errorf("planner: query %s: output column %q selected from both %s and %s",
+				q.Name, pc.Column, prev, pc.Source)
+		}
+		seen[pc.Column] = pc.Source
+	}
+	return out, nil
+}
+
+// maintenanceTable derives the Figure 3 rows from the index set: for
+// each index, which (table, field) changes trigger its maintenance.
+// Fields are the key-contributing columns (matching the paper's
+// pointer-style indices); the runtime additionally refreshes stored
+// values on projected-field changes, which has identical asymptotics.
+func maintenanceTable(indexes []*IndexDef) []MaintenanceEntry {
+	var out []MaintenanceEntry
+	seen := map[string]bool{}
+	add := func(e MaintenanceEntry) {
+		id := e.Index + "|" + e.Table + "|" + e.Field
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, e)
+		}
+	}
+	for _, def := range indexes {
+		// Driving side: inserts/deletes always restructure the index.
+		add(MaintenanceEntry{Index: def.Name, Table: def.Driving, Field: "*"})
+		if def.Looked == "" || def.Looked == def.Driving {
+			// A self-join's looked side is already covered by the
+			// driving side's "*" row.
+			continue
+		}
+		// Looked side: key-affecting fields only.
+		var fields []string
+		for _, kc := range def.KeyCols {
+			if kc.Source == def.LookedEff {
+				fields = append(fields, kc.Column)
+			}
+		}
+		if len(fields) == 0 {
+			add(MaintenanceEntry{Index: def.Name, Table: def.Looked, Field: "*"})
+			continue
+		}
+		for _, f := range fields {
+			add(MaintenanceEntry{Index: def.Name, Table: def.Looked, Field: f})
+		}
+	}
+	return out
+}
+
+// FormatMaintenanceTable renders the Figure 3 table.
+func FormatMaintenanceTable(entries []MaintenanceEntry) string {
+	var b strings.Builder
+	wIdx, wTbl := len("Index"), len("Table")
+	for _, e := range entries {
+		if len(e.Index) > wIdx {
+			wIdx = len(e.Index)
+		}
+		if len(e.Table) > wTbl {
+			wTbl = len(e.Table)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-*s  %s\n", wIdx, "Index", wTbl, "Table", "Field")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-*s  %-*s  %s\n", wIdx, e.Index, wTbl, e.Table, e.Field)
+	}
+	return b.String()
+}
+
+// --- key encoding shared by the executor and the view engine ---
+
+// EncodeEntryKey builds an index entry's key from the source rows
+// (effective name → row).
+func EncodeEntryKey(def *IndexDef, rows map[string]row.Row) ([]byte, error) {
+	var key []byte
+	var err error
+	for _, kc := range def.KeyCols {
+		r, ok := rows[kc.Source]
+		if !ok {
+			return nil, fmt.Errorf("planner: index %s: no row for source %q", def.Name, kc.Source)
+		}
+		v, ok := r[kc.Column]
+		if !ok {
+			return nil, fmt.Errorf("planner: index %s: row for %q lacks column %q", def.Name, kc.Source, kc.Column)
+		}
+		if kc.Desc {
+			key, err = keycodec.AppendDesc(key, v)
+		} else {
+			key, err = keycodec.Append(key, v)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return key, nil
+}
+
+// BuildEntryValue materialises the index entry's stored row.
+func BuildEntryValue(def *IndexDef, rows map[string]row.Row) (row.Row, error) {
+	out := make(row.Row, len(def.Project))
+	for _, pc := range def.Project {
+		r, ok := rows[pc.Source]
+		if !ok {
+			return nil, fmt.Errorf("planner: index %s: no row for source %q", def.Name, pc.Source)
+		}
+		v, ok := r[pc.Column]
+		if !ok {
+			return nil, fmt.Errorf("planner: index %s: row for %q lacks column %q", def.Name, pc.Source, pc.Column)
+		}
+		out[pc.Column] = v
+	}
+	return out, nil
+}
+
+// ComputeBounds resolves a plan's bindings against the caller's
+// parameters and returns the [start, end) scan range.
+func ComputeBounds(p *Plan, params map[string]any) (start, end []byte, err error) {
+	var prefix []byte
+	for i, b := range p.EqBindings {
+		v, err := resolveBinding(b, params)
+		if err != nil {
+			return nil, nil, fmt.Errorf("planner: query %s: %w", p.Query, err)
+		}
+		if p.KeyCols[i].Desc {
+			prefix, err = keycodec.AppendDesc(prefix, v)
+		} else {
+			prefix, err = keycodec.Append(prefix, v)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if p.Range == nil {
+		if len(prefix) == 0 {
+			return nil, nil, nil // full (LIMIT-bounded) scan
+		}
+		return prefix, keycodec.PrefixEnd(prefix), nil
+	}
+
+	v, err := resolveBinding(p.Range.Bind, params)
+	if err != nil {
+		return nil, nil, fmt.Errorf("planner: query %s: %w", p.Query, err)
+	}
+	var bound []byte
+	if p.Range.Desc {
+		bound, err = keycodec.AppendDesc(append([]byte(nil), prefix...), v)
+	} else {
+		bound, err = keycodec.Append(append([]byte(nil), prefix...), v)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	op := p.Range.Op
+	if p.Range.Desc {
+		// Complement encoding flips the comparison direction.
+		switch op {
+		case query.OpLt:
+			op = query.OpGt
+		case query.OpLe:
+			op = query.OpGe
+		case query.OpGt:
+			op = query.OpLt
+		case query.OpGe:
+			op = query.OpLe
+		}
+	}
+	switch op {
+	case query.OpGe:
+		return bound, keycodec.PrefixEnd(prefix), nil
+	case query.OpGt:
+		return keycodec.PrefixEnd(bound), keycodec.PrefixEnd(prefix), nil
+	case query.OpLt:
+		return prefix, bound, nil
+	case query.OpLe:
+		return prefix, keycodec.PrefixEnd(bound), nil
+	default:
+		return nil, nil, fmt.Errorf("planner: query %s: unexpected range op %v", p.Query, op)
+	}
+}
+
+func resolveBinding(b Binding, params map[string]any) (any, error) {
+	if b.Param == "" {
+		return b.Literal, nil
+	}
+	v, ok := params[b.Param]
+	if !ok {
+		return nil, fmt.Errorf("missing parameter %q", b.Param)
+	}
+	return row.Normalize(v), nil
+}

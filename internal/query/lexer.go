@@ -1,0 +1,125 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // single-quoted literal, quotes stripped
+	tokParam  // ?name, the '?' stripped
+	tokPunct  // ( ) , . * = < <= > >= ;
+)
+
+type tokenQL struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t tokenQL) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// isKeyword reports whether the token is the given keyword
+// (case-insensitive).
+func (t tokenQL) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func lexQL(src string) ([]tokenQL, error) {
+	var toks []tokenQL
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '\'' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("query: line %d: newline in string literal", line)
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("query: line %d: unterminated string literal", line)
+			}
+			toks = append(toks, tokenQL{tokString, sb.String(), line})
+			i = j + 1
+		case c == '?':
+			j := i + 1
+			for j < len(src) && isIdentChar(rune(src[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("query: line %d: '?' must be followed by a parameter name", line)
+			}
+			toks = append(toks, tokenQL{tokParam, src[i+1 : j], line})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, tokenQL{tokPunct, src[i : i+2], line})
+				i += 2
+			} else {
+				toks = append(toks, tokenQL{tokPunct, string(c), line})
+				i++
+			}
+		case strings.ContainsRune("(),.*=;", rune(c)):
+			toks = append(toks, tokenQL{tokPunct, string(c), line})
+			i++
+		case c >= '0' && c <= '9' || c == '-':
+			j := i
+			if c == '-' {
+				j++
+			}
+			hasDigit := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				if src[j] != '.' {
+					hasDigit = true
+				}
+				j++
+			}
+			if !hasDigit {
+				return nil, fmt.Errorf("query: line %d: stray %q", line, c)
+			}
+			toks = append(toks, tokenQL{tokNumber, src[i:j], line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && isIdentChar(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, tokenQL{tokIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, tokenQL{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,522 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scads/internal/row"
+)
+
+// Parse reads a scadsQL program (ENTITY and QUERY statements) and
+// returns the declared schema. Table and column references are
+// resolved and validated; scale-independence analysis happens later in
+// the analyzer.
+func Parse(src string) (*Schema, error) {
+	toks, err := lexQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qlParser{toks: toks}
+	s := &Schema{
+		Tables:  make(map[string]*TableDef),
+		Queries: make(map[string]*QueryDef),
+	}
+	for !p.at(tokEOF) {
+		switch {
+		case p.peek().isKeyword("ENTITY"):
+			t, err := p.entity()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := s.Tables[t.Name]; dup {
+				return nil, fmt.Errorf("query: entity %q declared twice", t.Name)
+			}
+			s.Tables[t.Name] = t
+			s.TableOrder = append(s.TableOrder, t.Name)
+		case p.peek().isKeyword("QUERY"):
+			q, err := p.query()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := s.Queries[q.Name]; dup {
+				return nil, fmt.Errorf("query: query %q declared twice", q.Name)
+			}
+			s.Queries[q.Name] = q
+			s.QueryOrder = append(s.QueryOrder, q.Name)
+		default:
+			return nil, fmt.Errorf("query: line %d: expected ENTITY or QUERY, got %s", p.peek().line, p.peek())
+		}
+	}
+	if err := s.resolve(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse for statically known programs; panics on error.
+func MustParse(src string) *Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type qlParser struct {
+	toks []tokenQL
+	pos  int
+}
+
+func (p *qlParser) peek() tokenQL { return p.toks[p.pos] }
+func (p *qlParser) at(k tokenKind) bool {
+	return p.peek().kind == k
+}
+func (p *qlParser) next() tokenQL {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *qlParser) expectPunct(text string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != text {
+		return fmt.Errorf("query: line %d: expected %q, got %s", t.line, text, t)
+	}
+	return nil
+}
+
+func (p *qlParser) expectKeyword(kw string) error {
+	t := p.next()
+	if !t.isKeyword(kw) {
+		return fmt.Errorf("query: line %d: expected %s, got %s", t.line, kw, t)
+	}
+	return nil
+}
+
+func (p *qlParser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("query: line %d: expected identifier, got %s", t.line, t)
+	}
+	return t.text, nil
+}
+
+// entity := ENTITY name ( item ("," item)* )
+// item   := col type [PRIMARY KEY] | PRIMARY KEY (cols) | CARDINALITY col N
+func (p *qlParser) entity() (*TableDef, error) {
+	p.next() // ENTITY
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := &TableDef{Name: name, Cardinality: make(map[string]int)}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peek().isKeyword("PRIMARY"):
+			p.next()
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				t.PrimaryKey = append(t.PrimaryKey, col)
+				if p.peek().kind == tokPunct && p.peek().text == "," {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		case p.peek().isKeyword("CARDINALITY"):
+			p.next()
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			numTok := p.next()
+			if numTok.kind != tokNumber {
+				return nil, fmt.Errorf("query: line %d: CARDINALITY needs a number, got %s", numTok.line, numTok)
+			}
+			n, err := strconv.Atoi(numTok.text)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("query: line %d: bad cardinality %q", numTok.line, numTok.text)
+			}
+			if _, dup := t.Cardinality[col]; dup {
+				return nil, fmt.Errorf("query: line %d: duplicate CARDINALITY for %q", numTok.line, col)
+			}
+			t.Cardinality[col] = n
+		default:
+			colName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typeName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ty, err := row.ParseType(strings.ToLower(typeName))
+			if err != nil {
+				return nil, fmt.Errorf("query: entity %s, column %s: %w", name, colName, err)
+			}
+			if _, dup := t.Column(colName); dup {
+				return nil, fmt.Errorf("query: entity %s: duplicate column %q", name, colName)
+			}
+			t.Columns = append(t.Columns, row.Column{Name: colName, Type: ty})
+			if p.peek().isKeyword("PRIMARY") {
+				p.next()
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				if len(t.PrimaryKey) > 0 {
+					return nil, fmt.Errorf("query: entity %s: multiple primary keys", name)
+				}
+				t.PrimaryKey = []string{colName}
+			}
+		}
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if len(t.PrimaryKey) == 0 {
+		return nil, fmt.Errorf("query: entity %s has no primary key", name)
+	}
+	for _, pk := range t.PrimaryKey {
+		if _, ok := t.Column(pk); !ok {
+			return nil, fmt.Errorf("query: entity %s: primary key column %q not declared", name, pk)
+		}
+	}
+	for col := range t.Cardinality {
+		if _, ok := t.Column(col); !ok {
+			return nil, fmt.Errorf("query: entity %s: cardinality on unknown column %q", name, col)
+		}
+	}
+	return t, nil
+}
+
+// query := QUERY name SELECT select FROM ref [JOIN ref ON col = col]
+//
+//	[WHERE pred (AND pred)*] [ORDER BY col [DESC] (, col [DESC])*]
+//	LIMIT n
+func (p *qlParser) query() (*QueryDef, error) {
+	p.next() // QUERY
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q := &QueryDef{Name: name}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == "*" {
+		p.next()
+	} else {
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, c)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	q.From, err = p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().isKeyword("JOIN") {
+		p.next()
+		right, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		rightCol, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		q.Join = &JoinClause{Right: right, LeftCol: left, RightCol: rightCol}
+	}
+	if p.peek().isKeyword("WHERE") {
+		p.next()
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if p.peek().isKeyword("AND") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().isKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			oc := OrderCol{Col: c}
+			if p.peek().isKeyword("DESC") {
+				p.next()
+				oc.Desc = true
+			} else if p.peek().isKeyword("ASC") {
+				p.next()
+			}
+			q.OrderBy = append(q.OrderBy, oc)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("LIMIT"); err != nil {
+		return nil, fmt.Errorf("query %s: every query must declare a LIMIT (scale independence): %w", name, err)
+	}
+	limTok := p.next()
+	if limTok.kind != tokNumber {
+		return nil, fmt.Errorf("query: line %d: LIMIT needs a number", limTok.line)
+	}
+	lim, err := strconv.Atoi(limTok.text)
+	if err != nil || lim <= 0 {
+		return nil, fmt.Errorf("query: line %d: bad LIMIT %q", limTok.line, limTok.text)
+	}
+	q.Limit = lim
+	return q, nil
+}
+
+func (p *qlParser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	// An optional alias is a bare identifier that is not a keyword
+	// continuing the statement.
+	if p.at(tokIdent) && !isReserved(p.peek().text) {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func isReserved(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SELECT", "FROM", "JOIN", "ON", "WHERE", "AND", "ORDER", "BY",
+		"LIMIT", "DESC", "ASC", "ENTITY", "QUERY", "PRIMARY", "KEY", "CARDINALITY":
+		return true
+	}
+	return false
+}
+
+// colRef := ident [. (ident | *)]
+func (p *qlParser) colRef() (ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == "." {
+		p.next()
+		if p.peek().kind == tokPunct && p.peek().text == "*" {
+			p.next()
+			return ColRef{Qualifier: first, Column: "*"}, nil
+		}
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: first, Column: col}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *qlParser) predicate() (Predicate, error) {
+	col, err := p.colRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	opTok := p.next()
+	var op CompareOp
+	switch opTok.text {
+	case "=":
+		op = OpEq
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return Predicate{}, fmt.Errorf("query: line %d: expected comparison operator, got %s", opTok.line, opTok)
+	}
+	pred := Predicate{Col: col, Op: op}
+	v := p.next()
+	switch v.kind {
+	case tokParam:
+		pred.IsParam = true
+		pred.Param = v.text
+	case tokString:
+		pred.Literal = v.text
+	case tokNumber:
+		if strings.Contains(v.text, ".") {
+			f, err := strconv.ParseFloat(v.text, 64)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("query: line %d: bad number %q", v.line, v.text)
+			}
+			pred.Literal = f
+		} else {
+			n, err := strconv.ParseInt(v.text, 10, 64)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("query: line %d: bad number %q", v.line, v.text)
+			}
+			pred.Literal = n
+		}
+	case tokIdent:
+		switch strings.ToLower(v.text) {
+		case "true":
+			pred.Literal = true
+		case "false":
+			pred.Literal = false
+		default:
+			return Predicate{}, fmt.Errorf("query: line %d: expected parameter or literal, got %s", v.line, v)
+		}
+	default:
+		return Predicate{}, fmt.Errorf("query: line %d: expected parameter or literal, got %s", v.line, v)
+	}
+	return pred, nil
+}
+
+// resolve validates all table/column references in the schema's
+// queries.
+func (s *Schema) resolve() error {
+	for _, qName := range s.QueryOrder {
+		q := s.Queries[qName]
+		scope := map[string]*TableDef{}
+		from, ok := s.Tables[q.From.Table]
+		if !ok {
+			return fmt.Errorf("query %s: unknown table %q", q.Name, q.From.Table)
+		}
+		scope[q.From.Name()] = from
+		if q.Join != nil {
+			right, ok := s.Tables[q.Join.Right.Table]
+			if !ok {
+				return fmt.Errorf("query %s: unknown join table %q", q.Name, q.Join.Right.Table)
+			}
+			if _, dup := scope[q.Join.Right.Name()]; dup {
+				return fmt.Errorf("query %s: duplicate table name/alias %q", q.Name, q.Join.Right.Name())
+			}
+			scope[q.Join.Right.Name()] = right
+			for _, c := range []ColRef{q.Join.LeftCol, q.Join.RightCol} {
+				if err := s.checkCol(q, scope, c, false); err != nil {
+					return err
+				}
+			}
+		}
+		for _, c := range q.Select {
+			if err := s.checkCol(q, scope, c, true); err != nil {
+				return err
+			}
+		}
+		for _, p := range q.Where {
+			if err := s.checkCol(q, scope, p.Col, false); err != nil {
+				return err
+			}
+		}
+		for _, o := range q.OrderBy {
+			if err := s.checkCol(q, scope, o.Col, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schema) checkCol(q *QueryDef, scope map[string]*TableDef, c ColRef, allowStar bool) error {
+	if c.Qualifier == "" {
+		if len(scope) > 1 {
+			return fmt.Errorf("query %s: column %q must be qualified in a join", q.Name, c.Column)
+		}
+		for _, t := range scope {
+			if c.Column == "*" && allowStar {
+				return nil
+			}
+			if _, ok := t.Column(c.Column); !ok {
+				return fmt.Errorf("query %s: unknown column %q in table %q", q.Name, c.Column, t.Name)
+			}
+		}
+		return nil
+	}
+	t, ok := scope[c.Qualifier]
+	if !ok {
+		return fmt.Errorf("query %s: unknown qualifier %q", q.Name, c.Qualifier)
+	}
+	if c.Column == "*" {
+		if !allowStar {
+			return fmt.Errorf("query %s: %s.* not allowed here", q.Name, c.Qualifier)
+		}
+		return nil
+	}
+	if _, ok := t.Column(c.Column); !ok {
+		return fmt.Errorf("query %s: unknown column %q in table %q", q.Name, c.Column, t.Table())
+	}
+	return nil
+}
+
+// Table returns the table name (helper for error messages).
+func (t *TableDef) Table() string { return t.Name }
+
+// ResolveTable maps an effective name (alias or table) used in q to
+// its TableDef.
+func (s *Schema) ResolveTable(q *QueryDef, effectiveName string) (*TableDef, bool) {
+	if q.From.Name() == effectiveName {
+		t, ok := s.Tables[q.From.Table]
+		return t, ok
+	}
+	if q.Join != nil && q.Join.Right.Name() == effectiveName {
+		t, ok := s.Tables[q.Join.Right.Table]
+		return t, ok
+	}
+	return nil, false
+}

@@ -1,0 +1,152 @@
+// Package record defines the versioned key-value record that flows
+// through every layer of the SCADS storage stack (memtable, WAL,
+// SSTable, replication). A record carries a logical version used for
+// last-write-wins resolution and staleness accounting, and a tombstone
+// flag so deletions propagate through lazy replication like any other
+// write (paper §3.3).
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record is a single versioned key-value entry.
+type Record struct {
+	// Key is the order-preserving encoded key (see internal/keycodec).
+	Key []byte
+	// Value is the opaque payload; empty for tombstones.
+	Value []byte
+	// Version is a logical timestamp. Higher versions win under
+	// last-write-wins. SCADS uses hybrid versions: wall-clock
+	// nanoseconds from the node's clock, tie-broken by node ID bits.
+	Version uint64
+	// Tombstone marks a deletion.
+	Tombstone bool
+}
+
+// Clone returns a deep copy of r.
+func (r Record) Clone() Record {
+	c := Record{Version: r.Version, Tombstone: r.Tombstone}
+	if r.Key != nil {
+		c.Key = append([]byte(nil), r.Key...)
+	}
+	if r.Value != nil {
+		c.Value = append([]byte(nil), r.Value...)
+	}
+	return c
+}
+
+// Supersedes reports whether r should replace other under
+// last-write-wins (strictly newer version wins; ties favour the
+// tombstone so deletes are sticky, then larger value for determinism).
+func (r Record) Supersedes(other Record) bool {
+	if r.Version != other.Version {
+		return r.Version > other.Version
+	}
+	if r.Tombstone != other.Tombstone {
+		return r.Tombstone
+	}
+	return string(r.Value) > string(other.Value)
+}
+
+// ErrCorrupt is returned when a serialized record fails validation.
+var ErrCorrupt = errors.New("record: corrupt encoding")
+
+const (
+	flagTombstone byte = 1 << 0
+)
+
+// AppendBinary serializes r to dst in the framed format used by the
+// WAL and SSTable blocks:
+//
+//	crc32(payload) uint32 | payloadLen uint32 | payload
+//	payload = flags byte | version uint64 | keyLen uvarint | key |
+//	          valLen uvarint | value
+func (r Record) AppendBinary(dst []byte) []byte {
+	payload := make([]byte, 0, 1+8+2*binary.MaxVarintLen64+len(r.Key)+len(r.Value))
+	var flags byte
+	if r.Tombstone {
+		flags |= flagTombstone
+	}
+	payload = append(payload, flags)
+	payload = binary.BigEndian.AppendUint64(payload, r.Version)
+	payload = binary.AppendUvarint(payload, uint64(len(r.Key)))
+	payload = append(payload, r.Key...)
+	payload = binary.AppendUvarint(payload, uint64(len(r.Value)))
+	payload = append(payload, r.Value...)
+
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// DecodeBinary decodes one framed record from b, returning the record
+// and the remaining bytes.
+func DecodeBinary(b []byte) (Record, []byte, error) {
+	if len(b) < 8 {
+		return Record{}, nil, fmt.Errorf("record: short frame header (%d bytes): %w", len(b), ErrCorrupt)
+	}
+	wantCRC := binary.BigEndian.Uint32(b[:4])
+	n := binary.BigEndian.Uint32(b[4:8])
+	if uint32(len(b)-8) < n {
+		return Record{}, nil, fmt.Errorf("record: truncated payload (want %d have %d): %w", n, len(b)-8, ErrCorrupt)
+	}
+	payload := b[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return Record{}, nil, fmt.Errorf("record: checksum mismatch: %w", ErrCorrupt)
+	}
+	rest := b[8+n:]
+
+	if len(payload) < 9 {
+		return Record{}, nil, ErrCorrupt
+	}
+	var r Record
+	r.Tombstone = payload[0]&flagTombstone != 0
+	r.Version = binary.BigEndian.Uint64(payload[1:9])
+	p := payload[9:]
+
+	klen, m := binary.Uvarint(p)
+	if m <= 0 || uint64(len(p)-m) < klen {
+		return Record{}, nil, ErrCorrupt
+	}
+	p = p[m:]
+	r.Key = append([]byte(nil), p[:klen]...)
+	p = p[klen:]
+
+	vlen, m := binary.Uvarint(p)
+	if m <= 0 || uint64(len(p)-m) < vlen {
+		return Record{}, nil, ErrCorrupt
+	}
+	p = p[m:]
+	if uint64(len(p)) != vlen {
+		return Record{}, nil, ErrCorrupt
+	}
+	r.Value = append([]byte(nil), p[:vlen]...)
+	return r, rest, nil
+}
+
+// EncodedSize returns the number of bytes AppendBinary will emit for r.
+func (r Record) EncodedSize() int {
+	payload := 1 + 8 +
+		uvarintLen(uint64(len(r.Key))) + len(r.Key) +
+		uvarintLen(uint64(len(r.Value))) + len(r.Value)
+	return 8 + payload
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// MemSize estimates the in-memory footprint of r, used for memtable
+// flush thresholds.
+func (r Record) MemSize() int {
+	return len(r.Key) + len(r.Value) + 32
+}

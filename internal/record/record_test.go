@@ -1,0 +1,152 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendDecodeRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Key: []byte("k"), Value: []byte("v"), Version: 1},
+		{Key: []byte("key2"), Value: nil, Version: 42, Tombstone: true},
+		{Key: []byte{}, Value: []byte{}, Version: 0},
+		{Key: bytes.Repeat([]byte{0xAB}, 300), Value: bytes.Repeat([]byte{0xCD}, 5000), Version: 1 << 60},
+	}
+	for i, r := range cases {
+		enc := r.AppendBinary(nil)
+		if len(enc) != r.EncodedSize() {
+			t.Errorf("case %d: EncodedSize = %d, actual %d", i, r.EncodedSize(), len(enc))
+		}
+		got, rest, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("case %d: %d leftover bytes", i, len(rest))
+		}
+		if !bytes.Equal(got.Key, r.Key) || !bytes.Equal(got.Value, r.Value) ||
+			got.Version != r.Version || got.Tombstone != r.Tombstone {
+			t.Errorf("case %d: round trip mismatch: got %+v want %+v", i, got, r)
+		}
+	}
+}
+
+func TestDecodeMultiple(t *testing.T) {
+	var buf []byte
+	recs := []Record{
+		{Key: []byte("a"), Value: []byte("1"), Version: 1},
+		{Key: []byte("b"), Value: []byte("2"), Version: 2},
+		{Key: []byte("c"), Version: 3, Tombstone: true},
+	}
+	for _, r := range recs {
+		buf = r.AppendBinary(buf)
+	}
+	for i := 0; len(buf) > 0; i++ {
+		r, rest, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r.Key, recs[i].Key) {
+			t.Errorf("record %d: key %q want %q", i, r.Key, recs[i].Key)
+		}
+		buf = rest
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	r := Record{Key: []byte("key"), Value: []byte("value"), Version: 7}
+	enc := r.AppendBinary(nil)
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, _, err := DecodeBinary(bad); err == nil {
+		t.Error("bit flip not detected")
+	}
+
+	// Truncations at every length must fail, never panic.
+	for n := 0; n < len(enc); n++ {
+		if _, _, err := DecodeBinary(enc[:n]); err == nil {
+			t.Errorf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestSupersedes(t *testing.T) {
+	a := Record{Key: []byte("k"), Value: []byte("a"), Version: 1}
+	b := Record{Key: []byte("k"), Value: []byte("b"), Version: 2}
+	if !b.Supersedes(a) || a.Supersedes(b) {
+		t.Error("higher version must supersede")
+	}
+	// Tie: tombstone wins.
+	del := Record{Key: []byte("k"), Version: 2, Tombstone: true}
+	if !del.Supersedes(b) || b.Supersedes(del) {
+		t.Error("tombstone must win version ties")
+	}
+	// Tie without tombstone: larger value for determinism.
+	c := Record{Key: []byte("k"), Value: []byte("c"), Version: 2}
+	if !c.Supersedes(b) || b.Supersedes(c) {
+		t.Error("deterministic tie-break failed")
+	}
+	// Identical records do not supersede themselves.
+	if a.Supersedes(a) {
+		t.Error("record supersedes itself")
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := Record{Key: []byte("k"), Value: []byte("v"), Version: 9, Tombstone: true}
+	c := r.Clone()
+	c.Key[0] = 'x'
+	c.Value[0] = 'y'
+	if r.Key[0] != 'k' || r.Value[0] != 'v' {
+		t.Error("Clone shares backing arrays")
+	}
+	if c.Version != 9 || !c.Tombstone {
+		t.Error("Clone dropped fields")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(key, value []byte, version uint64, tomb bool) bool {
+		r := Record{Key: key, Value: value, Version: version, Tombstone: tomb}
+		got, rest, err := DecodeBinary(r.AppendBinary(nil))
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return bytes.Equal(got.Key, key) && bytes.Equal(got.Value, value) &&
+			got.Version == version && got.Tombstone == tomb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _, _ = DecodeBinary(junk) // must not panic
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendBinary(b *testing.B) {
+	r := Record{Key: []byte("user:12345:profile"), Value: bytes.Repeat([]byte("x"), 256), Version: 99}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.AppendBinary(nil)
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	r := Record{Key: []byte("user:12345:profile"), Value: bytes.Repeat([]byte("x"), 256), Version: 99}
+	enc := r.AppendBinary(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = DecodeBinary(enc)
+	}
+}

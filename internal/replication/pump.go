@@ -1,0 +1,250 @@
+package replication
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/record"
+)
+
+// ApplyFunc delivers pre-versioned records to one node. The router's
+// Apply method satisfies this.
+type ApplyFunc func(namespace, nodeID string, recs []record.Record) error
+
+// Stats summarise pump activity.
+type Stats struct {
+	Enqueued   int64
+	Delivered  int64
+	Violations int64 // delivered after their deadline
+	Failures   int64 // delivery attempts that errored
+	Dropped    int64 // gave up after MaxAttempts
+	Pending    int
+}
+
+// Pump drains the update queue, delivering each update to its target
+// replica. It can run as a background goroutine pool (Run) or be
+// driven synchronously by a simulation loop (Drain).
+type Pump struct {
+	queue   *Queue
+	apply   ApplyFunc
+	clk     clock.Clock
+	tracker *Tracker
+
+	// MaxAttempts bounds redelivery of a failing update. Default 5.
+	MaxAttempts int
+	// RetryBackoff delays requeued updates' deadlines by this much so
+	// a dead target does not monopolise the queue head. Default 100ms.
+	RetryBackoff time.Duration
+
+	enqueued   atomic.Int64
+	delivered  atomic.Int64
+	violations atomic.Int64
+	failures   atomic.Int64
+	dropped    atomic.Int64
+
+	mu          sync.Mutex
+	parked      []parkedUpdate // failed deliveries awaiting retry
+	violationNS map[string]int64
+	stopped     bool
+	wg          sync.WaitGroup
+	stopCh      chan struct{}
+}
+
+type parkedUpdate struct {
+	u       Update
+	retryAt time.Time
+}
+
+// NewPump returns a pump draining queue through apply.
+func NewPump(queue *Queue, apply ApplyFunc, clk clock.Clock) *Pump {
+	return &Pump{
+		queue:        queue,
+		apply:        apply,
+		clk:          clk,
+		tracker:      NewTracker(clk),
+		MaxAttempts:  5,
+		RetryBackoff: 100 * time.Millisecond,
+		violationNS:  make(map[string]int64),
+		stopCh:       make(chan struct{}),
+	}
+}
+
+// Tracker exposes the pump's staleness tracker.
+func (p *Pump) Tracker() *Tracker { return p.tracker }
+
+// Queue exposes the pump's queue (for metrics and the director).
+func (p *Pump) Queue() *Queue { return p.queue }
+
+// Enqueue schedules rec for delivery to each target with the given
+// staleness bound. The write was accepted now; every target must see
+// it by now+bound.
+func (p *Pump) Enqueue(namespace string, rec record.Record, targets []string, bound time.Duration) {
+	now := p.clk.Now()
+	deadline := now.Add(bound)
+	for _, target := range targets {
+		u := Update{
+			Namespace:  namespace,
+			Rec:        rec,
+			Target:     target,
+			Deadline:   deadline,
+			EnqueuedAt: now,
+		}
+		p.queue.Push(u)
+		p.tracker.pending(namespace, target, u.EnqueuedAt)
+		p.enqueued.Add(1)
+	}
+}
+
+// Drain synchronously processes up to maxOps updates and returns how
+// many it attempted. Simulation loops call this once per tick with the
+// tick's delivery budget, which models the replication bandwidth of
+// the cluster.
+func (p *Pump) Drain(maxOps int) int {
+	p.unparkReady()
+	n := 0
+	for n < maxOps {
+		u, ok := p.queue.Pop()
+		if !ok {
+			return n
+		}
+		p.deliver(u)
+		n++
+	}
+	return n
+}
+
+// unparkReady moves parked retries whose backoff has elapsed back into
+// the queue.
+func (p *Pump) unparkReady() {
+	now := p.clk.Now()
+	p.mu.Lock()
+	var still []parkedUpdate
+	var ready []Update
+	for _, pu := range p.parked {
+		if pu.retryAt.After(now) {
+			still = append(still, pu)
+		} else {
+			ready = append(ready, pu.u)
+		}
+	}
+	p.parked = still
+	p.mu.Unlock()
+	for _, u := range ready {
+		p.queue.Push(u)
+	}
+}
+
+// Run starts workers background goroutines that drain the queue until
+// Stop is called. Intended for real (non-simulated) deployments.
+func (p *Pump) Run(workers int) {
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.stopCh:
+					return
+				default:
+				}
+				p.unparkReady()
+				u, ok := p.queue.Pop()
+				if !ok {
+					select {
+					case <-p.stopCh:
+						return
+					case <-p.clk.After(5 * time.Millisecond):
+					}
+					continue
+				}
+				p.deliver(u)
+			}
+		}()
+	}
+}
+
+// Stop terminates Run workers and waits for them.
+func (p *Pump) Stop() {
+	p.mu.Lock()
+	if !p.stopped {
+		p.stopped = true
+		close(p.stopCh)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pump) deliver(u Update) {
+	u.Attempts++
+	err := p.apply(u.Namespace, u.Target, []record.Record{u.Rec})
+	if err != nil {
+		p.failures.Add(1)
+		if u.Attempts >= p.MaxAttempts {
+			p.dropped.Add(1)
+			p.tracker.done(u.Namespace, u.Target, u.EnqueuedAt)
+			return
+		}
+		// Park the update until its backoff elapses so a dead target
+		// cannot monopolise the queue head and starve deliverable
+		// updates.
+		backoff := p.RetryBackoff * time.Duration(u.Attempts)
+		p.mu.Lock()
+		p.parked = append(p.parked, parkedUpdate{u: u, retryAt: p.clk.Now().Add(backoff)})
+		p.mu.Unlock()
+		return
+	}
+	p.delivered.Add(1)
+	if p.clk.Now().After(u.Deadline) {
+		p.violations.Add(1)
+		p.mu.Lock()
+		p.violationNS[u.Namespace]++
+		p.mu.Unlock()
+	}
+	p.tracker.done(u.Namespace, u.Target, u.EnqueuedAt)
+}
+
+// AtRisk counts undelivered updates — queued or parked awaiting a
+// retry — whose deadline falls within margin of now. This is the
+// §3.3.2 "in danger of getting behind schedule" signal the director
+// consumes; parked updates count because a severed replica link parks
+// every delivery while its deadlines keep approaching.
+func (p *Pump) AtRisk(margin time.Duration) int {
+	now := p.clk.Now()
+	n := p.queue.AtRisk(now, margin)
+	limit := now.Add(margin)
+	p.mu.Lock()
+	for _, pu := range p.parked {
+		if !pu.u.Deadline.After(limit) {
+			n++
+		}
+	}
+	p.mu.Unlock()
+	return n
+}
+
+// ViolationsFor reports deadline violations for one namespace — the
+// per-staleness-class measurement the E8 experiment compares across
+// queue disciplines.
+func (p *Pump) ViolationsFor(namespace string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.violationNS[namespace]
+}
+
+// Stats returns a snapshot of pump counters. Pending includes parked
+// retries.
+func (p *Pump) Stats() Stats {
+	p.mu.Lock()
+	parked := len(p.parked)
+	p.mu.Unlock()
+	return Stats{
+		Enqueued:   p.enqueued.Load(),
+		Delivered:  p.delivered.Load(),
+		Violations: p.violations.Load(),
+		Failures:   p.failures.Load(),
+		Dropped:    p.dropped.Load(),
+		Pending:    p.queue.Len() + parked,
+	}
+}

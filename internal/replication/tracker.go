@@ -1,0 +1,140 @@
+package replication
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"scads/internal/clock"
+)
+
+// Tracker maintains per-(namespace, replica) staleness watermarks: the
+// oldest accepted-but-undelivered write determines how stale a replica
+// may be. The consistency layer consults it to decide whether a read
+// from a given replica can violate the declared staleness bound — the
+// paper's rule that "a client query would stall until the updates can
+// be confirmed" when a bound is at risk.
+type Tracker struct {
+	clk clock.Clock
+
+	mu   sync.Mutex
+	keys map[trackKey]*pendingSet
+}
+
+type trackKey struct {
+	namespace string
+	node      string
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker(clk clock.Clock) *Tracker {
+	return &Tracker{clk: clk, keys: make(map[trackKey]*pendingSet)}
+}
+
+func (t *Tracker) pending(namespace, node string, enqueuedAt time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := trackKey{namespace, node}
+	ps, ok := t.keys[k]
+	if !ok {
+		ps = &pendingSet{live: make(map[int64]int)}
+		t.keys[k] = ps
+	}
+	ps.add(enqueuedAt)
+}
+
+func (t *Tracker) done(namespace, node string, enqueuedAt time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps, ok := t.keys[trackKey{namespace, node}]; ok {
+		ps.remove(enqueuedAt)
+	}
+}
+
+// Staleness returns an upper bound on how stale reads from node may be
+// for the namespace: the age of the oldest undelivered update, or zero
+// when the replica is fully caught up.
+func (t *Tracker) Staleness(namespace, node string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.keys[trackKey{namespace, node}]
+	if !ok {
+		return 0
+	}
+	oldest, ok := ps.min()
+	if !ok {
+		return 0
+	}
+	d := t.clk.Now().Sub(oldest)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// MaxStaleness returns the worst staleness across all replicas of the
+// namespace.
+func (t *Tracker) MaxStaleness(namespace string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var worst time.Duration
+	now := t.clk.Now()
+	for k, ps := range t.keys {
+		if k.namespace != namespace {
+			continue
+		}
+		if oldest, ok := ps.min(); ok {
+			if d := now.Sub(oldest); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// pendingSet is a multiset of enqueue times with O(log n) min via a
+// lazily pruned heap.
+type pendingSet struct {
+	h    timeHeap
+	live map[int64]int // unixNano -> outstanding count
+}
+
+func (ps *pendingSet) add(t time.Time) {
+	n := t.UnixNano()
+	ps.live[n]++
+	heap.Push(&ps.h, n)
+}
+
+func (ps *pendingSet) remove(t time.Time) {
+	n := t.UnixNano()
+	if c := ps.live[n]; c > 1 {
+		ps.live[n] = c - 1
+	} else {
+		delete(ps.live, n)
+	}
+}
+
+func (ps *pendingSet) min() (time.Time, bool) {
+	for ps.h.Len() > 0 {
+		top := ps.h[0]
+		if ps.live[top] > 0 {
+			return time.Unix(0, top), true
+		}
+		heap.Pop(&ps.h)
+	}
+	return time.Time{}, false
+}
+
+type timeHeap []int64
+
+func (h timeHeap) Len() int           { return len(h) }
+func (h timeHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h timeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *timeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

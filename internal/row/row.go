@@ -1,0 +1,218 @@
+// Package row defines the typed tuple layer of SCADS: schemas declare
+// tables with typed columns, rows are column-name → value maps, and a
+// binary codec turns rows into the opaque values the storage engine
+// holds. Index keys are built from rows with the order-preserving
+// keycodec, so "ORDER BY birthday" is just a byte-ordered scan.
+package row
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"scads/internal/keycodec"
+)
+
+// Type enumerates column types.
+type Type int
+
+// Supported column types.
+const (
+	String Type = iota
+	Int
+	Float
+	Bool
+	Time
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Time:
+		return "time"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// ParseType maps DDL type names to Types.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "string", "text", "varchar":
+		return String, nil
+	case "int", "integer", "bigint":
+		return Int, nil
+	case "float", "double":
+		return Float, nil
+	case "bool", "boolean":
+		return Bool, nil
+	case "time", "timestamp", "datetime":
+		return Time, nil
+	default:
+		return 0, fmt.Errorf("row: unknown type %q", s)
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Row is one tuple. Values must be string, int64, float64, bool or
+// time.Time according to the column type.
+type Row map[string]any
+
+// Clone returns a shallow copy (values are immutable types).
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	for k, v := range r {
+		c[k] = v
+	}
+	return c
+}
+
+// CheckType validates that v matches t.
+func CheckType(t Type, v any) error {
+	ok := false
+	switch t {
+	case String:
+		_, ok = v.(string)
+	case Int:
+		_, ok = v.(int64)
+	case Float:
+		_, ok = v.(float64)
+	case Bool:
+		_, ok = v.(bool)
+	case Time:
+		_, ok = v.(time.Time)
+	}
+	if !ok {
+		return fmt.Errorf("row: value %v (%T) does not match column type %s", v, v, t)
+	}
+	return nil
+}
+
+// Normalize widens Go literals into canonical row values (int → int64,
+// float32 → float64) so application code can pass natural types.
+func Normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case uint32:
+		return int64(x)
+	case float32:
+		return float64(x)
+	default:
+		return v
+	}
+}
+
+func init() {
+	gob.Register(time.Time{})
+}
+
+// Encode serializes r. Column order is canonicalised so equal rows
+// encode identically.
+func Encode(r Row) ([]byte, error) {
+	names := make([]string, 0, len(r))
+	for k := range r {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	flat := make([]any, 0, len(r)*2)
+	for _, n := range names {
+		flat = append(flat, n, r[n])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
+		return nil, fmt.Errorf("row: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a row produced by Encode.
+func Decode(b []byte) (Row, error) {
+	var flat []any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&flat); err != nil {
+		return nil, fmt.Errorf("row: decode: %w", err)
+	}
+	if len(flat)%2 != 0 {
+		return nil, fmt.Errorf("row: decode: odd element count %d", len(flat))
+	}
+	r := make(Row, len(flat)/2)
+	for i := 0; i < len(flat); i += 2 {
+		name, ok := flat[i].(string)
+		if !ok {
+			return nil, fmt.Errorf("row: decode: non-string column name %v", flat[i])
+		}
+		r[name] = flat[i+1]
+	}
+	return r, nil
+}
+
+// EncodeKey builds an order-preserving key from the named columns of r.
+func EncodeKey(r Row, cols []string) ([]byte, error) {
+	vals := make([]any, len(cols))
+	for i, c := range cols {
+		v, ok := r[c]
+		if !ok {
+			return nil, fmt.Errorf("row: key column %q missing from row", c)
+		}
+		vals[i] = v
+	}
+	return keycodec.Encode(vals...)
+}
+
+// Project returns a new row with only the named columns (all columns
+// when cols is empty).
+func Project(r Row, cols []string) Row {
+	if len(cols) == 0 {
+		return r.Clone()
+	}
+	out := make(Row, len(cols))
+	for _, c := range cols {
+		if v, ok := r[c]; ok {
+			out[c] = v
+		}
+	}
+	return out
+}
+
+// Equal reports deep equality of two rows (time values compared with
+// time.Time.Equal).
+func Equal(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			return false
+		}
+		ta, aIsTime := va.(time.Time)
+		tb, bIsTime := vb.(time.Time)
+		if aIsTime || bIsTime {
+			if !aIsTime || !bIsTime || !ta.Equal(tb) {
+				return false
+			}
+			continue
+		}
+		if va != vb {
+			return false
+		}
+	}
+	return true
+}

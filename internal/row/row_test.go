@@ -1,0 +1,203 @@
+package row
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := Row{
+		"id":     "user:42",
+		"age":    int64(30),
+		"score":  1.5,
+		"active": true,
+		"joined": time.Date(2008, 6, 1, 0, 0, 0, 0, time.UTC),
+	}
+	enc, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(r, got) {
+		t.Fatalf("round trip mismatch: %v vs %v", r, got)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	r1 := Row{"a": int64(1), "b": "x", "c": true}
+	r2 := Row{"c": true, "b": "x", "a": int64(1)}
+	e1, _ := Encode(r1)
+	e2, _ := Encode(r2)
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("equal rows encoded differently")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestCheckType(t *testing.T) {
+	ok := []struct {
+		t Type
+		v any
+	}{
+		{String, "s"}, {Int, int64(1)}, {Float, 1.5}, {Bool, true}, {Time, time.Now()},
+	}
+	for _, c := range ok {
+		if err := CheckType(c.t, c.v); err != nil {
+			t.Errorf("CheckType(%v, %v): %v", c.t, c.v, err)
+		}
+	}
+	bad := []struct {
+		t Type
+		v any
+	}{
+		{String, 1}, {Int, "1"}, {Int, 1}, {Float, int64(1)}, {Bool, "true"}, {Time, int64(0)},
+	}
+	for _, c := range bad {
+		if err := CheckType(c.t, c.v); err == nil {
+			t.Errorf("CheckType(%v, %T) accepted", c.t, c.v)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(5).(int64) != 5 {
+		t.Fatal("int not widened")
+	}
+	if Normalize(float32(1.5)).(float64) != 1.5 {
+		t.Fatal("float32 not widened")
+	}
+	if Normalize("s").(string) != "s" {
+		t.Fatal("string changed")
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for s, want := range map[string]Type{
+		"string": String, "text": String, "int": Int, "bigint": Int,
+		"float": Float, "bool": Bool, "time": Time, "timestamp": Time,
+	} {
+		got, err := ParseType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Fatal("unknown type parsed")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{String: "string", Int: "int", Float: "float", Bool: "bool", Time: "time"} {
+		if ty.String() != want {
+			t.Errorf("%v.String() = %q", ty, ty.String())
+		}
+	}
+}
+
+func TestEncodeKeyOrdering(t *testing.T) {
+	mk := func(user string, bday int64) []byte {
+		k, err := EncodeKey(Row{"user": user, "bday": bday}, []string{"user", "bday"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	a := mk("alice", 100)
+	b := mk("alice", 200)
+	c := mk("bob", 50)
+	if !(bytes.Compare(a, b) < 0 && bytes.Compare(b, c) < 0) {
+		t.Fatal("key ordering not lexicographic by column list")
+	}
+	if _, err := EncodeKey(Row{"user": "x"}, []string{"missing"}); err == nil {
+		t.Fatal("missing key column accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := Row{"a": int64(1), "b": "x", "c": true}
+	p := Project(r, []string{"a", "c"})
+	if len(p) != 2 || p["a"] != int64(1) || p["c"] != true {
+		t.Fatalf("Project = %v", p)
+	}
+	all := Project(r, nil)
+	if !Equal(all, r) {
+		t.Fatal("empty projection is not identity")
+	}
+	// Projection is a copy.
+	all["a"] = int64(9)
+	if r["a"] != int64(1) {
+		t.Fatal("Project shares storage")
+	}
+}
+
+func TestEqualTimes(t *testing.T) {
+	utc := time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+	other := utc.In(time.FixedZone("X", 3600))
+	if !Equal(Row{"t": utc}, Row{"t": other}) {
+		t.Fatal("equal instants in different zones not Equal")
+	}
+	if Equal(Row{"t": utc}, Row{"t": utc.Add(time.Second)}) {
+		t.Fatal("different instants Equal")
+	}
+	if Equal(Row{"t": utc}, Row{"t": "2009"}) {
+		t.Fatal("time equal to string")
+	}
+	if Equal(Row{"a": int64(1)}, Row{"b": int64(1)}) {
+		t.Fatal("different keys Equal")
+	}
+	if Equal(Row{"a": int64(1)}, Row{"a": int64(1), "b": int64(2)}) {
+		t.Fatal("different sizes Equal")
+	}
+}
+
+// Property: Encode/Decode round trip is identity for arbitrary typed
+// rows.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(s string, i int64, fl float64, b bool) bool {
+		r := Row{"s": s, "i": i, "f": fl, "b": b}
+		enc, err := Encode(r)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return Equal(r, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := Row{"id": "user:12345", "name": "Alice Smith", "birthday": int64(19840105), "active": true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	r := Row{"id": "user:12345", "name": "Alice Smith", "birthday": int64(19840105), "active": true}
+	enc, _ := Encode(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package rpc implements the SCADS wire protocol: a binary-framed,
+// gob-encoded request/response protocol over TCP, plus an in-process
+// transport with injectable latency used by the cluster simulator.
+//
+// The protocol is deliberately small — the paper's storage interface is
+// point get/put/delete, bounded range scan, and the replication apply
+// path. Every storage node, the router, and the replication pump speak
+// through the Transport interface, so experiments can swap real sockets
+// for simulated ones without touching any other layer.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"scads/internal/record"
+)
+
+// Method names understood by storage nodes.
+const (
+	MethodPing      = "ping"
+	MethodGet       = "get"
+	MethodPut       = "put"
+	MethodDelete    = "delete"
+	MethodScan      = "scan"
+	MethodApply     = "apply"     // replication: apply pre-versioned records
+	MethodDropRange = "droprange" // partition move cleanup
+	MethodStats     = "stats"
+)
+
+// Request is the single request envelope for all methods. Unused
+// fields stay at their zero values; gob encodes them compactly.
+type Request struct {
+	ID        uint64
+	Method    string
+	Namespace string
+
+	Key   []byte
+	Value []byte
+
+	Start []byte
+	End   []byte
+	Limit int
+
+	// Records carries pre-versioned writes for MethodApply.
+	Records []record.Record
+}
+
+// Response is the reply envelope.
+type Response struct {
+	ID    uint64
+	Err   string
+	Found bool
+
+	Value   []byte
+	Version uint64
+	Records []record.Record
+
+	// Stats payload (MethodStats).
+	RecordCount int64
+	QueueDepth  int
+}
+
+// ErrString converts an error to the wire representation.
+func ErrString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Error materialises the wire error, or nil.
+func (r *Response) Error() error {
+	if r.Err == "" {
+		return nil
+	}
+	return errors.New(r.Err)
+}
+
+// Handler processes one request. Implementations must be safe for
+// concurrent use.
+type Handler interface {
+	Serve(req Request) Response
+}
+
+// HandlerFunc adapts a function to a Handler.
+type HandlerFunc func(Request) Response
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(req Request) Response { return f(req) }
+
+// Transport delivers a request to the node at addr and returns its
+// response.
+type Transport interface {
+	Call(addr string, req Request) (Response, error)
+}
+
+// ErrUnreachable is returned when the destination node cannot be
+// reached (connection refused, node down in simulation, etc.).
+var ErrUnreachable = errors.New("rpc: node unreachable")
+
+// Unimplemented is a convenience response for unknown methods.
+func Unimplemented(req Request) Response {
+	return Response{ID: req.ID, Err: fmt.Sprintf("rpc: unknown method %q", req.Method)}
+}

@@ -1,0 +1,220 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server serves a Handler over TCP. One goroutine per connection;
+// requests on a connection are handled sequentially (clients pool
+// connections for parallelism, matching the simple 2009-era design).
+type Server struct {
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a Server dispatching to handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr ("host:port"; use
+// ":0" for an ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("rpc: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer
+		}
+		resp := s.handler.Serve(req)
+		resp.ID = req.ID
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// TCPTransport is a Transport over real sockets with a per-address
+// connection pool.
+type TCPTransport struct {
+	// Timeout bounds each call (dial + write + read). Default 5s.
+	Timeout time.Duration
+	// PoolSize bounds idle connections kept per address. Default 4.
+	PoolSize int
+
+	mu    sync.Mutex
+	pools map[string][]*tcpConn
+}
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	id   uint64
+}
+
+// NewTCPTransport returns a ready transport.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{Timeout: 5 * time.Second, PoolSize: 4, pools: make(map[string][]*tcpConn)}
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(addr string, req Request) (Response, error) {
+	c, err := t.acquire(addr)
+	if err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	deadline := time.Now().Add(t.timeout())
+	c.conn.SetDeadline(deadline)
+
+	c.id++
+	req.ID = c.id
+	if err := c.enc.Encode(&req); err != nil {
+		c.conn.Close()
+		return Response{}, fmt.Errorf("rpc: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.conn.Close()
+		if errors.Is(err, io.EOF) {
+			return Response{}, ErrUnreachable
+		}
+		return Response{}, fmt.Errorf("rpc: receive: %w", err)
+	}
+	if resp.ID != req.ID {
+		c.conn.Close()
+		return Response{}, errors.New("rpc: response ID mismatch")
+	}
+	t.release(addr, c)
+	return resp, nil
+}
+
+func (t *TCPTransport) timeout() time.Duration {
+	if t.Timeout > 0 {
+		return t.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (t *TCPTransport) acquire(addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	pool := t.pools[addr]
+	if n := len(pool); n > 0 {
+		c := pool[n-1]
+		t.pools[addr] = pool[:n-1]
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", addr, t.timeout())
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (t *TCPTransport) release(addr string, c *tcpConn) {
+	c.conn.SetDeadline(time.Time{})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.PoolSize
+	if size <= 0 {
+		size = 4
+	}
+	if len(t.pools[addr]) < size {
+		t.pools[addr] = append(t.pools[addr], c)
+		return
+	}
+	c.conn.Close()
+}
+
+// Close closes every pooled connection.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, pool := range t.pools {
+		for _, c := range pool {
+			c.conn.Close()
+		}
+	}
+	t.pools = make(map[string][]*tcpConn)
+	return nil
+}

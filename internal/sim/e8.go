@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/record"
+	"scads/internal/replication"
+)
+
+// E8Result carries the per-staleness-class violation counts of one E8
+// run (§3.3.2's deadline-queue experiment).
+type E8Result struct {
+	TightViolations int64 // 1s-bound updates delivered late
+	LooseViolations int64 // 60s-bound updates delivered late
+	Delivered       int64
+	MaxTightStale   time.Duration
+}
+
+// RunE8 drives the §3.3.2 experiment: 100 writes/s for 60 seconds —
+// half with a 1s staleness bound, half with 60s — against a pump that
+// can deliver only 80/s. Demand (100/s) exceeds capacity (80/s) during
+// the burst, so something must be late: the deadline discipline
+// sacrifices loose bounds to protect tight ones, while FIFO treats
+// them alike and violates both.
+func RunE8(order replication.Order, start time.Time) E8Result {
+	vc := clock.NewVirtual(start)
+	q := replication.NewQueue(order)
+	pump := replication.NewPump(q, func(ns, node string, recs []record.Record) error {
+		return nil
+	}, vc)
+	var res E8Result
+	ver := uint64(0)
+	for tick := 0; tick < 180; tick++ {
+		if tick < 60 {
+			for w := 0; w < 50; w++ {
+				ver++
+				pump.Enqueue("tight", record.Record{Key: []byte{1}, Version: ver}, []string{"r"}, time.Second)
+				ver++
+				pump.Enqueue("loose", record.Record{Key: []byte{2}, Version: ver}, []string{"r"}, time.Minute)
+			}
+		}
+		pump.Drain(80)
+		if st := pump.Tracker().Staleness("tight", "r"); st > res.MaxTightStale {
+			res.MaxTightStale = st
+		}
+		vc.Advance(time.Second)
+	}
+	for pump.Drain(1000) > 0 {
+	}
+	res.TightViolations = pump.ViolationsFor("tight")
+	res.LooseViolations = pump.ViolationsFor("loose")
+	res.Delivered = pump.Stats().Delivered
+	return res
+}

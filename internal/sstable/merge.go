@@ -1,0 +1,156 @@
+package sstable
+
+import (
+	"bytes"
+	"container/heap"
+
+	"scads/internal/record"
+)
+
+// MergeOptions configure a compaction.
+type MergeOptions struct {
+	// DropTombstones removes deletion markers from the output. Only
+	// safe for a full (major) compaction where no older table could
+	// still hold a value the tombstone shadows.
+	DropTombstones bool
+}
+
+// Merge compacts the given tables into a single new table at outPath.
+// When the same key appears in multiple inputs, the record from the
+// lower-numbered (newer) source wins ties after last-write-wins
+// version comparison. Inputs must each be internally sorted; sources
+// are ordered newest first, matching the storage engine's table stack.
+func Merge(outPath string, opts MergeOptions, sources ...*Reader) (*Reader, error) {
+	w, err := NewWriter(outPath)
+	if err != nil {
+		return nil, err
+	}
+
+	h := &mergeHeap{}
+	iters := make([]*tableIter, len(sources))
+	for i, src := range sources {
+		it := newTableIter(src)
+		iters[i] = it
+		if it.next() {
+			heap.Push(h, mergeItem{rec: it.rec, src: i, it: it})
+		} else if it.err != nil {
+			w.Abort()
+			return nil, it.err
+		}
+	}
+
+	var pendingValid bool
+	var pending record.Record
+	var pendingSrc int
+
+	emit := func(rec record.Record, src int) error {
+		if !pendingValid {
+			pending, pendingSrc, pendingValid = rec, src, true
+			return nil
+		}
+		if bytes.Equal(rec.Key, pending.Key) {
+			// Same key from another table: resolve.
+			if rec.Supersedes(pending) || (!pending.Supersedes(rec) && src < pendingSrc) {
+				pending, pendingSrc = rec, src
+			}
+			return nil
+		}
+		if err := flushPending(w, pending, opts); err != nil {
+			return err
+		}
+		pending, pendingSrc = rec, src
+		return nil
+	}
+
+	for h.Len() > 0 {
+		item := heap.Pop(h).(mergeItem)
+		if err := emit(item.rec, item.src); err != nil {
+			w.Abort()
+			return nil, err
+		}
+		if item.it.next() {
+			heap.Push(h, mergeItem{rec: item.it.rec, src: item.src, it: item.it})
+		} else if item.it.err != nil {
+			w.Abort()
+			return nil, item.it.err
+		}
+	}
+	if pendingValid {
+		if err := flushPending(w, pending, opts); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return nil, err
+	}
+	return Open(outPath)
+}
+
+func flushPending(w *Writer, rec record.Record, opts MergeOptions) error {
+	if opts.DropTombstones && rec.Tombstone {
+		return nil
+	}
+	return w.Add(rec)
+}
+
+// tableIter pulls records from a Reader one at a time by running the
+// scan in a goroutine and handing records over a channel. Tables are
+// immutable so this is race-free.
+type tableIter struct {
+	ch  chan record.Record
+	ech chan error
+	rec record.Record
+	err error
+}
+
+func newTableIter(r *Reader) *tableIter {
+	it := &tableIter{ch: make(chan record.Record, 64), ech: make(chan error, 1)}
+	go func() {
+		err := r.Scan(nil, nil, func(rec record.Record) bool {
+			it.ch <- rec
+			return true
+		})
+		close(it.ch)
+		it.ech <- err
+	}()
+	return it
+}
+
+func (it *tableIter) next() bool {
+	rec, ok := <-it.ch
+	if !ok {
+		if err := <-it.ech; err != nil {
+			it.err = err
+		}
+		return false
+	}
+	it.rec = rec
+	return true
+}
+
+type mergeItem struct {
+	rec record.Record
+	src int
+	it  *tableIter
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].rec.Key, h[j].rec.Key)
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,455 @@
+// Package sstable implements immutable sorted table files, the on-disk
+// format of the SCADS storage engine. A table holds records in strictly
+// ascending key order with a sparse index (one entry per index
+// interval) and a bloom filter for fast negative lookups.
+//
+// File layout:
+//
+//	data:   framed records (see internal/record), ascending keys
+//	index:  uvarint count, then per entry: uvarint keyLen | key |
+//	        uvarint offset
+//	bloom:  uvarint bit count | uvarint hash count | bits
+//	footer: dataLen u64 | indexLen u64 | bloomLen u64 | count u64 |
+//	        magic u64
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"scads/internal/record"
+)
+
+const (
+	magic         = 0x5343414453535431 // "SCADSST1"
+	footerSize    = 5 * 8
+	indexInterval = 16
+	bloomBitsPer  = 10 // bits per key ≈ 1% false positives
+	bloomHashes   = 7
+)
+
+// ErrCorrupt is returned when a table fails validation.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// ErrOutOfOrder is returned when Writer.Add receives a non-increasing key.
+var ErrOutOfOrder = errors.New("sstable: keys must be strictly ascending")
+
+// Writer builds a table file record by record.
+type Writer struct {
+	f       *os.File
+	buf     []byte
+	lastKey []byte
+	index   []indexEntry
+	keys    [][]byte // retained for bloom construction
+	count   uint64
+	offset  uint64
+	done    bool
+}
+
+type indexEntry struct {
+	key    []byte
+	offset uint64
+}
+
+// NewWriter creates the table file at path (truncating any existing
+// file).
+func NewWriter(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: create: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// Add appends rec. Keys must arrive in strictly ascending order.
+func (w *Writer) Add(rec record.Record) error {
+	if w.done {
+		return errors.New("sstable: writer already finished")
+	}
+	if w.lastKey != nil && bytes.Compare(rec.Key, w.lastKey) <= 0 {
+		return fmt.Errorf("%w: %q after %q", ErrOutOfOrder, rec.Key, w.lastKey)
+	}
+	if w.count%indexInterval == 0 {
+		w.index = append(w.index, indexEntry{key: append([]byte(nil), rec.Key...), offset: w.offset})
+	}
+	w.keys = append(w.keys, append([]byte(nil), rec.Key...))
+	w.buf = rec.AppendBinary(w.buf[:0])
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("sstable: write: %w", err)
+	}
+	w.offset += uint64(len(w.buf))
+	w.lastKey = append(w.lastKey[:0], rec.Key...)
+	w.count++
+	return nil
+}
+
+// Finish writes the index, bloom filter and footer, syncs, and closes
+// the file.
+func (w *Writer) Finish() error {
+	if w.done {
+		return errors.New("sstable: writer already finished")
+	}
+	w.done = true
+	defer w.f.Close()
+
+	var idx []byte
+	idx = binary.AppendUvarint(idx, uint64(len(w.index)))
+	for _, e := range w.index {
+		idx = binary.AppendUvarint(idx, uint64(len(e.key)))
+		idx = append(idx, e.key...)
+		idx = binary.AppendUvarint(idx, e.offset)
+	}
+	if _, err := w.f.Write(idx); err != nil {
+		return err
+	}
+
+	bloom := buildBloom(w.keys)
+	bl := bloom.marshal()
+	if _, err := w.f.Write(bl); err != nil {
+		return err
+	}
+
+	var footer [footerSize]byte
+	binary.BigEndian.PutUint64(footer[0:8], w.offset)
+	binary.BigEndian.PutUint64(footer[8:16], uint64(len(idx)))
+	binary.BigEndian.PutUint64(footer[16:24], uint64(len(bl)))
+	binary.BigEndian.PutUint64(footer[24:32], w.count)
+	binary.BigEndian.PutUint64(footer[32:40], magic)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Abort closes and removes a partially written table.
+func (w *Writer) Abort() error {
+	w.done = true
+	name := w.f.Name()
+	w.f.Close()
+	return os.Remove(name)
+}
+
+// Reader provides random and sequential access to a finished table.
+type Reader struct {
+	f       *os.File
+	path    string
+	dataLen uint64
+	count   uint64
+	index   []indexEntry
+	bloom   *bloomFilter
+	first   []byte
+	last    []byte
+}
+
+// Open validates and opens the table at path, loading its index and
+// bloom filter into memory.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, fmt.Errorf("sstable: file too small: %w", ErrCorrupt)
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.BigEndian.Uint64(footer[32:40]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("sstable: bad magic: %w", ErrCorrupt)
+	}
+	r := &Reader{
+		f:       f,
+		path:    path,
+		dataLen: binary.BigEndian.Uint64(footer[0:8]),
+		count:   binary.BigEndian.Uint64(footer[24:32]),
+	}
+	idxLen := binary.BigEndian.Uint64(footer[8:16])
+	blLen := binary.BigEndian.Uint64(footer[16:24])
+	if r.dataLen+idxLen+blLen+footerSize != uint64(st.Size()) {
+		f.Close()
+		return nil, fmt.Errorf("sstable: section lengths disagree with file size: %w", ErrCorrupt)
+	}
+
+	idxBuf := make([]byte, idxLen)
+	if _, err := f.ReadAt(idxBuf, int64(r.dataLen)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := r.parseIndex(idxBuf); err != nil {
+		f.Close()
+		return nil, err
+	}
+
+	blBuf := make([]byte, blLen)
+	if _, err := f.ReadAt(blBuf, int64(r.dataLen+idxLen)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	bloom, err := unmarshalBloom(blBuf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.bloom = bloom
+
+	if err := r.loadBounds(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) parseIndex(buf []byte) error {
+	n, m := binary.Uvarint(buf)
+	if m <= 0 {
+		return ErrCorrupt
+	}
+	buf = buf[m:]
+	r.index = make([]indexEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		klen, m := binary.Uvarint(buf)
+		if m <= 0 || uint64(len(buf)-m) < klen {
+			return ErrCorrupt
+		}
+		buf = buf[m:]
+		key := append([]byte(nil), buf[:klen]...)
+		buf = buf[klen:]
+		off, m := binary.Uvarint(buf)
+		if m <= 0 {
+			return ErrCorrupt
+		}
+		buf = buf[m:]
+		r.index = append(r.index, indexEntry{key: key, offset: off})
+	}
+	return nil
+}
+
+func (r *Reader) loadBounds() error {
+	if r.count == 0 {
+		return nil
+	}
+	first := true
+	err := r.scanFrom(0, func(rec record.Record) bool {
+		if first {
+			r.first = rec.Key
+			first = false
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	// Last key: scan the final index block.
+	lastOff := r.index[len(r.index)-1].offset
+	return r.scanFrom(lastOff, func(rec record.Record) bool {
+		r.last = rec.Key
+		return true
+	})
+}
+
+// Count returns the number of records in the table.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Path returns the file path of the table.
+func (r *Reader) Path() string { return r.path }
+
+// Bounds returns the smallest and largest keys in the table.
+func (r *Reader) Bounds() (first, last []byte) { return r.first, r.last }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Remove closes and deletes the table file.
+func (r *Reader) Remove() error {
+	r.f.Close()
+	return os.Remove(r.path)
+}
+
+// Get returns the record stored under key.
+func (r *Reader) Get(key []byte) (record.Record, bool, error) {
+	if r.count == 0 || !r.bloom.mayContain(key) {
+		return record.Record{}, false, nil
+	}
+	start := r.seekOffset(key)
+	var found record.Record
+	ok := false
+	err := r.scanFrom(start, func(rec record.Record) bool {
+		c := bytes.Compare(rec.Key, key)
+		if c == 0 {
+			found, ok = rec, true
+			return false
+		}
+		return c < 0
+	})
+	return found, ok, err
+}
+
+// Scan visits records with start <= key < end in ascending order until
+// fn returns false. A nil end means unbounded.
+func (r *Reader) Scan(start, end []byte, fn func(record.Record) bool) error {
+	if r.count == 0 {
+		return nil
+	}
+	off := uint64(0)
+	if start != nil {
+		off = r.seekOffset(start)
+	}
+	return r.scanFrom(off, func(rec record.Record) bool {
+		if start != nil && bytes.Compare(rec.Key, start) < 0 {
+			return true
+		}
+		if end != nil && bytes.Compare(rec.Key, end) >= 0 {
+			return false
+		}
+		return fn(rec)
+	})
+}
+
+// seekOffset returns the data offset of the last index block whose
+// first key is <= key.
+func (r *Reader) seekOffset(key []byte) uint64 {
+	lo, hi := 0, len(r.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(r.index[mid].key, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return r.index[lo-1].offset
+}
+
+func (r *Reader) scanFrom(offset uint64, fn func(record.Record) bool) error {
+	const chunk = 64 << 10
+	buf := make([]byte, 0, chunk)
+	pos := offset
+	for pos < r.dataLen {
+		// Refill buffer.
+		want := r.dataLen - pos
+		if want > chunk {
+			want = chunk
+		}
+		need := int(want) - len(buf)
+		if need > 0 {
+			old := len(buf)
+			buf = append(buf, make([]byte, need)...)
+			if _, err := r.f.ReadAt(buf[old:], int64(pos)+int64(old)); err != nil && err != io.EOF {
+				return err
+			}
+		}
+		rec, rest, err := record.DecodeBinary(buf)
+		if err != nil {
+			if errors.Is(err, record.ErrCorrupt) && uint64(len(buf)) < r.dataLen-pos {
+				// Frame spans the chunk boundary: grow the buffer.
+				grow := r.dataLen - pos
+				if grow > uint64(cap(buf))*2 {
+					grow = uint64(cap(buf)) * 2
+				}
+				old := len(buf)
+				buf = append(buf, make([]byte, int(grow)-old)...)
+				if _, err := r.f.ReadAt(buf[old:], int64(pos)+int64(old)); err != nil && err != io.EOF {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("sstable: %w", err)
+		}
+		consumed := len(buf) - len(rest)
+		pos += uint64(consumed)
+		buf = buf[:copy(buf, rest)]
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// --- bloom filter ---
+
+type bloomFilter struct {
+	bits   []byte
+	nBits  uint64
+	hashes uint64
+}
+
+func buildBloom(keys [][]byte) *bloomFilter {
+	nBits := uint64(len(keys)*bloomBitsPer + 64)
+	bf := &bloomFilter{
+		bits:   make([]byte, (nBits+7)/8),
+		nBits:  nBits,
+		hashes: bloomHashes,
+	}
+	for _, k := range keys {
+		h1, h2 := bloomHash(k)
+		for i := uint64(0); i < bf.hashes; i++ {
+			bit := (h1 + i*h2) % bf.nBits
+			bf.bits[bit/8] |= 1 << (bit % 8)
+		}
+	}
+	return bf
+}
+
+func (bf *bloomFilter) mayContain(key []byte) bool {
+	h1, h2 := bloomHash(key)
+	for i := uint64(0); i < bf.hashes; i++ {
+		bit := (h1 + i*h2) % bf.nBits
+		if bf.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func bloomHash(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h.Write([]byte{0x9e})
+	h2 := h.Sum64() | 1
+	return h1, h2
+}
+
+func (bf *bloomFilter) marshal() []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, bf.nBits)
+	out = binary.AppendUvarint(out, bf.hashes)
+	return append(out, bf.bits...)
+}
+
+func unmarshalBloom(b []byte) (*bloomFilter, error) {
+	nBits, m := binary.Uvarint(b)
+	if m <= 0 {
+		return nil, ErrCorrupt
+	}
+	b = b[m:]
+	hashes, m := binary.Uvarint(b)
+	if m <= 0 {
+		return nil, ErrCorrupt
+	}
+	b = b[m:]
+	if uint64(len(b)) != (nBits+7)/8 || hashes == 0 {
+		return nil, ErrCorrupt
+	}
+	return &bloomFilter{bits: append([]byte(nil), b...), nBits: nBits, hashes: hashes}, nil
+}

@@ -1,0 +1,440 @@
+package storage
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"scads/internal/memtable"
+	"scads/internal/record"
+	"scads/internal/sstable"
+	"scads/internal/wal"
+)
+
+// Namespace is one ordered keyspace inside an Engine. All methods are
+// safe for concurrent use.
+type Namespace struct {
+	name   string
+	engine *Engine
+	dir    string // "" when in-memory
+
+	mu       sync.RWMutex
+	mem      *memtable.Memtable
+	flushing *memtable.Memtable // read-only during flush, else nil
+	tables   []*sstable.Reader  // newest first
+	log      *wal.Log           // nil when in-memory
+	tableSeq uint64
+	closed   bool
+
+	compactMu sync.Mutex // serialises flush+compaction
+}
+
+// Name returns the namespace name.
+func (ns *Namespace) Name() string { return ns.name }
+
+// Put stores value under key with a freshly generated version and
+// returns that version.
+func (ns *Namespace) Put(key, value []byte) (uint64, error) {
+	ver := ns.engine.NextVersion()
+	rec := record.Record{
+		Key:     append([]byte(nil), key...),
+		Value:   append([]byte(nil), value...),
+		Version: ver,
+	}
+	if err := ns.Apply(rec); err != nil {
+		return 0, err
+	}
+	return ver, nil
+}
+
+// Delete writes a tombstone for key with a fresh version and returns
+// that version.
+func (ns *Namespace) Delete(key []byte) (uint64, error) {
+	ver := ns.engine.NextVersion()
+	rec := record.Record{
+		Key:       append([]byte(nil), key...),
+		Version:   ver,
+		Tombstone: true,
+	}
+	if err := ns.Apply(rec); err != nil {
+		return 0, err
+	}
+	return ver, nil
+}
+
+// Apply merges an externally versioned record (for example one arriving
+// through replication) with last-write-wins semantics across the whole
+// LSM stack: a record older than what any layer already holds is
+// dropped.
+func (ns *Namespace) Apply(rec record.Record) error {
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return ErrClosed
+	}
+	// Check deeper layers: the memtable's own LWW check only covers
+	// itself, but a newer version may already have been flushed.
+	if cur, ok := ns.getLocked(rec.Key); ok && cur.Supersedes(rec) {
+		ns.mu.Unlock()
+		return nil
+	}
+	if ns.log != nil {
+		if err := ns.log.Append(rec); err != nil {
+			ns.mu.Unlock()
+			return err
+		}
+	}
+	ns.mem.Put(rec)
+	needFlush := ns.dir != "" && ns.mem.Bytes() >= ns.engine.opts.MemtableBytes && ns.flushing == nil
+	ns.mu.Unlock()
+
+	if needFlush {
+		return ns.Flush()
+	}
+	return nil
+}
+
+// GetRecord returns the current record for key, including tombstones.
+func (ns *Namespace) GetRecord(key []byte) (record.Record, bool, error) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	if ns.closed {
+		return record.Record{}, false, ErrClosed
+	}
+	rec, ok := ns.getLocked(key)
+	return rec, ok, nil
+}
+
+// Get returns the live value for key; deleted and absent keys report
+// ok=false.
+func (ns *Namespace) Get(key []byte) ([]byte, bool, error) {
+	rec, ok, err := ns.GetRecord(key)
+	if err != nil || !ok || rec.Tombstone {
+		return nil, false, err
+	}
+	return rec.Value, true, nil
+}
+
+// getLocked resolves key across memtable, flushing memtable, and
+// SSTables under last-write-wins. Caller holds ns.mu (read or write).
+func (ns *Namespace) getLocked(key []byte) (record.Record, bool) {
+	var best record.Record
+	found := false
+	consider := func(r record.Record, ok bool) {
+		if !ok {
+			return
+		}
+		if !found || r.Supersedes(best) {
+			best, found = r, true
+		}
+	}
+	consider(ns.mem.Get(key))
+	if ns.flushing != nil {
+		consider(ns.flushing.Get(key))
+	}
+	for _, t := range ns.tables {
+		r, ok, err := t.Get(key)
+		if err == nil {
+			consider(r, ok)
+		}
+	}
+	return best, found
+}
+
+// ScanLive visits live (non-tombstone) records with start <= key < end
+// in ascending key order until fn returns false or the range is
+// exhausted. This is the engine's only read path besides point gets —
+// callers are responsible for bounding the range (the analyzer
+// guarantees every query plan does).
+func (ns *Namespace) ScanLive(start, end []byte, fn func(record.Record) bool) error {
+	return ns.scan(start, end, func(r record.Record) bool {
+		if r.Tombstone {
+			return true
+		}
+		return fn(r)
+	})
+}
+
+// ScanAll visits records including tombstones; used by replication
+// catch-up and partition moves.
+func (ns *Namespace) ScanAll(start, end []byte, fn func(record.Record) bool) error {
+	return ns.scan(start, end, fn)
+}
+
+func (ns *Namespace) scan(start, end []byte, fn func(record.Record) bool) error {
+	ns.mu.RLock()
+	if ns.closed {
+		ns.mu.RUnlock()
+		return ErrClosed
+	}
+	// Snapshot the memtable range(s) and pin the table set. Tables are
+	// immutable, so after the snapshot we can release the lock.
+	var sources [][]record.Record
+	memSnap := snapshotRange(ns.mem, start, end)
+	sources = append(sources, memSnap)
+	if ns.flushing != nil {
+		sources = append(sources, snapshotRange(ns.flushing, start, end))
+	}
+	tables := append([]*sstable.Reader(nil), ns.tables...)
+	ns.mu.RUnlock()
+
+	for _, t := range tables {
+		var recs []record.Record
+		if err := t.Scan(start, end, func(r record.Record) bool {
+			recs = append(recs, r)
+			return true
+		}); err != nil {
+			return fmt.Errorf("storage: scan table: %w", err)
+		}
+		sources = append(sources, recs)
+	}
+	mergeSources(sources, fn)
+	return nil
+}
+
+func snapshotRange(m *memtable.Memtable, start, end []byte) []record.Record {
+	var out []record.Record
+	m.Scan(start, end, func(r record.Record) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// mergeSources performs a k-way merge over the sorted sources,
+// resolving duplicate keys by last-write-wins (ties to the earlier,
+// newer, source), and streams the winners to fn.
+func mergeSources(sources [][]record.Record, fn func(record.Record) bool) {
+	h := make(srcHeap, 0, len(sources))
+	for i, src := range sources {
+		if len(src) > 0 {
+			h = append(h, srcCursor{recs: src, src: i})
+		}
+	}
+	heap.Init(&h)
+
+	var pending record.Record
+	var pendingSrc int
+	havePending := false
+	for h.Len() > 0 {
+		cur := &h[0]
+		rec := cur.recs[cur.pos]
+		cur.pos++
+		if cur.pos == len(cur.recs) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+
+		if havePending && bytes.Equal(rec.Key, pending.Key) {
+			if rec.Supersedes(pending) || (!pending.Supersedes(rec) && cur.src < pendingSrc) {
+				pending, pendingSrc = rec, cur.src
+			}
+			continue
+		}
+		if havePending && !fn(pending) {
+			return
+		}
+		pending, pendingSrc, havePending = rec, cur.src, true
+	}
+	if havePending {
+		fn(pending)
+	}
+}
+
+type srcCursor struct {
+	recs []record.Record
+	pos  int
+	src  int
+}
+
+type srcHeap []srcCursor
+
+func (h srcHeap) Len() int { return len(h) }
+func (h srcHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].recs[h[i].pos].Key, h[j].recs[h[j].pos].Key)
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+func (h srcHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *srcHeap) Push(x any)   { *h = append(*h, x.(srcCursor)) }
+func (h *srcHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// Flush persists the current memtable to a new SSTable and truncates
+// the WAL. No-op for in-memory namespaces and empty memtables.
+func (ns *Namespace) Flush() error {
+	ns.compactMu.Lock()
+	defer ns.compactMu.Unlock()
+	return ns.flushLocked()
+}
+
+func (ns *Namespace) flushLocked() error {
+	if ns.dir == "" {
+		return nil
+	}
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return ErrClosed
+	}
+	if ns.mem.Len() == 0 {
+		ns.mu.Unlock()
+		return nil
+	}
+	// Swap in a fresh memtable; the old one stays readable via
+	// ns.flushing while we write it out.
+	ns.flushing = ns.mem
+	ns.mem = memtable.New(int64(ns.engine.opts.NodeID) + int64(ns.tableSeq) + 2)
+	if err := ns.log.Rotate(); err != nil {
+		ns.flushing = nil
+		ns.mu.Unlock()
+		return err
+	}
+	frozen := ns.flushing
+	seq := ns.tableSeq
+	ns.tableSeq++
+	ns.mu.Unlock()
+
+	path := ns.tablePath(seq)
+	w, err := sstable.NewWriter(path)
+	if err != nil {
+		ns.clearFlushing()
+		return err
+	}
+	for _, rec := range frozen.All() {
+		if err := w.Add(rec); err != nil {
+			w.Abort()
+			ns.clearFlushing()
+			return err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		ns.clearFlushing()
+		return err
+	}
+	rd, err := sstable.Open(path)
+	if err != nil {
+		ns.clearFlushing()
+		return err
+	}
+
+	ns.mu.Lock()
+	ns.tables = append([]*sstable.Reader{rd}, ns.tables...)
+	ns.flushing = nil
+	nTables := len(ns.tables)
+	ns.mu.Unlock()
+
+	// The flushed data is durable; older WAL segments are obsolete.
+	if err := ns.log.Truncate(); err != nil {
+		return err
+	}
+	if nTables > ns.engine.opts.MaxTables {
+		return ns.compactLocked()
+	}
+	return nil
+}
+
+func (ns *Namespace) clearFlushing() {
+	ns.mu.Lock()
+	if ns.flushing != nil {
+		// Flush failed: merge frozen entries back so no write is lost.
+		for _, rec := range ns.flushing.All() {
+			ns.mem.Put(rec)
+		}
+		ns.flushing = nil
+	}
+	ns.mu.Unlock()
+}
+
+// Compact merges all SSTables into one, dropping tombstones.
+func (ns *Namespace) Compact() error {
+	ns.compactMu.Lock()
+	defer ns.compactMu.Unlock()
+	return ns.compactLocked()
+}
+
+func (ns *Namespace) compactLocked() error {
+	ns.mu.RLock()
+	tables := append([]*sstable.Reader(nil), ns.tables...)
+	seq := ns.tableSeq
+	ns.mu.RUnlock()
+	if len(tables) < 2 {
+		return nil
+	}
+
+	ns.mu.Lock()
+	ns.tableSeq++
+	ns.mu.Unlock()
+
+	merged, err := sstable.Merge(ns.tablePath(seq), sstable.MergeOptions{DropTombstones: true}, tables...)
+	if err != nil {
+		return fmt.Errorf("storage: compact %s: %w", ns.name, err)
+	}
+
+	ns.mu.Lock()
+	// Tables flushed while we merged sit in front of the ones we
+	// consumed; keep them, replace the rest.
+	keep := len(ns.tables) - len(tables)
+	ns.tables = append(ns.tables[:keep:keep], merged)
+	ns.mu.Unlock()
+
+	for _, t := range tables {
+		if err := t.Remove(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableCount reports how many SSTables the namespace currently holds.
+func (ns *Namespace) TableCount() int {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return len(ns.tables)
+}
+
+// MemLen reports the number of entries in the active memtable.
+func (ns *Namespace) MemLen() int {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return ns.mem.Len()
+}
+
+func (ns *Namespace) tablePath(seq uint64) string {
+	return fmt.Sprintf("%s/%09d.sst", ns.dir, seq)
+}
+
+func (ns *Namespace) close() error {
+	ns.compactMu.Lock()
+	defer ns.compactMu.Unlock()
+	if err := ns.flushLocked(); err != nil && err != ErrClosed {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.closed {
+		return nil
+	}
+	ns.closed = true
+	var firstErr error
+	if ns.log != nil {
+		if err := ns.log.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	for _, t := range ns.tables {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

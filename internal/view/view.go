@@ -1,0 +1,299 @@
+// Package view implements the index-maintenance engine of paper §3.2:
+// when a base-table row changes, the engine consults the compiled
+// index set (the Figure 3 table, in executable form) and produces the
+// exact set of index-entry mutations required — each computed with a
+// bounded number of lookups, honouring the O(K) update-work guarantee
+// the analyzer proved. The coordinator versions these mutations and
+// pushes them through the deadline-ordered replication pump, making
+// index maintenance asynchronous exactly as the paper prescribes.
+package view
+
+import (
+	"fmt"
+
+	"scads/internal/keycodec"
+	"scads/internal/planner"
+	"scads/internal/query"
+	"scads/internal/row"
+)
+
+// Store is the engine's read access to current data. The coordinator
+// implements it over the router; tests implement it over maps.
+type Store interface {
+	// GetRow fetches one row by encoded key from a namespace.
+	GetRow(namespace string, key []byte) (row.Row, bool, error)
+	// ScanRows returns up to limit live rows with start <= key < end.
+	ScanRows(namespace string, start, end []byte, limit int) ([]row.Row, error)
+}
+
+// Mutation is one index-entry change. A nil Value deletes the entry.
+type Mutation struct {
+	Namespace string
+	Key       []byte
+	Value     row.Row
+}
+
+// ErrCardinalityViolated is returned when a bounded lookup finds more
+// rows than the schema's declared CARDINALITY permits — the data has
+// broken the contract the analyzer's O(K) proof relied on.
+var ErrCardinalityViolated = fmt.Errorf("view: declared cardinality bound exceeded")
+
+// Engine computes index maintenance for one compiled schema.
+type Engine struct {
+	schema  *query.Schema
+	indexes []*planner.IndexDef
+	store   Store
+
+	byDriving map[string][]*planner.IndexDef
+	byLooked  map[string][]*planner.IndexDef
+	auxFor    map[string]*planner.IndexDef // table+"."+col -> reverse index
+}
+
+// NewEngine returns an engine maintaining the given index set.
+func NewEngine(schema *query.Schema, indexes []*planner.IndexDef, store Store) *Engine {
+	e := &Engine{
+		schema:    schema,
+		indexes:   indexes,
+		store:     store,
+		byDriving: make(map[string][]*planner.IndexDef),
+		byLooked:  make(map[string][]*planner.IndexDef),
+		auxFor:    make(map[string]*planner.IndexDef),
+	}
+	for _, def := range indexes {
+		e.byDriving[def.Driving] = append(e.byDriving[def.Driving], def)
+		if def.Looked != "" {
+			e.byLooked[def.Looked] = append(e.byLooked[def.Looked], def)
+		}
+		if def.Aux {
+			e.auxFor[def.Driving+"."+def.KeyCols[0].Column] = def
+		}
+	}
+	return e
+}
+
+// Indexes returns the maintained index definitions.
+func (e *Engine) Indexes() []*planner.IndexDef { return e.indexes }
+
+// Mutations computes every index-entry change implied by a base-table
+// change. oldRow is nil for inserts, newRow nil for deletes; for
+// updates the primary key of both rows must match.
+func (e *Engine) Mutations(table string, oldRow, newRow row.Row) ([]Mutation, error) {
+	acc := newMutationSet()
+	for _, def := range e.byDriving[table] {
+		if def.Looked == "" {
+			if err := e.singleTable(def, oldRow, newRow, acc); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := e.drivingSide(def, oldRow, newRow, acc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, def := range e.byLooked[table] {
+		if err := e.lookedSide(def, oldRow, newRow, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc.list(), nil
+}
+
+// singleTable maintains a plain secondary (or aux reverse) index.
+func (e *Engine) singleTable(def *planner.IndexDef, oldRow, newRow row.Row, acc *mutationSet) error {
+	if oldRow != nil {
+		key, err := planner.EncodeEntryKey(def, map[string]row.Row{def.DrivingEff: oldRow})
+		if err != nil {
+			return err
+		}
+		acc.delete(def.Namespace, key)
+	}
+	if newRow != nil {
+		key, err := planner.EncodeEntryKey(def, map[string]row.Row{def.DrivingEff: newRow})
+		if err != nil {
+			return err
+		}
+		val, err := planner.BuildEntryValue(def, map[string]row.Row{def.DrivingEff: newRow})
+		if err != nil {
+			return err
+		}
+		acc.put(def.Namespace, key, val)
+	}
+	return nil
+}
+
+// drivingSide maintains a join view when the driving (FROM) table
+// changes: look up the joined row(s) for the old and new join values
+// and rewrite the affected entries.
+func (e *Engine) drivingSide(def *planner.IndexDef, oldRow, newRow row.Row, acc *mutationSet) error {
+	if oldRow != nil {
+		joined, err := e.lookupJoined(def, oldRow)
+		if err != nil {
+			return err
+		}
+		for _, lr := range joined {
+			key, err := planner.EncodeEntryKey(def, map[string]row.Row{def.DrivingEff: oldRow, def.LookedEff: lr})
+			if err != nil {
+				return err
+			}
+			acc.delete(def.Namespace, key)
+		}
+	}
+	if newRow != nil {
+		joined, err := e.lookupJoined(def, newRow)
+		if err != nil {
+			return err
+		}
+		for _, lr := range joined {
+			key, err := planner.EncodeEntryKey(def, map[string]row.Row{def.DrivingEff: newRow, def.LookedEff: lr})
+			if err != nil {
+				return err
+			}
+			val, err := planner.BuildEntryValue(def, map[string]row.Row{def.DrivingEff: newRow, def.LookedEff: lr})
+			if err != nil {
+				return err
+			}
+			acc.put(def.Namespace, key, val)
+		}
+	}
+	return nil
+}
+
+// lookedSide maintains a join view when the looked-up (joined) table
+// changes: find every driving row pointing at it (through the reverse
+// index or a PK-prefix scan — both bounded) and rewrite those entries.
+func (e *Engine) lookedSide(def *planner.IndexDef, oldRow, newRow row.Row, acc *mutationSet) error {
+	pkRow := newRow
+	if pkRow == nil {
+		pkRow = oldRow
+	}
+	joinVal, ok := pkRow[def.JoinRightCol]
+	if !ok {
+		return fmt.Errorf("view: %s: looked row lacks join column %q", def.Name, def.JoinRightCol)
+	}
+	drivers, err := e.lookupDrivers(def, joinVal)
+	if err != nil {
+		return err
+	}
+	for _, dr := range drivers {
+		if oldRow != nil {
+			key, err := planner.EncodeEntryKey(def, map[string]row.Row{def.DrivingEff: dr, def.LookedEff: oldRow})
+			if err != nil {
+				return err
+			}
+			acc.delete(def.Namespace, key)
+		}
+		if newRow != nil {
+			key, err := planner.EncodeEntryKey(def, map[string]row.Row{def.DrivingEff: dr, def.LookedEff: newRow})
+			if err != nil {
+				return err
+			}
+			val, err := planner.BuildEntryValue(def, map[string]row.Row{def.DrivingEff: dr, def.LookedEff: newRow})
+			if err != nil {
+				return err
+			}
+			acc.put(def.Namespace, key, val)
+		}
+	}
+	return nil
+}
+
+// lookupJoined fetches the looked-table rows joining with the driving
+// row: one row for a full-PK join, up to LookedFanout for a prefix
+// join.
+func (e *Engine) lookupJoined(def *planner.IndexDef, driving row.Row) ([]row.Row, error) {
+	joinVal, ok := driving[def.JoinLeftCol]
+	if !ok {
+		return nil, fmt.Errorf("view: %s: driving row lacks join column %q", def.Name, def.JoinLeftCol)
+	}
+	ns := planner.TableNamespace(def.Looked)
+	looked := e.schema.Tables[def.Looked]
+	if def.LookedFanout <= 1 {
+		key, err := row.EncodeKey(row.Row{def.JoinRightCol: joinVal}, looked.PrimaryKey)
+		if err != nil {
+			return nil, err
+		}
+		r, found, err := e.store.GetRow(ns, key)
+		if err != nil || !found {
+			return nil, err
+		}
+		return []row.Row{r}, nil
+	}
+	// Prefix join: bounded scan of the looked table.
+	return e.boundedPrefixScan(ns, joinVal, def.LookedFanout, def.Name)
+}
+
+// lookupDrivers finds driving rows whose join column equals joinVal.
+func (e *Engine) lookupDrivers(def *planner.IndexDef, joinVal any) ([]row.Row, error) {
+	driving := e.schema.Tables[def.Driving]
+	bound := driving.Cardinality[def.JoinLeftCol]
+	if bound == 0 {
+		if driving.IsPrimaryKey([]string{def.JoinLeftCol}) {
+			bound = 1
+		} else {
+			return nil, fmt.Errorf("view: %s: no cardinality bound for reverse lookup on %s.%s",
+				def.Name, def.Driving, def.JoinLeftCol)
+		}
+	}
+	if len(driving.PrimaryKey) > 0 && driving.PrimaryKey[0] == def.JoinLeftCol {
+		return e.boundedPrefixScan(planner.TableNamespace(def.Driving), joinVal, bound, def.Name)
+	}
+	aux, ok := e.auxFor[def.Driving+"."+def.JoinLeftCol]
+	if !ok {
+		return nil, fmt.Errorf("view: %s: reverse index %s missing", def.Name,
+			planner.ReverseIndexName(def.Driving, def.JoinLeftCol))
+	}
+	return e.boundedPrefixScan(aux.Namespace, joinVal, bound, def.Name)
+}
+
+func (e *Engine) boundedPrefixScan(namespace string, prefixVal any, bound int, indexName string) ([]row.Row, error) {
+	prefix, err := keycodec.Encode(prefixVal)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := e.store.ScanRows(namespace, prefix, keycodec.PrefixEnd(prefix), bound+1)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) > bound {
+		return nil, fmt.Errorf("%w: %s: more than %d rows match prefix in %s",
+			ErrCardinalityViolated, indexName, bound, namespace)
+	}
+	return rows, nil
+}
+
+// mutationSet deduplicates mutations by (namespace, key); puts win
+// over deletes so an update whose old and new rows share a key becomes
+// a single overwrite.
+type mutationSet struct {
+	order []string
+	byKey map[string]Mutation
+}
+
+func newMutationSet() *mutationSet {
+	return &mutationSet{byKey: make(map[string]Mutation)}
+}
+
+func (ms *mutationSet) delete(ns string, key []byte) {
+	id := ns + "\x00" + string(key)
+	if _, ok := ms.byKey[id]; ok {
+		return // existing put or delete stands
+	}
+	ms.byKey[id] = Mutation{Namespace: ns, Key: key}
+	ms.order = append(ms.order, id)
+}
+
+func (ms *mutationSet) put(ns string, key []byte, val row.Row) {
+	id := ns + "\x00" + string(key)
+	if _, ok := ms.byKey[id]; !ok {
+		ms.order = append(ms.order, id)
+	}
+	ms.byKey[id] = Mutation{Namespace: ns, Key: key, Value: val}
+}
+
+func (ms *mutationSet) list() []Mutation {
+	out := make([]Mutation, 0, len(ms.order))
+	for _, id := range ms.order {
+		out = append(out, ms.byKey[id])
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+// Package wal implements a segmented write-ahead log. Every mutation
+// accepted by a SCADS storage node is appended (and optionally synced)
+// here before it is acknowledged, providing the single-machine half of
+// the paper's durability story (§3.3.1: the durability SLA further
+// requires replication, which internal/replication provides on top).
+//
+// Layout: a log directory contains numbered segment files
+// (000000001.wal, 000000002.wal, ...). Each segment is a sequence of
+// CRC-framed records (see internal/record). Recovery replays segments
+// in order and stops at the first torn frame, which a crashed append
+// can legitimately leave behind.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"scads/internal/record"
+)
+
+const segmentSuffix = ".wal"
+
+// Options configure a Log.
+type Options struct {
+	// SegmentBytes rolls to a new segment once the active one exceeds
+	// this size. Default 4 MiB.
+	SegmentBytes int64
+	// SyncEveryAppend forces an fsync after every append. Default
+	// false: SCADS acknowledges on replication, not on fsync, so the
+	// engine syncs on flush boundaries instead.
+	SyncEveryAppend bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{SegmentBytes: 4 << 20}
+	if o != nil {
+		if o.SegmentBytes > 0 {
+			out.SegmentBytes = o.SegmentBytes
+		}
+		out.SyncEveryAppend = o.SyncEveryAppend
+	}
+	return out
+}
+
+// Log is an append-only write-ahead log. Safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	active    *os.File
+	activeID  uint64
+	activeLen int64
+	closed    bool
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Open opens (creating if needed) the log in dir and returns it along
+// with all records recovered from existing segments, in append order.
+func Open(dir string, opts *Options) (*Log, []record.Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts.withDefaults()}
+
+	ids, err := l.segmentIDs()
+	if err != nil {
+		return nil, nil, err
+	}
+	var recovered []record.Record
+	for _, id := range ids {
+		recs, err := readSegment(l.segmentPath(id))
+		if err != nil {
+			return nil, nil, err
+		}
+		recovered = append(recovered, recs...)
+	}
+
+	nextID := uint64(1)
+	if n := len(ids); n > 0 {
+		nextID = ids[n-1] + 1
+	}
+	if err := l.openSegment(nextID); err != nil {
+		return nil, nil, err
+	}
+	return l, recovered, nil
+}
+
+// Append writes rec to the log, rolling segments as needed.
+func (l *Log) Append(rec record.Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	buf := rec.AppendBinary(nil)
+	if _, err := l.active.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.activeLen += int64(len(buf))
+	if l.opts.SyncEveryAppend {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	if l.activeLen >= l.opts.SegmentBytes {
+		return l.roll()
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.active.Sync()
+}
+
+// Truncate removes every segment older than the active one. The engine
+// calls this after a memtable flush: everything up to the flush point
+// is now durable in an SSTable.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	ids, err := l.segmentIDs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if id == l.activeID {
+			continue
+		}
+		if err := os.Remove(l.segmentPath(id)); err != nil {
+			return fmt.Errorf("wal: truncate segment %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Rotate rolls to a fresh segment, so a following Truncate removes all
+// previously appended data. Used at flush boundaries.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.roll()
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.active.Sync(); err != nil {
+		l.active.Close()
+		return err
+	}
+	return l.active.Close()
+}
+
+// SegmentCount reports how many segment files exist (for tests and
+// metrics).
+func (l *Log) SegmentCount() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids, err := l.segmentIDs()
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+func (l *Log) roll() error {
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	return l.openSegment(l.activeID + 1)
+}
+
+func (l *Log) openSegment(id uint64) error {
+	f, err := os.OpenFile(l.segmentPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment %d: %w", id, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.active, l.activeID, l.activeLen = f, id, st.Size()
+	return nil
+}
+
+func (l *Log) segmentPath(id uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%09d%s", id, segmentSuffix))
+}
+
+func (l *Log) segmentIDs() ([]uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// readSegment decodes records from one segment file. A torn tail
+// (truncated final frame or checksum failure at the end) terminates
+// recovery of that segment without error: it is the expected signature
+// of a crash mid-append.
+func readSegment(path string) ([]record.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read segment: %w", err)
+	}
+	var recs []record.Record
+	for len(data) > 0 {
+		r, rest, err := record.DecodeBinary(data)
+		if err != nil {
+			// Torn tail: stop replay here.
+			return recs, nil
+		}
+		recs = append(recs, r)
+		data = rest
+	}
+	return recs, nil
+}

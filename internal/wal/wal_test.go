@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"scads/internal/record"
+)
+
+func rec(k, v string, ver uint64) record.Record {
+	return record.Record{Key: []byte(k), Value: []byte(v), Version: ver}
+}
+
+func TestAppendAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, recovered, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(recovered))
+	}
+	want := []record.Record{
+		rec("a", "1", 1),
+		rec("b", "2", 2),
+		{Key: []byte("a"), Version: 3, Tombstone: true},
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recovered, err = Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(recovered), len(want))
+	}
+	for i, r := range recovered {
+		if !bytes.Equal(r.Key, want[i].Key) || r.Version != want[i].Version || r.Tombstone != want[i].Tombstone {
+			t.Errorf("record %d: got %+v want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestSegmentRolling(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, &Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := l.Append(rec(fmt.Sprintf("key-%03d", i), "some-payload-data", uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := l.SegmentCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("expected multiple segments, got %d", n)
+	}
+	l.Close()
+
+	_, recovered, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 50 {
+		t.Fatalf("recovered %d records across segments, want 50", len(recovered))
+	}
+	for i, r := range recovered {
+		if want := fmt.Sprintf("key-%03d", i); string(r.Key) != want {
+			t.Fatalf("record %d out of order: %q", i, r.Key)
+		}
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rec(fmt.Sprintf("k%d", i), "v", uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: truncate the last few bytes.
+	seg := filepath.Join(dir, "000000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recovered, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 4 {
+		t.Fatalf("recovered %d records after torn tail, want 4", len(recovered))
+	}
+}
+
+func TestRotateAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(rec(fmt.Sprintf("k%d", i), "v", uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := l.SegmentCount()
+	if n != 1 {
+		t.Fatalf("after truncate: %d segments, want 1", n)
+	}
+	l.Close()
+
+	_, recovered, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("recovered %d records after truncate, want 0", len(recovered))
+	}
+}
+
+func TestClosedLogErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append(rec("k", "v", 1)); err != ErrClosed {
+		t.Fatalf("Append on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "garbage.wal"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recovered, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recovered) != 0 {
+		t.Fatalf("recovered %d records from foreign files", len(recovered))
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, &Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := l.Append(rec(fmt.Sprintf("w%d-%03d", w, i), "v", uint64(i+1))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	l.Close()
+	_, recovered, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != writers*perWriter {
+		t.Fatalf("recovered %d, want %d", len(recovered), writers*perWriter)
+	}
+}
+
+func TestSyncEveryAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, &Options{SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(rec("k", "v", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	dir := b.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	r := rec("user:12345:profile", string(bytes.Repeat([]byte("x"), 256)), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Version = uint64(i + 1)
+		if err := l.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

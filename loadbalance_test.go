@@ -1,0 +1,177 @@
+package scads
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"scads/internal/balancer"
+	"scads/internal/planner"
+)
+
+// skewCluster puts every users range on one primary and hammers a
+// contiguous slice of the keyspace so the tracker sees a hot node.
+func skewCluster(t *testing.T) *LocalCluster {
+	t.Helper()
+	lc, _ := newSocialCluster(t, 3, 1)
+	seedUsers(t, lc.Cluster, 40)
+	// Hot traffic: the same ten users read over and over.
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 10; j++ {
+			id := fmt.Sprintf("user%04d", j)
+			if _, _, err := lc.Get("users", Row{"id": id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return lc
+}
+
+func TestLoadTrackingRecordsReadsAndWrites(t *testing.T) {
+	lc, _ := newSocialCluster(t, 1, 1)
+	seedUsers(t, lc.Cluster, 5)
+	for i := 0; i < 3; i++ {
+		lc.Get("users", Row{"id": "user0001"})
+	}
+	obs := lc.LoadSnapshot()
+	var users *balancer.RangeObservation
+	for i := range obs {
+		if obs[i].Namespace == planner.TableNamespace("users") {
+			users = &obs[i]
+		}
+	}
+	if users == nil {
+		t.Fatal("no load observation for users namespace")
+	}
+	// 5 writes + 3 reads.
+	if users.Ops != 8 {
+		t.Fatalf("users ops = %v, want 8", users.Ops)
+	}
+}
+
+func TestLoadTrackingRecordsQueries(t *testing.T) {
+	lc, _ := newSocialCluster(t, 1, 1)
+	seedUsers(t, lc.Cluster, 3)
+	if err := lc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := len(lc.LoadSnapshot())
+	if _, err := lc.Query("findUser", map[string]any{"user": "user0001"}); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(lc.LoadSnapshot()); after < before {
+		t.Fatalf("query did not record load: %d -> %d ranges", before, after)
+	}
+}
+
+func TestRebalancePlanSplitsAndMovesHotRange(t *testing.T) {
+	lc := skewCluster(t)
+	plan := lc.RebalancePlan(BalanceConfig{})
+	if len(plan) == 0 {
+		t.Fatal("skewed cluster produced no plan")
+	}
+	var hasSplit bool
+	for _, a := range plan {
+		if a.Kind == balancer.ActionSplit {
+			hasSplit = true
+			if len(a.At) == 0 {
+				t.Fatalf("split without a key: %v", a)
+			}
+		}
+	}
+	if !hasSplit {
+		t.Fatalf("single-range hotspot should be split first: %v", plan)
+	}
+}
+
+func TestRebalanceExecutesAndDataSurvives(t *testing.T) {
+	lc := skewCluster(t)
+
+	// Round 1: the hot range splits.
+	plan1, err := lc.Rebalance(BalanceConfig{})
+	if err != nil {
+		t.Fatalf("rebalance 1: %v", err)
+	}
+	if len(plan1) == 0 {
+		t.Fatal("no actions executed")
+	}
+	m, _ := lc.Router().Map(planner.TableNamespace("users"))
+	if m.Len() < 2 {
+		t.Fatalf("users map has %d ranges after split round", m.Len())
+	}
+
+	// Window reset: a fresh skewed window drives moves off the hot node.
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 10; j++ {
+			lc.Get("users", Row{"id": fmt.Sprintf("user%04d", j)})
+		}
+		lc.Get("users", Row{"id": "user0030"})
+	}
+	plan2, err := lc.Rebalance(BalanceConfig{})
+	if err != nil {
+		t.Fatalf("rebalance 2: %v", err)
+	}
+	var moved bool
+	for _, a := range plan2 {
+		if a.Kind == balancer.ActionMove {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("second round should move ranges: %v", plan2)
+	}
+
+	// All 40 rows remain readable after splits + moves.
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("user%04d", i)
+		r, found, err := lc.Get("users", Row{"id": id})
+		if err != nil || !found || r["id"] != id {
+			t.Fatalf("Get(%s) after rebalance = %v %v %v", id, r, found, err)
+		}
+	}
+
+	// The moves actually spread primaries across more than one node.
+	m, _ = lc.Router().Map(planner.TableNamespace("users"))
+	primaries := map[string]bool{}
+	for _, rng := range m.Ranges() {
+		primaries[rng.Replicas[0]] = true
+	}
+	if len(primaries) < 2 {
+		t.Fatalf("all ranges still on one primary after rebalance")
+	}
+}
+
+func TestRebalanceIdleWindowIsNoop(t *testing.T) {
+	lc, _ := newSocialCluster(t, 3, 1)
+	plan, err := lc.Rebalance(BalanceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 0 {
+		t.Fatalf("idle cluster rebalanced: %v", plan)
+	}
+}
+
+func TestRebalanceResetsWindow(t *testing.T) {
+	lc := skewCluster(t)
+	if _, err := lc.Rebalance(BalanceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(lc.LoadSnapshot()); n != 0 {
+		t.Fatalf("window not reset: %d ranges still tracked", n)
+	}
+}
+
+func TestRebalanceSplitKeysStayInsideRange(t *testing.T) {
+	lc := skewCluster(t)
+	for _, a := range lc.RebalancePlan(BalanceConfig{}) {
+		if a.Kind != balancer.ActionSplit {
+			continue
+		}
+		m, _ := lc.Router().Map(a.Namespace)
+		rng := m.Lookup(a.At)
+		if !bytes.Equal(rng.Start, a.Start) && len(a.Start) != 0 {
+			t.Fatalf("split key %q not inside range starting %q", a.At, a.Start)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package scads
+
+import (
+	"fmt"
+	"sync"
+
+	"scads/internal/cluster"
+	"scads/internal/partition"
+	"scads/internal/rpc"
+	"scads/internal/storage"
+)
+
+// LocalCluster bundles a Cluster with in-process storage nodes — the
+// form every test, example and simulation uses. Nodes run the same
+// cluster.Node code a TCP deployment serves; only the transport is
+// in-memory.
+type LocalCluster struct {
+	*Cluster
+	Transport *rpc.LocalTransport
+
+	mu     sync.Mutex
+	nodes  map[string]*cluster.Node
+	nextID int
+}
+
+// NewLocalCluster creates n in-memory storage nodes, registers them as
+// serving, and opens a Cluster over them. The Config's Transport and
+// Directory fields are filled in.
+func NewLocalCluster(n int, cfg Config) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scads: local cluster needs at least one node")
+	}
+	cfg = cfg.withDefaults()
+	lt := rpc.NewLocalTransport()
+	dir := cluster.NewDirectory(cfg.Clock)
+	cfg.Transport = lt
+	cfg.Directory = dir
+
+	c, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LocalCluster{
+		Cluster:   c,
+		Transport: lt,
+		nodes:     make(map[string]*cluster.Node),
+	}
+	for i := 0; i < n; i++ {
+		if _, err := lc.AddStorageNode(); err != nil {
+			return nil, err
+		}
+	}
+	return lc, nil
+}
+
+// AddStorageNode boots one more in-memory node, registers it, and
+// marks it serving. Returns the node ID.
+func (lc *LocalCluster) AddStorageNode() (string, error) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.nextID++
+	id := fmt.Sprintf("node-%03d", lc.nextID)
+	engine, err := storage.Open(storage.Options{
+		Clock:  lc.clk,
+		NodeID: uint16(lc.nextID),
+	})
+	if err != nil {
+		return "", err
+	}
+	node := cluster.NewNode(id, engine)
+	lc.nodes[id] = node
+	addr := "local://" + id
+	lc.Transport.Register(addr, node)
+	lc.dir.Join(id, addr)
+	lc.dir.MarkUp(id)
+	return id, nil
+}
+
+// Node returns the in-process node by ID (tests reach into storage
+// state through it).
+func (lc *LocalCluster) Node(id string) (*cluster.Node, bool) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	n, ok := lc.nodes[id]
+	return n, ok
+}
+
+// NodeIDs lists the node IDs in registration order-independent sorted
+// form via the directory.
+func (lc *LocalCluster) NodeIDs() []string {
+	var out []string
+	for _, m := range lc.dir.Members() {
+		out = append(out, m.ID)
+	}
+	return out
+}
+
+// CrashNode simulates a node failure: unreachable and marked down.
+func (lc *LocalCluster) CrashNode(id string) {
+	lc.Transport.SetDown("local://"+id, true)
+	lc.dir.MarkDown(id)
+}
+
+// RecoverNode brings a crashed node back.
+func (lc *LocalCluster) RecoverNode(id string) {
+	lc.Transport.SetDown("local://"+id, false)
+	lc.dir.MarkUp(id)
+}
+
+// PartitionReplica severs only the replication link to the node: it
+// keeps serving reads but stops receiving updates, so its data grows
+// stale — the replica-in-the-disconnected-datacenter of §3.3.1. Writes
+// destined for it park in the deadline queue and deliver after
+// HealReplica.
+func (lc *LocalCluster) PartitionReplica(id string) {
+	lc.Transport.SetApplyDown("local://"+id, true)
+}
+
+// HealReplica restores the replication link severed by
+// PartitionReplica.
+func (lc *LocalCluster) HealReplica(id string) {
+	lc.Transport.SetApplyDown("local://"+id, false)
+}
+
+// MoveRange migrates the partition containing key in the given
+// namespace to a new replica group: it copies the range's records to
+// the new replicas, flips the partition map, and drops the range from
+// nodes that no longer own it. This is the data-movement primitive the
+// director's rebalancer uses when the cluster grows or shrinks.
+func (c *Cluster) MoveRange(namespace string, key []byte, newReplicas []string) error {
+	m, ok := c.router.Map(namespace)
+	if !ok {
+		return fmt.Errorf("scads: no partition map for %s", namespace)
+	}
+	rng := m.Lookup(key)
+
+	// Copy data to replicas that don't already hold it.
+	old := make(map[string]bool, len(rng.Replicas))
+	for _, id := range rng.Replicas {
+		old[id] = true
+	}
+	var additions []string
+	for _, id := range newReplicas {
+		if !old[id] {
+			additions = append(additions, id)
+		}
+	}
+	if len(additions) > 0 {
+		if err := c.copyRange(namespace, rng, additions); err != nil {
+			return err
+		}
+	}
+
+	if err := m.SetReplicas(key, newReplicas); err != nil {
+		return err
+	}
+
+	// Drop the range from nodes that lost it.
+	keep := make(map[string]bool, len(newReplicas))
+	for _, id := range newReplicas {
+		keep[id] = true
+	}
+	for _, id := range rng.Replicas {
+		if keep[id] {
+			continue
+		}
+		addr, okAddr := c.addrOf(id)
+		if !okAddr {
+			continue // down node: it will be decommissioned anyway
+		}
+		resp, err := c.cfg.Transport.Call(addr, rpc.Request{
+			Method: rpc.MethodDropRange, Namespace: namespace,
+			Start: rng.Start, End: rng.End,
+		})
+		if err != nil {
+			return err
+		}
+		if e := resp.Error(); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// copyRange streams the range's records from the current primary to
+// the target nodes in bounded pages.
+func (c *Cluster) copyRange(namespace string, rng partition.Range, targets []string) error {
+	const page = 1024
+	start := rng.Start
+	for {
+		recs, err := c.router.Scan(namespace, start, rng.End, page, partition.ReadPrimary)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			return nil
+		}
+		for _, target := range targets {
+			if err := c.router.Apply(namespace, target, recs); err != nil {
+				return err
+			}
+		}
+		if len(recs) < page {
+			return nil
+		}
+		// Next page starts just after the last key: the smallest key
+		// greater than k is k with a zero byte appended.
+		last := recs[len(recs)-1].Key
+		start = append(append([]byte(nil), last...), 0x00)
+	}
+}
+
+func (c *Cluster) addrOf(nodeID string) (string, bool) {
+	m, ok := c.dir.Get(nodeID)
+	if !ok || m.Status != cluster.StatusUp {
+		return "", false
+	}
+	return m.Addr, true
+}
+
+// ReplicateRangeTo adds targets as additional replicas of the range
+// containing key (used when raising the replication factor to meet a
+// durability SLA — Figure 4 row 5).
+func (c *Cluster) ReplicateRangeTo(namespace string, key []byte, targets []string) error {
+	m, ok := c.router.Map(namespace)
+	if !ok {
+		return fmt.Errorf("scads: no partition map for %s", namespace)
+	}
+	rng := m.Lookup(key)
+	newReplicas := append(append([]string(nil), rng.Replicas...), targets...)
+	return c.MoveRange(namespace, key, newReplicas)
+}

@@ -1,0 +1,183 @@
+package scads
+
+// Golden-model test: a random stream of social-network operations is
+// applied both to a real SCADS cluster and to a naive in-memory model;
+// after quiescence every declared query must return exactly what the
+// model computes by brute force. This pins the whole pipeline — query
+// compilation, index maintenance, replication, merge of layered
+// storage — against an independent implementation of the semantics.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+)
+
+type modelState struct {
+	users   map[string]Row             // id -> profile
+	friends map[string]map[string]bool // f1 -> set of f2
+}
+
+func newModelState() *modelState {
+	return &modelState{
+		users:   make(map[string]Row),
+		friends: make(map[string]map[string]bool),
+	}
+}
+
+func (m *modelState) addFriend(a, b string) {
+	if m.friends[a] == nil {
+		m.friends[a] = make(map[string]bool)
+	}
+	m.friends[a][b] = true
+}
+
+func (m *modelState) removeFriend(a, b string) {
+	delete(m.friends[a], b)
+}
+
+// birthdayQuery computes friendsWithUpcomingBirthdays by brute force.
+func (m *modelState) birthdayQuery(user string, limit int) []Row {
+	type entry struct {
+		bday int64
+		fid  string
+		row  Row
+	}
+	var entries []entry
+	for fid := range m.friends[user] {
+		p, ok := m.users[fid]
+		if !ok {
+			continue
+		}
+		entries = append(entries, entry{p["birthday"].(int64), fid, p})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].bday != entries[j].bday {
+			return entries[i].bday < entries[j].bday
+		}
+		return entries[i].fid < entries[j].fid
+	})
+	if len(entries) > limit {
+		entries = entries[:limit]
+	}
+	out := make([]Row, len(entries))
+	for i, e := range entries {
+		out[i] = e.row
+	}
+	return out
+}
+
+func (m *modelState) friendsQuery(user string) []string {
+	var out []string
+	for fid := range m.friends[user] {
+		out = append(out, fid)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestGoldenModelRandomOps(t *testing.T) {
+	const (
+		seeds    = 5
+		opsPer   = 300
+		userPool = 25
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(seed))
+			vc := clock.NewVirtual(t0)
+			lc, err := NewLocalCluster(3, Config{Clock: vc, ReplicationFactor: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lc.Close()
+			if err := lc.DefineSchema(socialDDL); err != nil {
+				t.Fatal(err)
+			}
+			model := newModelState()
+
+			uid := func() string { return fmt.Sprintf("u%02d", rnd.Intn(userPool)) }
+			for op := 0; op < opsPer; op++ {
+				switch rnd.Intn(10) {
+				case 0, 1, 2: // upsert profile
+					id := uid()
+					r := Row{"id": id, "name": "N" + id, "birthday": int64(rnd.Intn(365) + 1)}
+					if err := lc.Insert("users", r); err != nil {
+						t.Fatal(err)
+					}
+					model.users[id] = r
+				case 3: // delete profile
+					id := uid()
+					if err := lc.Delete("users", Row{"id": id}); err != nil {
+						t.Fatal(err)
+					}
+					delete(model.users, id)
+				case 4, 5, 6, 7: // add friendship
+					a, b := uid(), uid()
+					if a == b {
+						continue
+					}
+					if err := lc.Insert("friendships", Row{"f1": a, "f2": b}); err != nil {
+						t.Fatal(err)
+					}
+					model.addFriend(a, b)
+				case 8: // remove friendship
+					a, b := uid(), uid()
+					if err := lc.Delete("friendships", Row{"f1": a, "f2": b}); err != nil {
+						t.Fatal(err)
+					}
+					model.removeFriend(a, b)
+				case 9: // advance time (staleness deadlines shuffle)
+					vc.Advance(time.Duration(rnd.Intn(5)+1) * time.Second)
+				}
+				if rnd.Intn(7) == 0 {
+					if err := lc.FlushAll(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := lc.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Every user: both queries must match the model exactly.
+			for i := 0; i < userPool; i++ {
+				user := fmt.Sprintf("u%02d", i)
+
+				gotFriends, err := lc.Query("friends", map[string]any{"user": user})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var gotIDs []string
+				for _, r := range gotFriends {
+					gotIDs = append(gotIDs, r["f2"].(string))
+				}
+				sort.Strings(gotIDs)
+				wantIDs := model.friendsQuery(user)
+				if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+					t.Fatalf("friends(%s): got %v want %v", user, gotIDs, wantIDs)
+				}
+
+				gotBday, err := lc.Query("friendsWithUpcomingBirthdays", map[string]any{"user": user})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantBday := model.birthdayQuery(user, 50)
+				if len(gotBday) != len(wantBday) {
+					t.Fatalf("birthdays(%s): got %d rows want %d\n got: %v\nwant: %v",
+						user, len(gotBday), len(wantBday), gotBday, wantBday)
+				}
+				for j := range wantBday {
+					if gotBday[j]["id"] != wantBday[j]["id"] || gotBday[j]["birthday"] != wantBday[j]["birthday"] {
+						t.Fatalf("birthdays(%s)[%d]: got %v want %v", user, j, gotBday[j], wantBday[j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,251 @@
+package scads
+
+import (
+	"fmt"
+	"time"
+
+	"scads/internal/consistency"
+	"scads/internal/partition"
+	"scads/internal/planner"
+	"scads/internal/row"
+	"scads/internal/session"
+)
+
+// Get reads one row by primary key with the table's declared
+// consistency (no session guarantees).
+func (c *Cluster) Get(table string, pk row.Row) (row.Row, bool, error) {
+	return c.GetSession(table, pk, nil)
+}
+
+// GetSession reads one row by primary key, honouring the session's
+// guarantees (read-your-writes / monotonic reads) and the namespace's
+// staleness bound. Replicas whose pending replication exceeds the
+// bound are skipped; if that leaves no acceptable replica, the
+// namespace's declared priority order decides between serving stale
+// data (availability first) and failing the read (read-consistency
+// first) — exactly the §3.3.1 contention example.
+func (c *Cluster) GetSession(table string, pk row.Row, sess *session.Session) (row.Row, bool, error) {
+	start := c.clk.Now()
+	r, found, err := c.getSession(table, pk, sess)
+	c.record(start, err)
+	return r, found, err
+}
+
+func (c *Cluster) getSession(table string, pk row.Row, sess *session.Session) (row.Row, bool, error) {
+	t, err := c.tableDef(table)
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := pkKey(t, pk)
+	if err != nil {
+		return nil, false, err
+	}
+	ns := planner.TableNamespace(table)
+	m, ok := c.router.Map(ns)
+	if !ok {
+		return nil, false, fmt.Errorf("scads: no partition map for %s", ns)
+	}
+	rng := m.Lookup(key)
+	c.loads.Record(ns, rng.Start, key)
+	spec := c.specFor(table)
+	bound := spec.Staleness
+	tracker := c.pump.Tracker()
+
+	var staleSkipped []string
+	try := func(nodeID string) (row.Row, uint64, bool, bool) {
+		val, ver, found, err := c.router.GetFrom(ns, nodeID, key)
+		if err != nil {
+			return nil, 0, false, false
+		}
+		if !sess.Acceptable(table, key, ver, found) {
+			return nil, 0, false, false
+		}
+		if !found {
+			return nil, ver, false, true
+		}
+		r, err := row.Decode(val)
+		if err != nil {
+			return nil, 0, false, false
+		}
+		return r, ver, true, true
+	}
+
+	// Rotate across replicas — reads spread load like the paper's
+	// relaxed-consistency read path; unacceptable answers (session
+	// floor, staleness) fall through to the next replica and
+	// ultimately the primary.
+	n := len(rng.Replicas)
+	off := int(c.readRR.Add(1)) % n
+	for i := 0; i < n; i++ {
+		nodeID := rng.Replicas[(off+i)%n]
+		if bound > 0 && tracker.Staleness(ns, nodeID) > bound {
+			staleSkipped = append(staleSkipped, nodeID)
+			continue
+		}
+		if r, ver, found, ok := try(nodeID); ok {
+			sess.ObserveRead(table, key, ver, found)
+			return r, found, nil
+		}
+	}
+
+	// No fresh replica answered acceptably. Stale replicas remain:
+	// the declared priority order arbitrates (§3.3.1), and the outcome
+	// is noted for the director/operators either way.
+	if len(staleSkipped) > 0 {
+		if spec.Prefers(consistency.AxisReadConsistency, consistency.AxisAvailability) {
+			c.contention.record(ContentionEvent{
+				At: c.clk.Now(), Table: table,
+				Won:        consistency.AxisReadConsistency,
+				Sacrificed: consistency.AxisAvailability,
+			})
+			return nil, false, ErrStaleReplicas
+		}
+		for _, nodeID := range staleSkipped {
+			if r, ver, found, ok := try(nodeID); ok {
+				sess.ObserveRead(table, key, ver, found)
+				c.contention.record(ContentionEvent{
+					At: c.clk.Now(), Table: table,
+					Won:         consistency.AxisAvailability,
+					Sacrificed:  consistency.AxisReadConsistency,
+					StaleServed: true,
+				})
+				return r, found, nil
+			}
+		}
+	}
+	return nil, false, partition.ErrNoReplicaAvailable
+}
+
+// GetStall reads like GetSession but implements §3.3.1's stalling
+// semantics: "if an update takes longer than the bound, a client query
+// would stall until the updates can be confirmed". When the staleness
+// bound is unsatisfiable and read-consistency is prioritised over
+// availability, the read waits (polling on the cluster clock) for
+// replication to catch up instead of failing immediately; it gives up
+// with ErrStaleReplicas only after timeout. Namespaces that prioritise
+// availability never stall — they serve stale data at once.
+func (c *Cluster) GetStall(table string, pk row.Row, sess *session.Session, timeout time.Duration) (row.Row, bool, error) {
+	start := c.clk.Now()
+	deadline := start.Add(timeout)
+	const pollEvery = 5 * time.Millisecond
+	for {
+		r, found, err := c.getSession(table, pk, sess)
+		if err == nil || err != ErrStaleReplicas {
+			c.record(start, err)
+			return r, found, err
+		}
+		if !c.clk.Now().Add(pollEvery).Before(deadline) {
+			c.record(start, err)
+			return nil, false, err
+		}
+		<-c.clk.After(pollEvery)
+	}
+}
+
+// InsertSession is Insert plus read-your-writes bookkeeping: the
+// session records the write so its later reads are guaranteed to see
+// it.
+func (c *Cluster) InsertSession(table string, r row.Row, sess *session.Session) error {
+	if err := c.Insert(table, r); err != nil {
+		return err
+	}
+	c.observeOwnWrite(table, r, sess, false)
+	return nil
+}
+
+// DeleteSession is Delete plus read-your-writes bookkeeping.
+func (c *Cluster) DeleteSession(table string, pk row.Row, sess *session.Session) error {
+	if err := c.Delete(table, pk); err != nil {
+		return err
+	}
+	c.observeOwnWrite(table, pk, sess, true)
+	return nil
+}
+
+func (c *Cluster) observeOwnWrite(table string, pk row.Row, sess *session.Session, deleted bool) {
+	if sess == nil {
+		return
+	}
+	t, err := c.tableDef(table)
+	if err != nil {
+		return
+	}
+	key, err := pkKey(t, pk)
+	if err != nil {
+		return
+	}
+	// The write's exact version is internal; the coordinator's current
+	// HLC is an upper bound that is ≥ the assigned version and < any
+	// later write, so it is a correct floor.
+	sess.ObserveWrite(table, key, c.lastVersion.Load(), deleted)
+}
+
+// Query executes a declared query template with the given parameters,
+// returning at most its LIMIT rows in index order. Every execution is
+// a single bounded contiguous range read (§3.1).
+func (c *Cluster) Query(name string, params map[string]any) ([]row.Row, error) {
+	start := c.clk.Now()
+	rows, err := c.query(name, params)
+	c.record(start, err)
+	return rows, err
+}
+
+func (c *Cluster) query(name string, params map[string]any) ([]row.Row, error) {
+	plan := c.Plan(name)
+	if plan == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownQuery, name)
+	}
+	norm := make(map[string]any, len(params))
+	for k, v := range params {
+		norm[k] = row.Normalize(v)
+	}
+	startKey, endKey, err := planner.ComputeBounds(plan, norm)
+	if err != nil {
+		return nil, err
+	}
+	if m, ok := c.router.Map(plan.Namespace); ok {
+		c.loads.Record(plan.Namespace, m.Lookup(startKey).Start, startKey)
+	}
+
+	if plan.Access == planner.AccessPKGet {
+		val, _, found, err := c.router.Get(plan.Namespace, startKey, partition.ReadAny)
+		if err != nil || !found {
+			return nil, err
+		}
+		r, err := row.Decode(val)
+		if err != nil {
+			return nil, err
+		}
+		return []row.Row{projectRow(r, plan.Project)}, nil
+	}
+
+	recs, err := c.router.Scan(plan.Namespace, startKey, endKey, plan.Limit, partition.ReadAny)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]row.Row, 0, len(recs))
+	for _, rec := range recs {
+		r, err := row.Decode(rec.Value)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Access == planner.AccessTableScan {
+			r = projectRow(r, plan.Project)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// projectRow narrows a stored base row to the plan's projection (index
+// accesses store pre-projected rows, so they skip this).
+func projectRow(r row.Row, project []planner.ProjectCol) row.Row {
+	if len(project) == 0 {
+		return r
+	}
+	cols := make([]string, len(project))
+	for i, pc := range project {
+		cols[i] = pc.Column
+	}
+	return row.Project(r, cols)
+}

@@ -1,0 +1,130 @@
+package scads
+
+import (
+	"fmt"
+	"testing"
+
+	"scads/internal/planner"
+)
+
+func TestSpreadNamespaceMovesData(t *testing.T) {
+	lc, _ := newSocialCluster(t, 2, 1)
+	seedUsers(t, lc.Cluster, 40)
+	lc.FlushAll()
+
+	// Split users into 4 ranges, then add two fresh nodes and spread.
+	if err := lc.SplitTable("users", "user0010", "user0020", "user0030"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := lc.AddStorageNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns := planner.TableNamespace("users")
+	if err := lc.SpreadNamespace(ns); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every key still readable.
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("user%04d", i)
+		if _, found, err := lc.Get("users", Row{"id": id}); err != nil || !found {
+			t.Fatalf("Get(%s) after spread: found=%v err=%v", id, found, err)
+		}
+	}
+	// The ranges now use more than the original node set.
+	m, _ := lc.Router().Map(ns)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nodes := m.NodesInUse(); len(nodes) < 4 {
+		t.Fatalf("spread used only %d nodes: %v", len(nodes), nodes)
+	}
+}
+
+func TestDecommissionDeadPrimary(t *testing.T) {
+	lc, _ := newSocialCluster(t, 3, 2)
+	seedUsers(t, lc.Cluster, 30)
+	lc.FlushAll() // both replicas hold everything
+
+	ns := planner.TableNamespace("users")
+	m, _ := lc.Router().Map(ns)
+	victim := m.Ranges()[0].Replicas[0]
+	lc.CrashNode(victim)
+
+	// Find a serving node not already in the group.
+	var candidate string
+	for _, id := range lc.NodeIDs() {
+		inGroup := false
+		for _, rid := range m.Ranges()[0].Replicas {
+			if rid == id {
+				inGroup = true
+			}
+		}
+		if !inGroup && id != victim {
+			candidate = id
+		}
+	}
+	if candidate == "" {
+		t.Fatal("no candidate node")
+	}
+
+	if err := lc.DecommissionNode(victim, []string{candidate}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dead node is out of every replica group.
+	for _, nsName := range lc.Router().Namespaces() {
+		pm, _ := lc.Router().Map(nsName)
+		if pm.NodesInUse()[victim] {
+			t.Fatalf("victim still referenced by %s", nsName)
+		}
+	}
+	// All data survived (copied from the live replica) and writes work.
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("user%04d", i)
+		if _, found, err := lc.Get("users", Row{"id": id}); err != nil || !found {
+			t.Fatalf("Get(%s) after decommission: found=%v err=%v", id, found, err)
+		}
+	}
+	if err := lc.Insert("users", Row{"id": "post-decom", "name": "X", "birthday": 1}); err != nil {
+		t.Fatalf("write after decommission: %v", err)
+	}
+}
+
+func TestDecommissionShrinksWhenNoCandidate(t *testing.T) {
+	lc, _ := newSocialCluster(t, 2, 2)
+	seedUsers(t, lc.Cluster, 10)
+	lc.FlushAll()
+
+	ns := planner.TableNamespace("users")
+	m, _ := lc.Router().Map(ns)
+	victim := m.Ranges()[0].Replicas[1] // secondary, so copies aren't needed
+	if err := lc.DecommissionNode(victim, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.NodesInUse()[victim] {
+		t.Fatal("victim still in use")
+	}
+	if got := len(m.Ranges()[0].Replicas); got != 1 {
+		t.Fatalf("replica group size = %d, want shrunk to 1", got)
+	}
+}
+
+func TestSpreadAllCoversIndexNamespaces(t *testing.T) {
+	lc, _ := newSocialCluster(t, 2, 1)
+	lc.Insert("users", Row{"id": "bob", "name": "B", "birthday": 3})
+	lc.Insert("friendships", Row{"f1": "alice", "f2": "bob"})
+	lc.FlushAll()
+	for i := 0; i < 2; i++ {
+		lc.AddStorageNode()
+	}
+	if err := lc.SpreadAll(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := lc.Query("friendsWithUpcomingBirthdays", map[string]any{"user": "alice"})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("view after SpreadAll: %v %v", rows, err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package scads is a from-scratch reproduction of SCADS — Scalable
+// Consistency Adjustable Data Storage (Armbrust et al., CIDR 2009):
+// scale-independent storage for social computing applications.
+//
+// A Cluster fronts a set of storage nodes (real TCP daemons or
+// in-process simulated nodes) and provides the paper's three
+// innovations:
+//
+//   - a performance-safe query language: entities and query templates
+//     are declared ahead of time in scadsQL (DefineSchema); each query
+//     is either proven to be a bounded contiguous index lookup with
+//     O(K) maintenance work or rejected before it can ever run;
+//   - declarative consistency: per-namespace specs (ApplyConsistency)
+//     choose the write-conflict mode, staleness bound, session
+//     guarantees, durability target, and the priority order used when
+//     requirements contend;
+//   - scale-up/scale-down machinery: the SLA monitor, performance
+//     models and director (internal/director) grow and shrink the
+//     cluster to meet the declared SLA at minimum cost.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every figure in the paper.
+package scads
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scads/internal/analyzer"
+	"scads/internal/balancer"
+	"scads/internal/clock"
+	"scads/internal/cluster"
+	"scads/internal/consistency"
+	"scads/internal/partition"
+	"scads/internal/planner"
+	"scads/internal/query"
+	"scads/internal/replication"
+	"scads/internal/row"
+	"scads/internal/rpc"
+	"scads/internal/session"
+	"scads/internal/sla"
+	"scads/internal/view"
+)
+
+// Config configures a Cluster.
+type Config struct {
+	// Clock drives timestamps, staleness accounting and SLA windows.
+	// Default: the real clock.
+	Clock clock.Clock
+	// Transport reaches storage nodes. Required.
+	Transport rpc.Transport
+	// Directory tracks node membership. Required.
+	Directory *cluster.Directory
+	// ReplicationFactor is the number of replicas per range (default 1).
+	ReplicationFactor int
+	// DefaultStaleness bounds replication lag for namespaces whose
+	// spec does not declare one (default 30s).
+	DefaultStaleness time.Duration
+	// Analyzer bounds what queries are accepted.
+	Analyzer analyzer.Config
+	// ReplicationOrder selects the queue discipline (ByDeadline is
+	// the paper's design; FIFO exists for the E8 ablation).
+	ReplicationOrder replication.Order
+	// CoordinatorID disambiguates version stamps from this
+	// coordinator (16 bits).
+	CoordinatorID uint16
+	// SLA is the performance SLA the cluster-wide monitor checks.
+	SLA consistency.PerformanceSLA
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.ReplicationFactor < 1 {
+		c.ReplicationFactor = 1
+	}
+	if c.DefaultStaleness <= 0 {
+		c.DefaultStaleness = 30 * time.Second
+	}
+	if c.SLA.Zero() {
+		c.SLA = consistency.PerformanceSLA{
+			Percentile: 99.9, LatencyBound: 100 * time.Millisecond, SuccessRate: 99.99,
+		}
+	}
+	return c
+}
+
+// Errors surfaced by the public API.
+var (
+	ErrNoSchema      = errors.New("scads: no schema defined")
+	ErrUnknownTable  = errors.New("scads: unknown table")
+	ErrUnknownQuery  = errors.New("scads: unknown query")
+	ErrStaleReplicas = errors.New("scads: staleness bound unsatisfiable and read-consistency prioritised over availability")
+)
+
+// Cluster is the client- and coordinator-side handle on a SCADS
+// deployment. Safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	clk    clock.Clock
+	router *partition.Router
+	dir    *cluster.Directory
+	pump   *replication.Pump
+
+	merges     *consistency.MergeRegistry
+	serializer *consistency.Serializer
+	monitor    *sla.Monitor
+	contention contentionLog
+
+	rowMergeMu sync.RWMutex
+	rowMerges  map[string]RowMergeFunc
+
+	loads *balancer.Tracker
+
+	lastVersion atomic.Uint64
+	readRR      atomic.Uint64
+	// lastObservedContention is the contention total already reported
+	// through Observe, so each observation carries only the delta.
+	lastObservedContention atomic.Int64
+
+	mu       sync.RWMutex
+	schema   *query.Schema
+	analysis map[string]*analyzer.Result
+	plans    *planner.Output
+	views    *view.Engine
+	specs    map[string]consistency.Spec // table name -> spec
+	maint    *maintQueue
+	closed   bool
+
+	bgMu   sync.Mutex
+	bgStop chan struct{}
+	bgDone sync.WaitGroup
+}
+
+// Open creates a Cluster over the given transport and directory. Nodes
+// must already be registered in the directory (see AddNode); schema
+// and consistency specs are installed afterwards.
+func Open(cfg Config) (*Cluster, error) {
+	if cfg.Transport == nil || cfg.Directory == nil {
+		return nil, errors.New("scads: Config needs Transport and Directory")
+	}
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		dir:        cfg.Directory,
+		router:     partition.NewRouter(cfg.Transport, cfg.Directory),
+		merges:     consistency.NewMergeRegistry(),
+		serializer: consistency.NewSerializer(1024),
+		monitor:    sla.NewMonitor(cfg.Clock, cfg.SLA, 0),
+		specs:      make(map[string]consistency.Spec),
+		maint:      newMaintQueue(),
+		loads:      balancer.NewTracker(),
+	}
+	queue := replication.NewQueue(cfg.ReplicationOrder)
+	c.pump = replication.NewPump(queue, c.router.Apply, cfg.Clock)
+	return c, nil
+}
+
+// Close marks the cluster closed and stops background pumps.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.StopBackground()
+	c.pump.Stop()
+	return nil
+}
+
+// StartBackground launches replication workers and a maintenance
+// drainer so index updates and replica propagation proceed without the
+// caller driving DrainMaintenance/FlushAll. Intended for real (wall
+// clock) deployments; simulations and deterministic tests drive the
+// queues explicitly instead. Safe to call once; Close stops it.
+func (c *Cluster) StartBackground(replicationWorkers int) {
+	c.bgMu.Lock()
+	defer c.bgMu.Unlock()
+	if c.bgStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	c.bgStop = stop
+	if replicationWorkers < 1 {
+		replicationWorkers = 2
+	}
+	c.pump.Run(replicationWorkers)
+	c.bgDone.Add(1)
+	go func() {
+		defer c.bgDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n, err := c.DrainMaintenance(256)
+			if err != nil || n == 0 {
+				select {
+				case <-stop:
+					return
+				case <-c.clk.After(2 * time.Millisecond):
+				}
+			}
+		}
+	}()
+}
+
+// StopBackground halts goroutines started by StartBackground.
+func (c *Cluster) StopBackground() {
+	c.bgMu.Lock()
+	if c.bgStop == nil {
+		c.bgMu.Unlock()
+		return
+	}
+	close(c.bgStop)
+	c.bgStop = nil
+	c.bgMu.Unlock()
+	c.bgDone.Wait()
+}
+
+// Router exposes the partition router (operational tooling).
+func (c *Cluster) Router() *partition.Router { return c.router }
+
+// Directory exposes cluster membership.
+func (c *Cluster) Directory() *cluster.Directory { return c.dir }
+
+// Pump exposes the replication pump (metrics, draining in tests and
+// simulations).
+func (c *Cluster) Pump() *replication.Pump { return c.pump }
+
+// Monitor exposes the SLA monitor.
+func (c *Cluster) Monitor() *sla.Monitor { return c.monitor }
+
+// Clock exposes the cluster's time source.
+func (c *Cluster) Clock() clock.Clock { return c.clk }
+
+// RegisterMerge binds a named merge function usable in consistency
+// specs (write: merge(name)). The function is applied column-wise to
+// conflicting string columns; use RegisterRowMerge to resolve whole
+// rows instead.
+func (c *Cluster) RegisterMerge(name string, fn consistency.MergeFunc) {
+	c.merges.Register(name, fn)
+}
+
+// RowMergeFunc resolves a write conflict at row granularity: current
+// is the stored row, incoming the new write. Returning nil keeps the
+// incoming row. Both arguments are clones; mutating them is safe.
+type RowMergeFunc func(current, incoming Row) Row
+
+// RegisterRowMerge binds a named row-level merge function usable in
+// consistency specs (write: merge(name)). Row-level merges take
+// precedence over a byte-level function registered under the same
+// name.
+func (c *Cluster) RegisterRowMerge(name string, fn RowMergeFunc) {
+	c.rowMergeMu.Lock()
+	defer c.rowMergeMu.Unlock()
+	if c.rowMerges == nil {
+		c.rowMerges = make(map[string]RowMergeFunc)
+	}
+	c.rowMerges[name] = fn
+}
+
+func (c *Cluster) lookupRowMerge(name string) (RowMergeFunc, bool) {
+	c.rowMergeMu.RLock()
+	defer c.rowMergeMu.RUnlock()
+	fn, ok := c.rowMerges[name]
+	return fn, ok
+}
+
+// NewSession opens a client session with the guarantee level declared
+// for the given table's namespace (SessionNone when unspecified).
+func (c *Cluster) NewSession(table string) *session.Session {
+	c.mu.RLock()
+	spec := c.specs[table]
+	c.mu.RUnlock()
+	return session.New(spec.Session)
+}
+
+// nextVersion is the coordinator's hybrid logical clock.
+func (c *Cluster) nextVersion() uint64 {
+	for {
+		now := uint64(c.clk.Now().UnixNano()) << 16
+		candidate := now | uint64(c.cfg.CoordinatorID)
+		last := c.lastVersion.Load()
+		if candidate <= last {
+			candidate = (last + 1<<16) | uint64(c.cfg.CoordinatorID)
+		}
+		if c.lastVersion.CompareAndSwap(last, candidate) {
+			return candidate
+		}
+	}
+}
+
+// specFor returns the consistency spec governing a table (zero spec
+// with defaults when none was declared).
+func (c *Cluster) specFor(table string) consistency.Spec {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.specs[table]
+}
+
+// stalenessBound returns the declared staleness bound for a table.
+func (c *Cluster) stalenessBound(table string) time.Duration {
+	if s := c.specFor(table).Staleness; s > 0 {
+		return s
+	}
+	return c.cfg.DefaultStaleness
+}
+
+// record wraps an operation with SLA accounting.
+func (c *Cluster) record(start time.Time, err error) {
+	c.monitor.Record(c.clk.Since(start), err == nil)
+}
+
+// Stats summarises coordinator state.
+type Stats struct {
+	Replication replication.Stats
+	Maintenance int // pending asynchronous index-maintenance tasks
+	SLA         sla.Summary
+}
+
+// Stats returns a snapshot.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Replication: c.pump.Stats(),
+		Maintenance: c.maint.Len(),
+		SLA:         c.monitor.Summary(),
+	}
+}
+
+// Row is the public alias for a typed tuple.
+type Row = row.Row

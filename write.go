@@ -1,0 +1,452 @@
+package scads
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"scads/internal/consistency"
+	"scads/internal/partition"
+	"scads/internal/planner"
+	"scads/internal/query"
+	"scads/internal/record"
+	"scads/internal/row"
+)
+
+// Insert stores a new row (or fully replaces an existing one) in a
+// table, honouring the table's declared write-consistency mode, and
+// schedules asynchronous index maintenance and replication.
+func (c *Cluster) Insert(table string, r row.Row) error {
+	start := c.clk.Now()
+	err := c.write(table, r, writeUpsert)
+	c.record(start, err)
+	return err
+}
+
+// Update applies a full-row write with the same semantics as Insert
+// (SCADS rows are documents; partial updates go through UpdateFunc).
+func (c *Cluster) Update(table string, r row.Row) error {
+	return c.Insert(table, r)
+}
+
+// UpdateFunc performs an atomic read-modify-write of the row with the
+// given primary key: fn receives the current row (nil if absent) and
+// returns the replacement (nil means delete). Under the Serializable
+// write mode this is the paper's "writes must be serializable, as in a
+// traditional RDBMS"; under other modes it is still atomic with
+// respect to other UpdateFunc calls through this coordinator.
+func (c *Cluster) UpdateFunc(table string, pk row.Row, fn func(cur row.Row) (row.Row, error)) error {
+	start := c.clk.Now()
+	err := c.updateFunc(table, pk, fn)
+	c.record(start, err)
+	return err
+}
+
+func (c *Cluster) updateFunc(table string, pk row.Row, fn func(cur row.Row) (row.Row, error)) error {
+	t, err := c.tableDef(table)
+	if err != nil {
+		return err
+	}
+	key, err := pkKey(t, pk)
+	if err != nil {
+		return err
+	}
+	ns := planner.TableNamespace(table)
+	return c.serializer.Do(ns, key, func() error {
+		cur, _, err := c.readRow(ns, key)
+		if err != nil {
+			return err
+		}
+		next, err := fn(cur)
+		if err != nil {
+			return err
+		}
+		if next == nil {
+			if cur == nil {
+				return nil
+			}
+			return c.applyWrite(t, key, cur, nil)
+		}
+		normalized, err := c.normalizeRow(t, next)
+		if err != nil {
+			return err
+		}
+		return c.applyWrite(t, key, cur, normalized)
+	})
+}
+
+// Delete tombstones the row with the given primary key.
+func (c *Cluster) Delete(table string, pk row.Row) error {
+	start := c.clk.Now()
+	err := c.delete(table, pk)
+	c.record(start, err)
+	return err
+}
+
+func (c *Cluster) delete(table string, pk row.Row) error {
+	t, err := c.tableDef(table)
+	if err != nil {
+		return err
+	}
+	key, err := pkKey(t, pk)
+	if err != nil {
+		return err
+	}
+	ns := planner.TableNamespace(table)
+	return c.serializer.Do(ns, key, func() error {
+		cur, _, err := c.readRow(ns, key)
+		if err != nil {
+			return err
+		}
+		if cur == nil {
+			return nil
+		}
+		return c.applyWrite(t, key, cur, nil)
+	})
+}
+
+type writeKind int
+
+const (
+	writeUpsert writeKind = iota
+)
+
+// write implements Insert/Update: mode-dependent conflict handling,
+// then the common apply path.
+func (c *Cluster) write(table string, r row.Row, _ writeKind) error {
+	t, err := c.tableDef(table)
+	if err != nil {
+		return err
+	}
+	normalized, err := c.normalizeRow(t, r)
+	if err != nil {
+		return err
+	}
+	key, err := pkKey(t, normalized)
+	if err != nil {
+		return err
+	}
+	ns := planner.TableNamespace(table)
+	spec := c.specFor(table)
+
+	switch spec.Write {
+	case consistency.Serializable, consistency.MergeFunction:
+		// Both modes need the current value atomically.
+		return c.serializer.Do(ns, key, func() error {
+			cur, _, err := c.readRow(ns, key)
+			if err != nil {
+				return err
+			}
+			next := normalized
+			if spec.Write == consistency.MergeFunction && cur != nil {
+				merged, err := c.mergeRows(spec.MergeName, cur, normalized)
+				if err != nil {
+					return err
+				}
+				next = merged
+			}
+			return c.applyWrite(t, key, cur, next)
+		})
+	default: // last-write-wins
+		cur, _, err := c.readRow(ns, key)
+		if err != nil {
+			return err
+		}
+		return c.applyWrite(t, key, cur, normalized)
+	}
+}
+
+// mergeRows resolves a write conflict through the registered merge
+// function (§3.3.1: "the developer may specify a function that will
+// merge conflicting writes"). A row-level merge (RegisterRowMerge)
+// receives both whole rows and returns the winner; otherwise the
+// byte-level function registered under the same name is applied
+// column-wise to differing string columns. Commutative merges make
+// replicas converge regardless of write order.
+func (c *Cluster) mergeRows(mergeName string, old, new row.Row) (row.Row, error) {
+	if fn, ok := c.lookupRowMerge(mergeName); ok {
+		merged := fn(old.Clone(), new.Clone())
+		if merged == nil {
+			return new, nil
+		}
+		return merged, nil
+	}
+	fn, err := c.merges.Lookup(mergeName)
+	if err != nil {
+		return nil, err
+	}
+	merged := new.Clone()
+	for col, ov := range old {
+		nv, ok := merged[col]
+		if !ok {
+			merged[col] = ov
+			continue
+		}
+		os, oldIsStr := ov.(string)
+		ns, newIsStr := nv.(string)
+		if oldIsStr && newIsStr && os != ns {
+			merged[col] = string(fn([]byte(os), []byte(ns)))
+		}
+	}
+	return merged, nil
+}
+
+// applyWrite is the common write path: version the record, write the
+// table primary, enqueue replication to secondaries, and enqueue
+// asynchronous index maintenance with the namespace's staleness
+// deadline.
+func (c *Cluster) applyWrite(t *query.TableDef, key []byte, oldRow, newRow row.Row) error {
+	ns := planner.TableNamespace(t.Name)
+	rec := record.Record{Key: key, Version: c.nextVersion()}
+	if newRow == nil {
+		rec.Tombstone = true
+	} else {
+		val, err := row.Encode(newRow)
+		if err != nil {
+			return err
+		}
+		rec.Value = val
+	}
+
+	m, ok := c.router.Map(ns)
+	if !ok {
+		return fmt.Errorf("scads: no partition map for %s", ns)
+	}
+	rng := m.Lookup(key)
+	c.loads.Record(ns, rng.Start, key)
+	if err := c.router.Apply(ns, rng.Replicas[0], []record.Record{rec}); err != nil {
+		return err
+	}
+	bound := c.stalenessBound(t.Name)
+	if len(rng.Replicas) > 1 {
+		c.pump.Enqueue(ns, rec, rng.Replicas[1:], bound)
+	}
+
+	// Asynchronous index maintenance (§3.2): enqueue the base change;
+	// DrainMaintenance (or the background pump) computes and applies
+	// the bounded index updates before the staleness deadline.
+	c.maint.push(maintTask{
+		table:    t.Name,
+		oldRow:   oldRow,
+		newRow:   newRow,
+		deadline: c.clk.Now().Add(bound),
+	})
+	return nil
+}
+
+// readRow fetches the current row from the primary (nil when absent).
+func (c *Cluster) readRow(ns string, key []byte) (row.Row, uint64, error) {
+	val, ver, found, err := c.router.Get(ns, key, partition.ReadPrimary)
+	if err != nil || !found {
+		return nil, 0, err
+	}
+	r, err := row.Decode(val)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, ver, nil
+}
+
+// DrainMaintenance synchronously runs up to budget pending index
+// maintenance tasks in deadline order, returning how many ran.
+// Simulations call this each tick; FlushAll drains everything.
+func (c *Cluster) DrainMaintenance(budget int) (int, error) {
+	c.mu.RLock()
+	views := c.views
+	c.mu.RUnlock()
+	if views == nil {
+		return 0, nil
+	}
+	n := 0
+	for n < budget {
+		task, ok := c.maint.pop()
+		if !ok {
+			return n, nil
+		}
+		n++
+		muts, err := views.Mutations(task.table, task.oldRow, task.newRow)
+		if err != nil {
+			return n, fmt.Errorf("scads: maintenance for %s: %w", task.table, err)
+		}
+		for _, mut := range muts {
+			if err := c.applyIndexMutation(mut.Namespace, mut.Key, mut.Value); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func (c *Cluster) applyIndexMutation(ns string, key []byte, val row.Row) error {
+	rec := record.Record{Key: key, Version: c.nextVersion()}
+	if val == nil {
+		rec.Tombstone = true
+	} else {
+		enc, err := row.Encode(val)
+		if err != nil {
+			return err
+		}
+		rec.Value = enc
+	}
+	m, ok := c.router.Map(ns)
+	if !ok {
+		return fmt.Errorf("scads: no partition map for %s", ns)
+	}
+	rng := m.Lookup(key)
+	if err := c.router.Apply(ns, rng.Replicas[0], []record.Record{rec}); err != nil {
+		return err
+	}
+	if len(rng.Replicas) > 1 {
+		c.pump.Enqueue(ns, rec, rng.Replicas[1:], c.cfg.DefaultStaleness)
+	}
+	return nil
+}
+
+// FlushAll drains all pending maintenance and replication — the "wait
+// for quiescence" helper used by tests and examples.
+func (c *Cluster) FlushAll() error {
+	for {
+		n, err := c.DrainMaintenance(1024)
+		if err != nil {
+			return err
+		}
+		r := c.pump.Drain(4096)
+		if n == 0 && r == 0 {
+			return nil
+		}
+	}
+}
+
+// MaintenanceBacklog reports pending maintenance tasks and how many
+// are at risk of missing their deadline within margin.
+func (c *Cluster) MaintenanceBacklog(margin time.Duration) (pending, atRisk int) {
+	return c.maint.Len(), c.maint.AtRisk(c.clk.Now(), margin)
+}
+
+// --- deadline-ordered maintenance queue ---
+
+type maintTask struct {
+	table    string
+	oldRow   row.Row
+	newRow   row.Row
+	deadline time.Time
+	seq      int64
+}
+
+type maintQueue struct {
+	mu  sync.Mutex
+	h   maintHeap
+	seq int64
+}
+
+func newMaintQueue() *maintQueue { return &maintQueue{} }
+
+func (q *maintQueue) push(t maintTask) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	t.seq = q.seq
+	heap.Push(&q.h, t)
+}
+
+func (q *maintQueue) pop() (maintTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return maintTask{}, false
+	}
+	return heap.Pop(&q.h).(maintTask), true
+}
+
+// Len reports queue depth.
+func (q *maintQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h)
+}
+
+// AtRisk counts tasks whose deadline is within margin of now.
+func (q *maintQueue) AtRisk(now time.Time, margin time.Duration) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	limit := now.Add(margin)
+	n := 0
+	for _, t := range q.h {
+		if !t.deadline.After(limit) {
+			n++
+		}
+	}
+	return n
+}
+
+type maintHeap []maintTask
+
+func (h maintHeap) Len() int { return len(h) }
+func (h maintHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h maintHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *maintHeap) Push(x any)   { *h = append(*h, x.(maintTask)) }
+func (h *maintHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// tableDef resolves a table by name.
+func (c *Cluster) tableDef(table string) (*query.TableDef, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.schema == nil {
+		return nil, ErrNoSchema
+	}
+	t, ok := c.schema.Tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, table)
+	}
+	return t, nil
+}
+
+// normalizeRow widens literal types and validates against the table's
+// columns; unknown columns are rejected, missing non-key columns are
+// allowed (sparse rows).
+func (c *Cluster) normalizeRow(t *query.TableDef, r row.Row) (row.Row, error) {
+	out := make(row.Row, len(r))
+	for col, v := range r {
+		def, ok := t.Column(col)
+		if !ok {
+			return nil, fmt.Errorf("scads: table %s has no column %q", t.Name, col)
+		}
+		nv := row.Normalize(v)
+		if err := row.CheckType(def.Type, nv); err != nil {
+			return nil, fmt.Errorf("scads: table %s: %w", t.Name, err)
+		}
+		out[col] = nv
+	}
+	for _, pk := range t.PrimaryKey {
+		if _, ok := out[pk]; !ok {
+			return nil, fmt.Errorf("scads: table %s: primary key column %q missing", t.Name, pk)
+		}
+	}
+	return out, nil
+}
+
+// pkKey builds the storage key from a row containing the primary key
+// columns.
+func pkKey(t *query.TableDef, r row.Row) ([]byte, error) {
+	norm := make(row.Row, len(t.PrimaryKey))
+	for _, pk := range t.PrimaryKey {
+		v, ok := r[pk]
+		if !ok {
+			return nil, fmt.Errorf("scads: primary key column %q missing", pk)
+		}
+		norm[pk] = row.Normalize(v)
+	}
+	return row.EncodeKey(norm, t.PrimaryKey)
+}
