@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -31,6 +33,8 @@ import (
 	"scads/internal/record"
 	"scads/internal/replication"
 	"scads/internal/sim"
+	"scads/internal/storage"
+	"scads/internal/wal"
 	"scads/internal/workload"
 )
 
@@ -680,4 +684,144 @@ func BenchmarkE11HotRangeRebalance(b *testing.B) {
 	}
 	b.ReportMetric(float64(m.Len()), "noSplit-final-ranges")
 	b.ReportMetric(float64(len(prim)), "noSplit-primary-nodes")
+}
+
+// --- batched write pipeline and read cache (this repo's scaling work,
+// beyond the paper's figures) ---
+
+// BenchmarkGroupCommitWAL is the acceptance benchmark for the batched
+// group-commit write pipeline: concurrent durable writers through
+// wal.AppendGroup (shared fsync per commit group) versus the unbatched
+// baseline (one private fsync per append, Options.SyncEveryAppend).
+// The batched path must win at >= 4 concurrent writers; fsyncs/op
+// reports how much durability work each configuration actually paid.
+func BenchmarkGroupCommitWAL(b *testing.B) {
+	payload := strings.Repeat("x", 128)
+	for _, writers := range []int{1, 4, 16} {
+		for _, mode := range []string{"unbatched", "group-commit"} {
+			b.Run(fmt.Sprintf("%s/writers=%d", mode, writers), func(b *testing.B) {
+				var opts *wal.Options
+				if mode == "unbatched" {
+					opts = &wal.Options{SyncEveryAppend: true}
+				}
+				l, _, err := wal.Open(b.TempDir(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				b.ResetTimer()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for {
+							i := next.Add(1)
+							if i > int64(b.N) {
+								return
+							}
+							rec := record.Record{
+								Key:     []byte(fmt.Sprintf("w%02d-%09d", w, i)),
+								Value:   []byte(payload),
+								Version: uint64(i),
+							}
+							var appendErr error
+							if mode == "unbatched" {
+								appendErr = l.Append(rec)
+							} else {
+								appendErr = l.AppendGroup(rec)
+							}
+							if appendErr != nil {
+								b.Error(appendErr)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				st := l.Stats()
+				b.ReportMetric(float64(st.Syncs)/float64(b.N), "fsyncs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkReadCache measures the sharded read cache on a namespace
+// whose working set lives in SSTables: cached point gets skip the
+// memtable/SSTable resolution entirely after the first touch.
+func BenchmarkReadCache(b *testing.B) {
+	const keys = 4096
+	for _, mode := range []string{"uncached", "cached"} {
+		b.Run(mode, func(b *testing.B) {
+			cacheBytes := int64(0)
+			if mode == "uncached" {
+				cacheBytes = -1
+			}
+			e, err := storage.Open(storage.Options{Dir: b.TempDir(), NodeID: 1, CacheBytes: cacheBytes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			ns, err := e.Namespace("users")
+			if err != nil {
+				b.Fatal(err)
+			}
+			val := []byte(strings.Repeat("v", 256))
+			for i := 0; i < keys; i++ {
+				if _, err := ns.Put([]byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := ns.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := ns.Get([]byte(fmt.Sprintf("key-%06d", i%keys))); !ok || err != nil {
+					b.Fatalf("get: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsertBatch compares row-at-a-time Insert against the
+// batched coordinator path (InsertBatch), which groups records per
+// primary node into multi-record applies.
+func BenchmarkInsertBatch(b *testing.B) {
+	const chunk = 100
+	for _, mode := range []string{"loop-insert", "insert-batch"} {
+		b.Run(mode, func(b *testing.B) {
+			lc, err := NewLocalCluster(4, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lc.Close()
+			if err := lc.DefineSchema(socialDDL); err != nil {
+				b.Fatal(err)
+			}
+			rows := make([]Row, chunk)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range rows {
+					rows[j] = Row{"id": fmt.Sprintf("u%09d-%02d", i, j), "name": "N", "birthday": 1}
+				}
+				if mode == "loop-insert" {
+					for _, r := range rows {
+						if err := lc.Insert("users", r); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else if err := lc.InsertBatch("users", rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := lc.FlushAll(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }

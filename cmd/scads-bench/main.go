@@ -8,6 +8,11 @@
 //	scads-bench -exp e1        # Figure 1: Animoto scale-up
 //	scads-bench -exp e3        # Figure 3: index-maintenance table
 //	scads-bench -exp e4b       # Figure 4 row 2: write consistency
+//	scads-bench -exp all -csv out/   # capture per-experiment output + index.csv
+//
+// With -csv DIR each experiment's printed series lands in
+// DIR/<id>.out and DIR/index.csv records one row per experiment
+// (id, name, duration, output file) for scripted collection.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 )
@@ -43,7 +49,22 @@ var experiments = []struct {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (e1..e11, e4a..e4e) or 'all'")
+	csvDir := flag.String("csv", "", "directory for per-experiment output files plus index.csv")
 	flag.Parse()
+
+	var index *os.File
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("scads-bench: %v", err)
+		}
+		var err error
+		index, err = os.Create(filepath.Join(*csvDir, "index.csv"))
+		if err != nil {
+			log.Fatalf("scads-bench: %v", err)
+		}
+		defer index.Close()
+		fmt.Fprintln(index, "experiment,name,duration_ms,output_file")
+	}
 
 	ran := false
 	for _, e := range experiments {
@@ -51,8 +72,27 @@ func main() {
 			continue
 		}
 		ran = true
-		fmt.Printf("\n=== %s: %s ===\n\n", strings.ToUpper(e.id), e.name)
 		start := time.Now()
+		if index != nil {
+			// Capture the experiment's printed series in its own file;
+			// progress goes to stderr so scripted runs stay quiet.
+			outPath := filepath.Join(*csvDir, e.id+".out")
+			f, err := os.Create(outPath)
+			if err != nil {
+				log.Fatalf("scads-bench: %v", err)
+			}
+			log.Printf("running %s: %s", e.id, e.name)
+			saved := os.Stdout
+			os.Stdout = f
+			e.run()
+			os.Stdout = saved
+			f.Close()
+			dur := time.Since(start)
+			fmt.Fprintf(index, "%s,%q,%d,%s\n", e.id, e.name, dur.Milliseconds(), e.id+".out")
+			log.Printf("%s completed in %v -> %s", e.id, dur.Truncate(time.Millisecond), outPath)
+			continue
+		}
+		fmt.Printf("\n=== %s: %s ===\n\n", strings.ToUpper(e.id), e.name)
 		e.run()
 		fmt.Printf("\n[%s completed in %v]\n", e.id, time.Since(start).Truncate(time.Millisecond))
 	}

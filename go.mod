@@ -1,0 +1,3 @@
+module scads
+
+go 1.24

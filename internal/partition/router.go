@@ -116,6 +116,87 @@ func (r *Router) Get(namespace string, key []byte, policy ReadPolicy) ([]byte, u
 	return nil, 0, false, ErrNoReplicaAvailable
 }
 
+// GetResult is one key's outcome from GetBatch.
+type GetResult struct {
+	Value   []byte
+	Version uint64
+	Found   bool
+	Err     error
+}
+
+// GetBatch reads many keys with at most one request per storage node:
+// keys are grouped by the replica the policy selects and fetched
+// through one MethodBatch envelope per node, so a coordinator-side
+// multi-get costs a handful of round-trips instead of one per key.
+// Keys whose batched read fails (node unreachable, malformed reply)
+// fall back to the single-key path with its usual replica failover.
+// The returned slice matches keys positionally; per-key failures are
+// reported in GetResult.Err rather than aborting the batch.
+func (r *Router) GetBatch(namespace string, keys [][]byte, policy ReadPolicy) ([]GetResult, error) {
+	m, err := r.mapFor(namespace)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GetResult, len(keys))
+	groups := make(map[string][]int) // addr -> indices into keys
+	for i, key := range keys {
+		rng := m.Lookup(key)
+		addr := ""
+		for _, id := range r.replicaOrder(rng.Replicas, policy) {
+			if a, ok := r.addrOf(id); ok {
+				addr = a
+				break
+			}
+		}
+		if addr == "" {
+			out[i] = GetResult{Err: ErrNoReplicaAvailable}
+			continue
+		}
+		groups[addr] = append(groups[addr], i)
+	}
+	// One flight per node, all in parallel; each goroutine writes a
+	// disjoint set of out indices.
+	var wg sync.WaitGroup
+	for addr, idxs := range groups {
+		wg.Add(1)
+		go func(addr string, idxs []int) {
+			defer wg.Done()
+			subs := make([]rpc.Request, len(idxs))
+			for j, i := range idxs {
+				subs[j] = rpc.Request{Method: rpc.MethodGet, Namespace: namespace, Key: keys[i]}
+			}
+			var resps []rpc.Response
+			if len(subs) == 1 {
+				if resp, err := r.transport.Call(addr, subs[0]); err == nil {
+					resps = []rpc.Response{resp}
+				}
+			} else {
+				resp, err := r.transport.Call(addr, rpc.Request{Method: rpc.MethodBatch, Batch: subs})
+				if err == nil && len(resp.Batch) == len(subs) {
+					resps = resp.Batch
+				}
+			}
+			if resps == nil {
+				for _, i := range idxs {
+					v, ver, found, err := r.Get(namespace, keys[i], policy)
+					out[i] = GetResult{Value: v, Version: ver, Found: found, Err: err}
+				}
+				return
+			}
+			for j, i := range idxs {
+				resp := resps[j]
+				if e := resp.Error(); e != nil {
+					out[i] = GetResult{Err: e}
+					continue
+				}
+				out[i] = GetResult{Value: resp.Value, Version: resp.Version, Found: resp.Found}
+			}
+		}(addr, idxs)
+	}
+	wg.Wait()
+	return out, nil
+}
+
 // GetFrom reads key from one specific replica (used by session
 // guarantees to pin reads and by experiments that measure staleness).
 func (r *Router) GetFrom(namespace, nodeID string, key []byte) ([]byte, uint64, bool, error) {

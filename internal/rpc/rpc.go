@@ -7,6 +7,16 @@
 // path. Every storage node, the router, and the replication pump speak
 // through the Transport interface, so experiments can swap real sockets
 // for simulated ones without touching any other layer.
+//
+// Request coalescing: MethodBatch is an envelope carrying independent
+// sub-requests (Request.Batch) answered positionally (Response.Batch).
+// Handlers support it by delegating to ServeBatch. The Batcher type
+// wraps any Transport and transparently coalesces concurrent calls to
+// the same address into one batch round-trip, so the per-call network
+// and dispatch overhead is amortised across however many coordinator
+// goroutines are in flight — the request-aggregation lever that turns
+// per-node capacity into fleet throughput. A lone call passes through
+// unwrapped, so sequential workloads pay nothing.
 package rpc
 
 import (
@@ -26,6 +36,7 @@ const (
 	MethodApply     = "apply"     // replication: apply pre-versioned records
 	MethodDropRange = "droprange" // partition move cleanup
 	MethodStats     = "stats"
+	MethodBatch     = "batch" // envelope: independent sub-requests answered positionally
 )
 
 // Request is the single request envelope for all methods. Unused
@@ -44,6 +55,9 @@ type Request struct {
 
 	// Records carries pre-versioned writes for MethodApply.
 	Records []record.Record
+
+	// Batch carries the sub-requests of a MethodBatch envelope.
+	Batch []Request
 }
 
 // Response is the reply envelope.
@@ -59,6 +73,10 @@ type Response struct {
 	// Stats payload (MethodStats).
 	RecordCount int64
 	QueueDepth  int
+
+	// Batch carries the sub-responses of a MethodBatch envelope,
+	// positionally matching Request.Batch.
+	Batch []Response
 }
 
 // ErrString converts an error to the wire representation.
@@ -102,4 +120,18 @@ var ErrUnreachable = errors.New("rpc: node unreachable")
 // Unimplemented is a convenience response for unknown methods.
 func Unimplemented(req Request) Response {
 	return Response{ID: req.ID, Err: fmt.Sprintf("rpc: unknown method %q", req.Method)}
+}
+
+// ServeBatch dispatches each sub-request of a MethodBatch envelope
+// through h and assembles the positionally matched replies. Handlers
+// add batch support with a single `case MethodBatch: return
+// rpc.ServeBatch(h, req)`.
+func ServeBatch(h Handler, req Request) Response {
+	out := Response{ID: req.ID, Found: true, Batch: make([]Response, len(req.Batch))}
+	for i, sub := range req.Batch {
+		resp := h.Serve(sub)
+		resp.ID = sub.ID
+		out.Batch[i] = resp
+	}
+	return out
 }

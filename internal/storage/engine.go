@@ -9,6 +9,24 @@
 // The engine substitutes for Cassandra in the paper's implementation
 // plan (§3.4): SCADS needs an ordered, durable, replicable store with
 // predictable per-operation cost, which this provides from scratch.
+//
+// Two cross-cutting layers wrap the per-namespace LSM stacks:
+//
+//   - A sharded, invalidation-aware read cache (Cache) in front of
+//     every namespace, keyed (namespace, key) and striped to avoid
+//     lock contention. Point reads consult it before touching the
+//     memtable or any SSTable; every mutation invalidates its key
+//     under the namespace write lock, so readers can never observe a
+//     value older than the latest applied write. Sized by
+//     Options.CacheBytes.
+//
+//   - A batched write path: ApplyBatch lands a whole record group with
+//     one lock acquisition and one WAL write, and with
+//     Options.SyncWrites the WAL's group commit (wal.AppendGroup /
+//     SyncGroup) shares a single fsync across concurrent writers.
+//     This is the storage half of the RPC-to-WAL batching pipeline —
+//     rpc.Batcher coalesces requests per node, cluster.Node feeds them
+//     here as batches.
 package storage
 
 import (
@@ -45,7 +63,20 @@ type Options struct {
 	// NodeID is mixed into generated versions so writes from different
 	// nodes never collide exactly. 16 bits are used.
 	NodeID uint16
+	// CacheBytes sizes the engine-wide sharded read cache. 0 selects
+	// the default (32 MiB); negative disables caching entirely.
+	CacheBytes int64
+	// CacheShards stripes the read cache (rounded up to a power of
+	// two). Default 16.
+	CacheShards int
+	// SyncWrites makes every accepted mutation durable before it is
+	// acknowledged, using the WAL's group commit so concurrent writers
+	// share fsyncs. Default false: SCADS acknowledges on replication
+	// (§3.3.1), syncing at flush boundaries.
+	SyncWrites bool
 }
+
+const defaultCacheBytes = 32 << 20
 
 func (o Options) withDefaults() Options {
 	if o.MemtableBytes <= 0 {
@@ -57,6 +88,12 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = clock.NewReal()
 	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = defaultCacheBytes
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
 	return o
 }
 
@@ -67,7 +104,8 @@ var namespaceNameRE = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9_.-]*$`)
 
 // Engine owns a set of namespaces.
 type Engine struct {
-	opts Options
+	opts  Options
+	cache *Cache // nil when disabled
 
 	mu         sync.RWMutex
 	namespaces map[string]*Namespace
@@ -81,6 +119,9 @@ type Engine struct {
 func Open(opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	e := &Engine{opts: opts, namespaces: make(map[string]*Namespace)}
+	if opts.CacheBytes > 0 {
+		e.cache = NewCache(opts.CacheBytes, opts.CacheShards)
+	}
 	if opts.Dir == "" {
 		return e, nil
 	}
@@ -237,12 +278,17 @@ func (e *Engine) openNamespace(name string) (*Namespace, error) {
 	return ns, nil
 }
 
+// Cache exposes the engine's read cache (nil when disabled) for
+// metrics and tests.
+func (e *Engine) Cache() *Cache { return e.cache }
+
 // Stats summarises engine state for metrics and the director.
 type Stats struct {
 	Namespaces    int
 	MemtableBytes int64
 	TableCount    int
 	RecordCount   int64
+	Cache         CacheStats
 }
 
 // Stats returns aggregate statistics across namespaces.
@@ -251,6 +297,9 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.RUnlock()
 	var s Stats
 	s.Namespaces = len(e.namespaces)
+	if e.cache != nil {
+		s.Cache = e.cache.Stats()
+	}
 	for _, ns := range e.namespaces {
 		ns.mu.RLock()
 		s.MemtableBytes += ns.mem.Bytes()

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"scads/internal/record"
 )
@@ -226,6 +227,177 @@ func TestSyncEveryAppend(t *testing.T) {
 	defer l.Close()
 	if err := l.Append(rec("k", "v", 1)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAppendBatchRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []record.Record
+	for i := 0; i < 10; i++ {
+		batch = append(batch, rec(fmt.Sprintf("k%02d", i), "v", uint64(i+1)))
+	}
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	st := l.Stats()
+	if st.Appends != 10 {
+		t.Fatalf("appends = %d, want 10", st.Appends)
+	}
+	l.Close()
+
+	_, recovered, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(recovered))
+	}
+	for i, r := range recovered {
+		if want := fmt.Sprintf("k%02d", i); string(r.Key) != want {
+			t.Fatalf("record %d: key %q, want %q", i, r.Key, want)
+		}
+	}
+}
+
+// TestAppendGroupConcurrent drives many concurrent durable writers
+// through the group-commit path: every record must survive recovery
+// and the group accounting must balance.
+func TestAppendGroupConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := l.AppendGroup(rec(fmt.Sprintf("w%d-%03d", w, i), "v", uint64(w*perWriter+i+1))); err != nil {
+					t.Errorf("append group: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.Grouped != writers*perWriter {
+		t.Fatalf("grouped writers = %d, want %d", st.Grouped, writers*perWriter)
+	}
+	if st.Groups == 0 || st.Groups > st.Grouped {
+		t.Fatalf("groups = %d, grouped = %d: inconsistent", st.Groups, st.Grouped)
+	}
+	if st.Syncs > st.Appends {
+		t.Fatalf("syncs = %d exceeds appends = %d", st.Syncs, st.Appends)
+	}
+	t.Logf("group commit: %d appends, %d fsyncs (%.1f writers/fsync)",
+		st.Appends, st.Syncs, float64(st.Grouped)/float64(st.Groups))
+	l.Close()
+
+	_, recovered, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != writers*perWriter {
+		t.Fatalf("recovered %d, want %d", len(recovered), writers*perWriter)
+	}
+}
+
+// TestGroupCommitCoalesces proves the fsync-sharing property
+// deterministically: while the leader is parked before its group
+// fsync, later committers pile into the waiter queue and must all be
+// flushed by one further fsync.
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const followers = 5
+	release := make(chan struct{})
+	var parked sync.Once
+	l.testHookBeforeGroupSync = func() {
+		parked.Do(func() { <-release })
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() { leaderDone <- l.AppendGroup(rec("leader", "v", 1)) }()
+
+	// Wait until the leader is parked in the hook, then pile on
+	// followers and wait until they are all queued.
+	waitQueued := func(n int) {
+		for i := 0; i < 2000; i++ {
+			l.syncMu.Lock()
+			queued := len(l.syncWaiters)
+			l.syncMu.Unlock()
+			if queued >= n {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %d queued waiters", n)
+	}
+
+	followerDone := make(chan error, followers)
+	go func() {
+		// The leader drains its own entry from the queue before the
+		// hook runs, so the queue is empty while it is parked.
+		for w := 0; w < followers; w++ {
+			go func(w int) {
+				followerDone <- l.AppendGroup(rec(fmt.Sprintf("f%d", w), "v", uint64(w+2)))
+			}(w)
+		}
+	}()
+	waitQueued(followers)
+	close(release)
+
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < followers; w++ {
+		if err := <-followerDone; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Groups != 2 {
+		t.Fatalf("groups = %d, want 2 (leader alone, then all followers together)", st.Groups)
+	}
+	if st.Grouped != followers+1 {
+		t.Fatalf("grouped = %d, want %d", st.Grouped, followers+1)
+	}
+	if st.Syncs != 2 {
+		t.Fatalf("syncs = %d, want 2: %d committers shared 2 fsyncs", st.Syncs, followers+1)
+	}
+}
+
+func TestSyncGroupClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.SyncGroup(); err != ErrClosed {
+		t.Fatalf("SyncGroup on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.AppendGroup(rec("k", "v", 1)); err != ErrClosed {
+		t.Fatalf("AppendGroup on closed log: %v, want ErrClosed", err)
 	}
 }
 

@@ -60,10 +60,15 @@ func (lc *LocalCluster) AddStorageNode() (string, error) {
 	defer lc.mu.Unlock()
 	lc.nextID++
 	id := fmt.Sprintf("node-%03d", lc.nextID)
-	engine, err := storage.Open(storage.Options{
-		Clock:  lc.clk,
-		NodeID: uint16(lc.nextID),
-	})
+	sopts := lc.cfg.NodeStorage
+	sopts.Clock = lc.clk
+	sopts.NodeID = uint16(lc.nextID)
+	if sopts.Dir != "" {
+		// Per-node subdirectory so nodes sharing a configured data
+		// root never collide.
+		sopts.Dir = fmt.Sprintf("%s/%s", sopts.Dir, id)
+	}
+	engine, err := storage.Open(sopts)
 	if err != nil {
 		return "", err
 	}

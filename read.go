@@ -116,6 +116,64 @@ func (c *Cluster) getSession(table string, pk row.Row, sess *session.Session) (r
 	return nil, false, partition.ErrNoReplicaAvailable
 }
 
+// GetMulti reads many rows by primary key in one coordinator pass:
+// keys are grouped by node and fetched through one batched request
+// per node (partition.Router.GetBatch), so a page assembling N rows
+// costs a handful of round-trips instead of N. Reads go to each
+// range's primary, so every result is at least as fresh as Get's;
+// no session bookkeeping is applied. Results are positional: rows[i]
+// and found[i] answer pks[i].
+func (c *Cluster) GetMulti(table string, pks []row.Row) (rows []row.Row, found []bool, err error) {
+	start := c.clk.Now()
+	rows, found, err = c.getMulti(table, pks)
+	c.record(start, err)
+	return rows, found, err
+}
+
+func (c *Cluster) getMulti(table string, pks []row.Row) ([]row.Row, []bool, error) {
+	if len(pks) == 0 {
+		return nil, nil, nil
+	}
+	t, err := c.tableDef(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	ns := planner.TableNamespace(table)
+	m, ok := c.router.Map(ns)
+	if !ok {
+		return nil, nil, fmt.Errorf("scads: no partition map for %s", ns)
+	}
+	keys := make([][]byte, len(pks))
+	for i, pk := range pks {
+		key, err := pkKey(t, pk)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys[i] = key
+		c.loads.Record(ns, m.Lookup(key).Start, key)
+	}
+	res, err := c.router.GetBatch(ns, keys, partition.ReadPrimary)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]row.Row, len(pks))
+	found := make([]bool, len(pks))
+	for i, gr := range res {
+		if gr.Err != nil {
+			return nil, nil, gr.Err
+		}
+		if !gr.Found {
+			continue
+		}
+		r, err := row.Decode(gr.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows[i], found[i] = r, true
+	}
+	return rows, found, nil
+}
+
 // GetStall reads like GetSession but implements §3.3.1's stalling
 // semantics: "if an update takes longer than the bound, a client query
 // would stall until the updates can be confirmed". When the staleness

@@ -41,6 +41,7 @@ import (
 	"scads/internal/rpc"
 	"scads/internal/session"
 	"scads/internal/sla"
+	"scads/internal/storage"
 	"scads/internal/view"
 )
 
@@ -68,6 +69,16 @@ type Config struct {
 	CoordinatorID uint16
 	// SLA is the performance SLA the cluster-wide monitor checks.
 	SLA consistency.PerformanceSLA
+	// DisableBatching turns off transparent request coalescing. By
+	// default the coordinator wraps Transport in an rpc.Batcher, so
+	// concurrent requests to the same node share one round-trip
+	// (sequential requests pass through unwrapped and unchanged).
+	DisableBatching bool
+	// NodeStorage configures the storage engines of in-process nodes
+	// created by LocalCluster (read-cache size, synchronous writes,
+	// data directory, ...). Clock and NodeID are filled in per node.
+	// Ignored for clusters over remote nodes.
+	NodeStorage storage.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -99,11 +110,12 @@ var (
 // Cluster is the client- and coordinator-side handle on a SCADS
 // deployment. Safe for concurrent use.
 type Cluster struct {
-	cfg    Config
-	clk    clock.Clock
-	router *partition.Router
-	dir    *cluster.Directory
-	pump   *replication.Pump
+	cfg     Config
+	clk     clock.Clock
+	router  *partition.Router
+	dir     *cluster.Directory
+	pump    *replication.Pump
+	batcher *rpc.Batcher // nil when batching disabled
 
 	merges     *consistency.MergeRegistry
 	serializer *consistency.Serializer
@@ -143,11 +155,22 @@ func Open(cfg Config) (*Cluster, error) {
 		return nil, errors.New("scads: Config needs Transport and Directory")
 	}
 	cfg = cfg.withDefaults()
+	// The router's transport is the request-coalescing seam: every
+	// hot-path read, write, and replication apply below this point
+	// shares round-trips with whatever else is in flight to the same
+	// node.
+	transport := cfg.Transport
+	var batcher *rpc.Batcher
+	if !cfg.DisableBatching {
+		batcher = rpc.NewBatcher(transport)
+		transport = batcher
+	}
 	c := &Cluster{
 		cfg:        cfg,
 		clk:        cfg.Clock,
 		dir:        cfg.Directory,
-		router:     partition.NewRouter(cfg.Transport, cfg.Directory),
+		batcher:    batcher,
+		router:     partition.NewRouter(transport, cfg.Directory),
 		merges:     consistency.NewMergeRegistry(),
 		serializer: consistency.NewSerializer(1024),
 		monitor:    sla.NewMonitor(cfg.Clock, cfg.SLA, 0),
@@ -324,15 +347,20 @@ type Stats struct {
 	Replication replication.Stats
 	Maintenance int // pending asynchronous index-maintenance tasks
 	SLA         sla.Summary
+	Batching    rpc.BatcherStats // request coalescing (zero when disabled)
 }
 
 // Stats returns a snapshot.
 func (c *Cluster) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Replication: c.pump.Stats(),
 		Maintenance: c.maint.Len(),
 		SLA:         c.monitor.Summary(),
 	}
+	if c.batcher != nil {
+		s.Batching = c.batcher.Stats()
+	}
+	return s
 }
 
 // Row is the public alias for a typed tuple.

@@ -30,6 +30,146 @@ func (c *Cluster) Update(table string, r row.Row) error {
 	return c.Insert(table, r)
 }
 
+// InsertBatch stores many rows in one coordinator pass: rows are
+// normalized and versioned together, current row images are fetched
+// with one batched read per node, and the new records are delivered
+// as one multi-record apply per primary (one RPC, one WAL write, and
+// — on engines with synchronous writes — one shared group-commit
+// fsync). Replication and asynchronous index maintenance are enqueued
+// per row exactly as Insert does, so consistency semantics are
+// unchanged; tables whose spec declares serializable or merge write
+// modes fall back to the per-row conflict-aware path.
+func (c *Cluster) InsertBatch(table string, rows []row.Row) error {
+	start := c.clk.Now()
+	err := c.insertBatch(table, rows)
+	c.record(start, err)
+	return err
+}
+
+func (c *Cluster) insertBatch(table string, rows []row.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	t, err := c.tableDef(table)
+	if err != nil {
+		return err
+	}
+	spec := c.specFor(table)
+	if spec.Write == consistency.Serializable || spec.Write == consistency.MergeFunction {
+		// Conflict-aware modes need an atomic read-modify-write per
+		// row; the transport-level batcher still coalesces their RPCs.
+		for _, r := range rows {
+			if err := c.write(table, r, writeUpsert); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ns := planner.TableNamespace(table)
+	m, ok := c.router.Map(ns)
+	if !ok {
+		return fmt.Errorf("scads: no partition map for %s", ns)
+	}
+
+	normalized := make([]row.Row, len(rows))
+	keys := make([][]byte, len(rows))
+	for i, r := range rows {
+		nr, err := c.normalizeRow(t, r)
+		if err != nil {
+			return err
+		}
+		key, err := pkKey(t, nr)
+		if err != nil {
+			return err
+		}
+		normalized[i], keys[i] = nr, key
+	}
+
+	// Index maintenance needs each row's old image to retire stale
+	// index entries; fetch them all with one batched read per node.
+	curs, err := c.router.GetBatch(ns, keys, partition.ReadPrimary)
+	if err != nil {
+		return err
+	}
+
+	bound := c.stalenessBound(t.Name)
+	type followUp struct {
+		rec      record.Record
+		replicas []string
+		oldRow   row.Row
+		newRow   row.Row
+	}
+	groups := make(map[string][]followUp) // primary node -> its rows
+	// Later duplicates of a key within the batch must see the earlier
+	// row as their old image, or index maintenance would never retire
+	// the entries the earlier write created.
+	prevInBatch := make(map[string]row.Row)
+	for i, nr := range normalized {
+		if curs[i].Err != nil {
+			return curs[i].Err
+		}
+		var oldRow row.Row
+		if curs[i].Found {
+			if oldRow, err = row.Decode(curs[i].Value); err != nil {
+				return err
+			}
+		}
+		if prev, ok := prevInBatch[string(keys[i])]; ok {
+			oldRow = prev
+		}
+		prevInBatch[string(keys[i])] = nr
+		val, err := row.Encode(nr)
+		if err != nil {
+			return err
+		}
+		rec := record.Record{Key: keys[i], Value: val, Version: c.nextVersion()}
+		rng := m.Lookup(keys[i])
+		c.loads.Record(ns, rng.Start, keys[i])
+		groups[rng.Replicas[0]] = append(groups[rng.Replicas[0]],
+			followUp{rec: rec, replicas: rng.Replicas, oldRow: oldRow, newRow: nr})
+	}
+	// Apply the node groups concurrently. Replication and index
+	// maintenance for a group are enqueued as soon as that group's
+	// primary write lands — a failure of one node's group never
+	// strands another group's applied records without follow-up.
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for node, ups := range groups {
+		wg.Add(1)
+		go func(node string, ups []followUp) {
+			defer wg.Done()
+			recs := make([]record.Record, len(ups))
+			for i, u := range ups {
+				recs[i] = u.rec
+			}
+			if err := c.router.Apply(ns, node, recs); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for _, u := range ups {
+				if len(u.replicas) > 1 {
+					c.pump.Enqueue(ns, u.rec, u.replicas[1:], bound)
+				}
+				c.maint.push(maintTask{
+					table:    t.Name,
+					oldRow:   u.oldRow,
+					newRow:   u.newRow,
+					deadline: c.clk.Now().Add(bound),
+				})
+			}
+		}(node, ups)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // UpdateFunc performs an atomic read-modify-write of the row with the
 // given primary key: fn receives the current row (nil if absent) and
 // returns the replacement (nil means delete). Under the Serializable
