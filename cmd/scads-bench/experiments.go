@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"runtime"
 	"strings"
 	"time"
@@ -540,9 +541,13 @@ func runE8() {
 
 // --- helpers ---
 
+// must aborts the experiment run on an unexpected error. log.Fatal
+// rather than panic: an operational failure (port in use, disk full)
+// should print one line, not a goroutine dump — panic(err) is reserved
+// for the library's Must* static-input constructors.
 func must(err error) {
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 }
 

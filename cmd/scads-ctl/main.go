@@ -11,6 +11,16 @@
 //	scads-ctl -addr host:7070 scan -ns tbl_users -start a -end z -limit 20
 //	scads-ctl -addr a:7070,b:7070 stats        # fan out to many nodes
 //	scads-ctl -addr host:7070 droprange -ns tbl_users -start a -end b
+//	scads-ctl -addr host:7070 watermark -ns tbl_users
+//	scads-ctl -addr host:7070 fence   -ns tbl_users -start a -end b
+//	scads-ctl -addr host:7070 unfence -ns tbl_users -start a -end b
+//
+// watermark prints the namespace's apply epoch/sequence — the delta
+// baseline online migrations catch up from; comparing a donor's
+// watermark across two probes shows whether it is still taking
+// writes. fence/unfence install and lift a migration write fence by
+// hand (repair tooling; the migration manager drives them itself).
+// stats includes the node's installed fence count.
 //
 // Keys are given as text; pass -hex to supply hex-encoded binary keys
 // (index namespaces use order-preserving binary encodings).
@@ -98,7 +108,7 @@ func runOne(tr rpc.Transport, addr, cmd string, p params) error {
 		if e := resp.Error(); e != nil {
 			return e
 		}
-		fmt.Printf("%s: records=%d queue-depth=%d\n", addr, resp.RecordCount, resp.QueueDepth)
+		fmt.Printf("%s: records=%d queue-depth=%d fenced-ranges=%d\n", addr, resp.RecordCount, resp.QueueDepth, resp.Fenced)
 		return nil
 
 	case "get":
@@ -172,11 +182,52 @@ func runOne(tr rpc.Transport, addr, cmd string, p params) error {
 		if er := resp.Error(); er != nil {
 			return er
 		}
-		fmt.Printf("%s: range dropped\n", addr)
+		fmt.Printf("%s: range dropped (%d memtable records unlinked)\n", addr, resp.RecordCount)
+		return nil
+
+	case "watermark":
+		if p.ns == "" {
+			return fmt.Errorf("watermark needs -ns")
+		}
+		resp, err := tr.Call(addr, rpc.Request{
+			Method: rpc.MethodRangeSnapshot, Namespace: p.ns, Limit: -1,
+		})
+		if err != nil {
+			return err
+		}
+		if er := resp.Error(); er != nil {
+			return er
+		}
+		fmt.Printf("%s: epoch=%d seq=%d\n", addr, resp.Epoch, resp.Watermark)
+		return nil
+
+	case "fence", "unfence":
+		if p.ns == "" {
+			return fmt.Errorf("%s needs -ns", cmd)
+		}
+		s, err := p.decode(p.start)
+		if err != nil {
+			return err
+		}
+		e, err := p.decode(p.end)
+		if err != nil {
+			return err
+		}
+		resp, err := tr.Call(addr, rpc.Request{
+			Method: rpc.MethodRangeFence, Namespace: p.ns,
+			Start: s, End: e, Fence: cmd == "fence",
+		})
+		if err != nil {
+			return err
+		}
+		if er := resp.Error(); er != nil {
+			return er
+		}
+		fmt.Printf("%s: %sd\n", addr, cmd)
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (ping, stats, get, scan, droprange)", cmd)
+		return fmt.Errorf("unknown command %q (ping, stats, get, scan, droprange, watermark, fence, unfence)", cmd)
 	}
 }
 

@@ -124,3 +124,39 @@ func TestPrintable(t *testing.T) {
 		t.Errorf("printable(binary) = %q", got)
 	}
 }
+
+func TestCtlWatermarkAndFence(t *testing.T) {
+	addr := startNode(t)
+	seed(t, addr, "alice", "bob")
+	tr := rpc.NewTCPTransport()
+
+	if err := runOne(tr, addr, "watermark", params{ns: "tbl_users"}); err != nil {
+		t.Fatalf("watermark: %v", err)
+	}
+	if err := runOne(tr, addr, "watermark", params{}); err == nil {
+		t.Fatal("watermark without -ns should fail")
+	}
+
+	if err := runOne(tr, addr, "fence", params{ns: "tbl_users", start: "a", end: "c"}); err != nil {
+		t.Fatalf("fence: %v", err)
+	}
+	// Writes inside the fence bounce with the migration fence error.
+	resp, err := tr.Call(addr, rpc.Request{
+		Method: rpc.MethodPut, Namespace: "tbl_users", Key: []byte("bob"), Value: []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpc.IsFenced(resp.Error()) {
+		t.Fatalf("put through fence = %v", resp.Error())
+	}
+	if err := runOne(tr, addr, "unfence", params{ns: "tbl_users", start: "a", end: "c"}); err != nil {
+		t.Fatalf("unfence: %v", err)
+	}
+	resp, err = tr.Call(addr, rpc.Request{
+		Method: rpc.MethodPut, Namespace: "tbl_users", Key: []byte("bob"), Value: []byte("x"),
+	})
+	if err != nil || resp.Error() != nil {
+		t.Fatalf("put after unfence: %v %v", err, resp.Error())
+	}
+}

@@ -33,8 +33,11 @@ func (c *Cluster) Observe(margin time.Duration) director.Observation {
 // ElasticActuator adapts a LocalCluster into the director's Actuator:
 // Request boots real storage nodes and respreads every namespace onto
 // them; Release decommissions the newest nodes, migrating their ranges
-// to survivors first. This closes the Figure 2 loop against actual
-// data-bearing nodes rather than the abstract cloud simulator.
+// to survivors first. Both directions move data through the online
+// migration manager (snapshot → delta catch-up → fenced handoff), so
+// a scale action under write load never drops an acknowledged write.
+// This closes the Figure 2 loop against actual data-bearing nodes
+// rather than the abstract cloud simulator.
 type ElasticActuator struct {
 	lc *LocalCluster
 	// OnError receives rebalancing errors (default: log).

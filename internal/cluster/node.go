@@ -17,6 +17,9 @@ type Node struct {
 	id     string
 	engine *storage.Engine
 
+	// fences rejects writes into ranges mid-handoff (see fenceSet).
+	fences fenceSet
+
 	// Request counters for capacity modelling.
 	reads  atomic.Int64
 	writes atomic.Int64
@@ -55,6 +58,12 @@ func (n *Node) Serve(req rpc.Request) rpc.Response {
 		return n.apply(req)
 	case rpc.MethodDropRange:
 		return n.dropRange(req)
+	case rpc.MethodRangeSnapshot:
+		return n.rangeSnapshot(req)
+	case rpc.MethodRangeDelta:
+		return n.rangeDelta(req)
+	case rpc.MethodRangeFence:
+		return n.rangeFence(req)
 	case rpc.MethodStats:
 		return n.stats(req)
 	case rpc.MethodBatch:
@@ -90,6 +99,9 @@ func (n *Node) get(req rpc.Request) rpc.Response {
 
 func (n *Node) put(req rpc.Request) rpc.Response {
 	n.writes.Add(1)
+	if n.fences.covers(req.Namespace, req.Key) {
+		return rpc.Response{Err: rpc.ErrString(rpc.ErrFenced)}
+	}
 	ns, errResp, ok := n.namespace(req.Namespace)
 	if !ok {
 		return errResp
@@ -103,6 +115,9 @@ func (n *Node) put(req rpc.Request) rpc.Response {
 
 func (n *Node) del(req rpc.Request) rpc.Response {
 	n.writes.Add(1)
+	if n.fences.covers(req.Namespace, req.Key) {
+		return rpc.Response{Err: rpc.ErrString(rpc.ErrFenced)}
+	}
 	ns, errResp, ok := n.namespace(req.Namespace)
 	if !ok {
 		return errResp
@@ -138,6 +153,9 @@ func (n *Node) scan(req rpc.Request) rpc.Response {
 
 func (n *Node) apply(req rpc.Request) rpc.Response {
 	n.writes.Add(1)
+	if n.fences.anyCovered(req.Namespace, req.Records) {
+		return rpc.Response{Err: rpc.ErrString(rpc.ErrFenced)}
+	}
 	ns, errResp, ok := n.namespace(req.Namespace)
 	if !ok {
 		return errResp
@@ -151,29 +169,98 @@ func (n *Node) apply(req rpc.Request) rpc.Response {
 	return rpc.Response{Found: true}
 }
 
+// dropRange physically truncates [Start, End) — one memtable range
+// unlink, per-SSTable exclusions resolved by one compaction, one WAL
+// reset. The old implementation tombstoned key by key (one WAL append
+// and, under SyncWrites, one fsync each), stalling the donor node
+// after every migration; worse, the fresh-versioned teardown
+// tombstones would shadow legitimately re-installed records if the
+// range ever migrated back. RecordCount reports memtable unlinks.
 func (n *Node) dropRange(req rpc.Request) rpc.Response {
 	ns, errResp, ok := n.namespace(req.Namespace)
 	if !ok {
 		return errResp
 	}
-	// Collect keys first (the scan snapshot makes this safe), then
-	// tombstone them.
-	var keys [][]byte
+	removed, err := ns.TruncateRange(req.Start, req.End)
+	if err != nil {
+		return rpc.Response{Err: rpc.ErrString(err)}
+	}
+	return rpc.Response{Found: true, RecordCount: int64(removed)}
+}
+
+// rangeSnapshot serves one page of a range's records — tombstones
+// included, so a deleted key can never resurrect on the recipient —
+// together with the apply watermark captured *before* the scan. The
+// migration manager keeps the first page's watermark as its delta
+// baseline: anything modified after it is re-fetched by
+// MethodRangeDelta, so later pages racing with writes are safe
+// (last-write-wins applies dedupe re-sent records). Limit < 0 returns
+// the watermark alone (operator tooling).
+func (n *Node) rangeSnapshot(req rpc.Request) rpc.Response {
+	n.reads.Add(1)
+	ns, errResp, ok := n.namespace(req.Namespace)
+	if !ok {
+		return errResp
+	}
+	epoch, wm := ns.ApplyWatermark()
+	resp := rpc.Response{Found: true, Epoch: epoch, Watermark: wm}
+	if req.Limit < 0 {
+		return resp
+	}
+	limit := req.Limit
+	if limit == 0 || limit > 10000 {
+		limit = 10000
+	}
 	err := ns.ScanAll(req.Start, req.End, func(r record.Record) bool {
-		if !r.Tombstone {
-			keys = append(keys, append([]byte(nil), r.Key...))
-		}
-		return true
+		resp.Records = append(resp.Records, r.Clone())
+		return len(resp.Records) < limit
 	})
 	if err != nil {
 		return rpc.Response{Err: rpc.ErrString(err)}
 	}
-	for _, k := range keys {
-		if _, err := ns.Delete(k); err != nil {
-			return rpc.Response{Err: rpc.ErrString(err)}
-		}
+	return resp
+}
+
+// rangeDelta serves the records modified after the caller's watermark.
+// A baseline the node cannot serve (restart, or older than the
+// retained delta log) returns ErrSnapshotGap and the caller restarts
+// from a full snapshot.
+func (n *Node) rangeDelta(req rpc.Request) rpc.Response {
+	n.reads.Add(1)
+	ns, errResp, ok := n.namespace(req.Namespace)
+	if !ok {
+		return errResp
 	}
-	return rpc.Response{Found: true, RecordCount: int64(len(keys))}
+	limit := req.Limit
+	if limit <= 0 || limit > 10000 {
+		limit = 10000
+	}
+	recs, wm, ok2, err := ns.ScanSince(req.Epoch, req.Since, req.Start, req.End, limit)
+	if err != nil {
+		return rpc.Response{Err: rpc.ErrString(err)}
+	}
+	if !ok2 {
+		return rpc.Response{Err: rpc.ErrString(rpc.ErrSnapshotGap)}
+	}
+	out := make([]record.Record, len(recs))
+	for i, r := range recs {
+		out[i] = r.Clone()
+	}
+	return rpc.Response{Found: true, Records: out, Epoch: req.Epoch, Watermark: wm}
+}
+
+// rangeFence installs (req.Fence) or lifts a write fence over
+// [Start, End). Both directions are idempotent.
+func (n *Node) rangeFence(req rpc.Request) rpc.Response {
+	if req.Namespace == "" {
+		return rpc.Response{Err: "cluster: rangefence needs a namespace"}
+	}
+	if req.Fence {
+		n.fences.add(req.Namespace, req.Start, req.End)
+	} else {
+		n.fences.remove(req.Namespace, req.Start, req.End)
+	}
+	return rpc.Response{Found: true}
 }
 
 func (n *Node) stats(req rpc.Request) rpc.Response {
@@ -181,5 +268,6 @@ func (n *Node) stats(req rpc.Request) rpc.Response {
 	return rpc.Response{
 		Found:       true,
 		RecordCount: s.RecordCount,
+		Fenced:      n.fences.count(),
 	}
 }

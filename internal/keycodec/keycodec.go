@@ -118,7 +118,10 @@ func Encode(elems ...any) ([]byte, error) {
 }
 
 // MustEncode is Encode but panics on unsupported element types. It is
-// intended for statically known tuples such as test fixtures.
+// strictly for statically known tuples (test fixtures, compiled-in
+// constants) — the regexp.MustCompile convention. Any path encoding
+// caller- or wire-supplied values must use Encode/Append and return
+// the error; no library code calls MustEncode.
 func MustEncode(elems ...any) []byte {
 	b, err := Encode(elems...)
 	if err != nil {

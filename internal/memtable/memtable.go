@@ -84,6 +84,33 @@ func (m *Memtable) Put(rec record.Record) bool {
 	return true
 }
 
+// DeleteRange physically unlinks every entry with start <= key < end
+// (nil bounds are infinite) and returns how many were removed. Unlike
+// tombstoning, the records are simply gone — used by online range
+// migration teardown, where a versioned tombstone would shadow the
+// legitimately re-installed record if the range ever migrates back.
+func (m *Memtable) DeleteRange(start, end []byte) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var prev [maxHeight]*node
+	n := m.findGreaterOrEqual(start, &prev)
+	removed := 0
+	for n != nil && (end == nil || bytes.Compare(n.rec.Key, end) < 0) {
+		next := n.next[0]
+		for i := 0; i < m.height; i++ {
+			if prev[i].next[i] == n {
+				prev[i].next[i] = n.next[i]
+			}
+		}
+		m.count--
+		m.bytes -= int64(n.rec.MemSize())
+		removed++
+		n = next
+	}
+	return removed
+}
+
 // Get returns the record stored under key. Tombstones are returned
 // with ok=true and Tombstone set; callers decide how to surface them.
 func (m *Memtable) Get(key []byte) (record.Record, bool) {

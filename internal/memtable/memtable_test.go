@@ -303,3 +303,58 @@ func BenchmarkScan100(b *testing.B) {
 		})
 	}
 }
+
+func TestDeleteRangeUnlinksEntries(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 10; i++ {
+		m.Put(rec(fmt.Sprintf("k%02d", i), "v", uint64(i+1)))
+	}
+	wantBytes := m.Bytes()
+	var middle int64
+	m.Scan([]byte("k03"), []byte("k07"), func(r record.Record) bool {
+		middle += int64(r.MemSize())
+		return true
+	})
+
+	if removed := m.DeleteRange([]byte("k03"), []byte("k07")); removed != 4 {
+		t.Fatalf("removed %d, want 4", removed)
+	}
+	if m.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", m.Len())
+	}
+	if m.Bytes() != wantBytes-middle {
+		t.Fatalf("Bytes = %d, want %d", m.Bytes(), wantBytes-middle)
+	}
+	var keys []string
+	m.Scan(nil, nil, func(r record.Record) bool {
+		keys = append(keys, string(r.Key))
+		return true
+	})
+	want := []string{"k00", "k01", "k02", "k07", "k08", "k09"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	// Removed keys are gone, not shadowed: a lower-versioned record
+	// lands again.
+	if !m.Put(rec("k04", "back", 1)) {
+		t.Fatal("re-insert after DeleteRange rejected")
+	}
+}
+
+func TestDeleteRangeOpenBounds(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 6; i++ {
+		m.Put(rec(fmt.Sprintf("k%02d", i), "v", uint64(i+1)))
+	}
+	if removed := m.DeleteRange(nil, nil); removed != 6 {
+		t.Fatalf("removed %d, want 6", removed)
+	}
+	if m.Len() != 0 || m.Bytes() != 0 {
+		t.Fatalf("Len=%d Bytes=%d after full-range delete", m.Len(), m.Bytes())
+	}
+}

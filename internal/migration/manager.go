@@ -1,0 +1,778 @@
+// Package migration implements lossless online range migration: the
+// data-movement primitive behind every rebalance, spread, decommission
+// and elastic scale action.
+//
+// The old primitive copied a range's pages from the donor and then
+// flipped routing — every write acknowledged on the donor during the
+// copy window was silently dropped. This package replaces it with the
+// classic three-phase handoff:
+//
+//  1. Snapshot: page the range's records (tombstones included) from
+//     the donor to every catch-up target, keeping the donor's apply
+//     watermark captured before the first page.
+//  2. Delta catch-up: repeatedly fetch "everything applied after the
+//     watermark" and forward it, advancing the watermark, until a
+//     round comes back small (the targets are nearly caught up).
+//  3. Fence + final drain: install a write fence on the donor primary
+//     (writes bounce with rpc.ErrFenced; coordinators re-route and
+//     retry), drain the last delta to the targets, flip the partition
+//     map, lift the fence from nodes that keep the range. The fence
+//     pause is bounded by the size of one small delta.
+//
+// Nodes that lose the range keep their fence forever (a straggling
+// in-flight write routed before the flip must bounce to the new
+// primary, not land invisibly on the old one) and have their copy
+// tombstoned. Cleanup failures are journaled and retried idempotently
+// — a migration that dies after the routing flip leaves a pending
+// cleanup, never a data-loss window.
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scads/internal/cluster"
+	"scads/internal/partition"
+	"scads/internal/record"
+	"scads/internal/rpc"
+)
+
+// Phase identifies a step of the migration state machine, reported
+// through Manager.OnPhase.
+type Phase string
+
+// Migration phases in execution order.
+const (
+	PhaseSnapshot Phase = "snapshot"
+	PhaseDelta    Phase = "delta"
+	PhaseFence    Phase = "fence"
+	PhaseFlip     Phase = "flip"
+	PhaseCleanup  Phase = "cleanup"
+	PhaseDone     Phase = "done"
+)
+
+// Event is one observability callback: a phase is starting (or, for
+// PhaseDone/PhaseCleanup with Err set, has finished) for the range.
+type Event struct {
+	Phase     Phase
+	Namespace string
+	Start     []byte
+	End       []byte
+	Target    []string
+	Records   int   // records shipped by the phase, where meaningful
+	Err       error // cleanup/terminal failure, when any
+}
+
+// Stats counts migration activity across the manager's lifetime.
+type Stats struct {
+	Started         int64
+	Succeeded       int64
+	Failed          int64
+	SnapshotRecords int64 // records shipped by snapshot pages
+	DeltaRecords    int64 // records shipped by delta rounds (incl. final drain)
+	DeltaRounds     int64
+	Resnapshots     int64 // snapshot restarts after a delta-baseline gap
+	FencePauses     int64
+	FenceNanos      int64 // total time ranges spent write-fenced
+	CleanupRetries  int64
+	CleanupPending  int   // nodes still awaiting range teardown
+}
+
+// Manager drives online range migrations with bounded parallelism.
+// Tuning fields follow the package convention of replication.Pump:
+// set them before the first migration.
+type Manager struct {
+	transport rpc.Transport
+	dir       *cluster.Directory
+
+	// PageSize bounds records per snapshot page and per delta fetch.
+	// Default 1024; capped at the nodes' per-request limit of 10000 —
+	// a larger value would make the server's clamped reply look like
+	// a final short page and silently truncate the snapshot.
+	PageSize int
+	// DeltaRounds bounds unfenced catch-up rounds before the fence is
+	// taken regardless of delta size. Default 4.
+	DeltaRounds int
+	// DeltaThreshold fences as soon as an unfenced round returns this
+	// many records or fewer — the targets are close enough that the
+	// fenced drain is short. Default 64.
+	DeltaThreshold int
+	// OnPhase, when set, receives one Event per phase transition
+	// (synchronously, on the migrating goroutine).
+	OnPhase func(Event)
+	// Resolver, when set, returns the current partition map of a
+	// namespace. Cleanup retries consult it so a journaled teardown
+	// can never fence and truncate a range the node has since
+	// regained — ownership wins over a stale journal entry.
+	Resolver func(namespace string) (*partition.Map, bool)
+
+	sem chan struct{} // bounds concurrently running migrations
+
+	mu       sync.Mutex
+	inflight map[string]*rangeLock // per-range serialisation
+	pending  map[string]*cleanup   // ns+start -> nodes awaiting teardown
+
+	started         atomic.Int64
+	succeeded       atomic.Int64
+	failed          atomic.Int64
+	snapshotRecords atomic.Int64
+	deltaRecords    atomic.Int64
+	deltaRoundsRun  atomic.Int64
+	resnapshots     atomic.Int64
+	fencePauses     atomic.Int64
+	fenceNanos      atomic.Int64
+	cleanupRetries  atomic.Int64
+}
+
+type rangeLock struct {
+	ch   chan struct{} // buffered(1): holds the lock token
+	refs int
+}
+
+type cleanup struct {
+	namespace  string
+	start, end []byte
+	nodes      map[string]bool
+}
+
+// NewManager returns a manager calling through transport and resolving
+// node addresses through dir. parallelism bounds concurrently running
+// migrations (default 4).
+func NewManager(transport rpc.Transport, dir *cluster.Directory, parallelism int) *Manager {
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	return &Manager{
+		transport:      transport,
+		dir:            dir,
+		PageSize:       1024,
+		DeltaRounds:    4,
+		DeltaThreshold: 64,
+		sem:            make(chan struct{}, parallelism),
+		inflight:       make(map[string]*rangeLock),
+		pending:        make(map[string]*cleanup),
+	}
+}
+
+// Stats returns a snapshot of migration counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	pending := 0
+	for _, c := range m.pending {
+		pending += len(c.nodes)
+	}
+	m.mu.Unlock()
+	return Stats{
+		Started:         m.started.Load(),
+		Succeeded:       m.succeeded.Load(),
+		Failed:          m.failed.Load(),
+		SnapshotRecords: m.snapshotRecords.Load(),
+		DeltaRecords:    m.deltaRecords.Load(),
+		DeltaRounds:     m.deltaRoundsRun.Load(),
+		Resnapshots:     m.resnapshots.Load(),
+		FencePauses:     m.fencePauses.Load(),
+		FenceNanos:      m.fenceNanos.Load(),
+		CleanupRetries:  m.cleanupRetries.Load(),
+		CleanupPending:  pending,
+	}
+}
+
+// MoveRange migrates the range of pm containing key to the target
+// replica group (target[0] becomes the primary), losslessly with
+// respect to writes acknowledged at any point: snapshot, delta
+// catch-up, brief write-fence drain, routing flip, teardown. Safe for
+// concurrent use; migrations of distinct ranges run in parallel up to
+// the manager's parallelism bound, migrations of the same range
+// serialise. Re-invoking with the same arguments after a partial
+// failure resumes idempotently (including pending teardown of old
+// replicas after a post-flip failure).
+func (m *Manager) MoveRange(pm *partition.Map, namespace string, key []byte, target []string) error {
+	if len(target) == 0 {
+		return partition.ErrNeedReplicas
+	}
+	m.sem <- struct{}{}
+	defer func() { <-m.sem }()
+
+	rng := pm.Lookup(key)
+	unlock := m.lockRange(namespace, rng.Start)
+	defer unlock()
+	// Re-read under the range lock: a racing migration may have
+	// already flipped the replicas.
+	rng = pm.Lookup(key)
+
+	m.started.Add(1)
+	err := m.migrate(pm, namespace, key, rng, target)
+	if err != nil {
+		m.failed.Add(1)
+		m.event(Event{Phase: PhaseDone, Namespace: namespace, Start: rng.Start, End: rng.End, Target: target, Err: err})
+		return err
+	}
+	m.succeeded.Add(1)
+	m.event(Event{Phase: PhaseDone, Namespace: namespace, Start: rng.Start, End: rng.End, Target: target})
+	return nil
+}
+
+// RetryCleanups re-attempts every journaled post-flip teardown (for
+// example after a donor that was unreachable at flip time comes back).
+// Nodes that have left the directory entirely are forgotten. Returns
+// how many nodes still await teardown.
+func (m *Manager) RetryCleanups() int {
+	m.mu.Lock()
+	work := make([]*cleanup, 0, len(m.pending))
+	for _, c := range m.pending {
+		work = append(work, c)
+	}
+	m.mu.Unlock()
+	for _, c := range work {
+		m.cleanupRetries.Add(1)
+		rng := partition.Range{Start: c.start, End: c.end}
+		m.runCleanup(c.namespace, rng, c.pendingNodes())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.pending {
+		n += len(c.nodes)
+	}
+	return n
+}
+
+func (c *cleanup) pendingNodes() []string {
+	out := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// migrate runs the state machine for one range. rng is the range as
+// looked up under the per-range lock.
+func (m *Manager) migrate(pm *partition.Map, namespace string, key []byte, rng partition.Range, target []string) error {
+	old := rng.Replicas
+
+	// Idempotent re-entry: the routing already points at the target —
+	// nothing to move, but a previous attempt may have left teardown
+	// pending.
+	if sameReplicas(old, target) {
+		m.retryPendingFor(namespace, rng)
+		return nil
+	}
+
+	// Catch-up targets: every target node without a full copy. A node
+	// already in the replica set only has the (bounded-staleness)
+	// replicated copy, so a node being *promoted to primary* catches
+	// up too — after the handoff the new primary serves every
+	// acknowledged write, not just the replicated prefix.
+	catchup := diff(target, old)
+	if target[0] != old[0] && !contains(catchup, target[0]) && contains(old, target[0]) {
+		catchup = append([]string{target[0]}, catchup...)
+	}
+
+	var epoch, watermark uint64
+	var donorAddr string
+	var catchupTargets []nodeAddr
+	if len(catchup) > 0 {
+		donorID, addr, err := m.pickDonor(old)
+		if err != nil {
+			return fmt.Errorf("migration: %s %s: %w", namespace, rng, err)
+		}
+		donorAddr = addr
+		// The donor itself never catches up from itself (it can end up
+		// in the catch-up set when the primary is down and a promoted
+		// secondary is the best remaining source).
+		catchupTargets, err = m.resolveAll(diffOne(catchup, donorID))
+		if err != nil {
+			return fmt.Errorf("migration: %s %s: %w", namespace, rng, err)
+		}
+	}
+	if len(catchupTargets) > 0 {
+		for _, t := range catchupTargets {
+			// Lift the residual fence on a node regaining the range (a
+			// past donor keeps its fence when it loses a range).
+			if err := m.fence(t.addr, namespace, rng, false); err != nil {
+				return fmt.Errorf("migration: unfence target %s: %w", t.id, err)
+			}
+			// A pure addition holds no authoritative data for the range
+			// — truncate whatever a past tenure (or an interrupted
+			// teardown) left behind, so the snapshot lands on clean
+			// state. A current replica being promoted is serving reads
+			// and is left intact; the snapshot merges over it.
+			if !contains(old, t.id) {
+				resp, err := m.transport.Call(t.addr, rpc.Request{
+					Method: rpc.MethodDropRange, Namespace: namespace,
+					Start: rng.Start, End: rng.End,
+				})
+				if err == nil {
+					err = resp.Error()
+				}
+				if err != nil {
+					return fmt.Errorf("migration: reset target %s: %w", t.id, err)
+				}
+			}
+		}
+		var err error
+		epoch, watermark, err = m.snapshot(namespace, rng, donorAddr, catchupTargets, target)
+		if err != nil {
+			return err
+		}
+		// Unfenced delta rounds: chase the donor's write stream until
+		// a round comes back small enough to drain under the fence.
+		// Resnapshots are bounded too — a namespace written faster
+		// than a full snapshot can complete would otherwise loop here
+		// forever, never fencing and never surfacing an error.
+		const maxResnapshots = 3
+		rounds, resnapshots := 0, 0
+		for rounds < m.deltaRounds() {
+			n, wm, err := m.deltaOnce(namespace, rng, donorAddr, catchupTargets, epoch, watermark)
+			if rpc.IsSnapshotGap(err) {
+				// The baseline aged out of the donor's delta log
+				// (write burst): restart from a fresh snapshot.
+				if resnapshots++; resnapshots > maxResnapshots {
+					return fmt.Errorf("migration: %s %s: delta baseline aged out %d times under write load; retry when the namespace write rate subsides", namespace, rng, resnapshots)
+				}
+				m.resnapshots.Add(1)
+				epoch, watermark, err = m.snapshot(namespace, rng, donorAddr, catchupTargets, target)
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			watermark = wm
+			rounds++
+			if n <= m.deltaThreshold() {
+				break
+			}
+		}
+	}
+
+	// Fence the write primary for the handoff. If the primary is
+	// unreachable no write can be acknowledged through it, so the
+	// drain below already sees the final state.
+	primaryAddr, primaryUp := m.addrOf(old[0])
+	fenced := false
+	var fencedAt time.Time
+	if primaryUp {
+		m.event(Event{Phase: PhaseFence, Namespace: namespace, Start: rng.Start, End: rng.End, Target: target})
+		if err := m.fence(primaryAddr, namespace, rng, true); err != nil {
+			return fmt.Errorf("migration: fence %s: %w", old[0], err)
+		}
+		fenced = true
+		fencedAt = time.Now()
+		m.fencePauses.Add(1)
+	}
+	// Any error between fence and flip must lift the fence — the old
+	// primary still owns the range.
+	unfencePrimary := func() {
+		if fenced {
+			_ = m.fence(primaryAddr, namespace, rng, false)
+			m.fenceNanos.Add(time.Since(fencedAt).Nanoseconds())
+			fenced = false
+		}
+	}
+
+	if len(catchupTargets) > 0 {
+		// Final drain under the fence: no new write can be accepted on
+		// the donor, so this converges to an empty delta.
+		for {
+			n, wm, err := m.deltaOnce(namespace, rng, donorAddr, catchupTargets, epoch, watermark)
+			if err != nil {
+				unfencePrimary()
+				return fmt.Errorf("migration: final drain %s %s: %w", namespace, rng, err)
+			}
+			watermark = wm
+			if n == 0 {
+				break
+			}
+		}
+	}
+
+	// Flip the routing: the single atomic step of the handoff.
+	m.event(Event{Phase: PhaseFlip, Namespace: namespace, Start: rng.Start, End: rng.End, Target: target})
+	if err := pm.SetReplicas(key, target); err != nil {
+		unfencePrimary()
+		return fmt.Errorf("migration: flip %s %s: %w", namespace, rng, err)
+	}
+
+	if contains(target, old[0]) {
+		// The old primary keeps the range: writes may flow to it again
+		// (possibly as a secondary via replication).
+		unfencePrimary()
+	} else if fenced {
+		// The old primary lost the range. Its fence stays: a straggler
+		// write routed before the flip must bounce to the new primary,
+		// never land invisibly here. Account the pause as ending now —
+		// writers were unblocked by the flip.
+		m.fenceNanos.Add(time.Since(fencedAt).Nanoseconds())
+	}
+
+	// Teardown: tombstone the range on every node that lost it, plus
+	// any nodes left over from an earlier failed attempt. Failures are
+	// journaled and retried — the flip has happened, so the migration
+	// itself has succeeded.
+	drops := diff(old, target)
+	m.event(Event{Phase: PhaseCleanup, Namespace: namespace, Start: rng.Start, End: rng.End, Target: target})
+	// The new owners must drop out of any stale teardown journaled by
+	// an earlier migration of this range — they hold live data now.
+	for _, id := range target {
+		m.forgetCleanup(namespace, rng, id)
+	}
+	m.journalCleanup(namespace, rng, drops)
+	m.retryPendingFor(namespace, rng)
+	return nil
+}
+
+// --- phases ---
+
+// snapshot pages the full range from the donor to the targets and
+// returns the delta baseline captured before the first page.
+func (m *Manager) snapshot(namespace string, rng partition.Range, donorAddr string, targets []nodeAddr, replicaTarget []string) (epoch, watermark uint64, err error) {
+	m.event(Event{Phase: PhaseSnapshot, Namespace: namespace, Start: rng.Start, End: rng.End, Target: replicaTarget})
+	cur := rng.Start
+	first := true
+	page := m.pageSize()
+	for {
+		resp, err := m.transport.Call(donorAddr, rpc.Request{
+			Method: rpc.MethodRangeSnapshot, Namespace: namespace,
+			Start: cur, End: rng.End, Limit: page,
+		})
+		if err != nil {
+			return 0, 0, fmt.Errorf("migration: snapshot %s %s: %w", namespace, rng, err)
+		}
+		if first {
+			epoch, watermark = resp.Epoch, resp.Watermark
+			first = false
+		}
+		if len(resp.Records) > 0 {
+			if err := m.applyTo(targets, namespace, resp.Records); err != nil {
+				return 0, 0, fmt.Errorf("migration: install snapshot %s %s: %w", namespace, rng, err)
+			}
+			m.snapshotRecords.Add(int64(len(resp.Records)))
+		}
+		if len(resp.Records) < page {
+			return epoch, watermark, nil
+		}
+		last := resp.Records[len(resp.Records)-1].Key
+		cur = append(append([]byte(nil), last...), 0x00)
+	}
+}
+
+// deltaOnce fetches and installs every record modified after the
+// watermark (paging as needed) and returns how many were shipped plus
+// the advanced watermark.
+func (m *Manager) deltaOnce(namespace string, rng partition.Range, donorAddr string, targets []nodeAddr, epoch, since uint64) (int, uint64, error) {
+	m.event(Event{Phase: PhaseDelta, Namespace: namespace, Start: rng.Start, End: rng.End})
+	total := 0
+	page := m.pageSize()
+	wm := since
+	for {
+		resp, err := m.transport.Call(donorAddr, rpc.Request{
+			Method: rpc.MethodRangeDelta, Namespace: namespace,
+			Start: rng.Start, End: rng.End, Since: wm, Epoch: epoch, Limit: page,
+		})
+		if err != nil {
+			return total, wm, err
+		}
+		if len(resp.Records) > 0 {
+			if err := m.applyTo(targets, namespace, resp.Records); err != nil {
+				return total, wm, err
+			}
+			m.deltaRecords.Add(int64(len(resp.Records)))
+		}
+		total += len(resp.Records)
+		wm = resp.Watermark
+		if len(resp.Records) < page {
+			m.deltaRoundsRun.Add(1)
+			return total, wm, nil
+		}
+	}
+}
+
+// runCleanup fences and truncates the range on each node; nodes that
+// fail stay journaled, nodes that left the directory are forgotten,
+// and nodes that currently own any part of the range per the routing
+// map are forgotten without teardown — a stale journal entry must
+// never fence and truncate live data on a node that regained the
+// range after the teardown was journaled.
+func (m *Manager) runCleanup(namespace string, rng partition.Range, nodes []string) {
+	for _, id := range nodes {
+		if _, known := m.dir.Get(id); !known {
+			// The node was removed from the cluster; its copy went
+			// with it.
+			m.forgetCleanup(namespace, rng, id)
+			continue
+		}
+		if m.ownsPartOf(namespace, rng.Start, rng.End, id) {
+			m.forgetCleanup(namespace, rng, id)
+			continue
+		}
+		addr, up := m.addrOf(id)
+		if !up {
+			continue // stays journaled
+		}
+		// Permanent fence first: a straggling replicated write must not
+		// re-materialise data on the dropped holder after the teardown.
+		if err := m.fence(addr, namespace, rng, true); err != nil {
+			m.event(Event{Phase: PhaseCleanup, Namespace: namespace, Start: rng.Start, End: rng.End, Err: err})
+			continue
+		}
+		resp, err := m.transport.Call(addr, rpc.Request{
+			Method: rpc.MethodDropRange, Namespace: namespace,
+			Start: rng.Start, End: rng.End,
+		})
+		if err == nil {
+			err = resp.Error()
+		}
+		if err != nil {
+			m.event(Event{Phase: PhaseCleanup, Namespace: namespace, Start: rng.Start, End: rng.End, Err: err})
+			continue
+		}
+		m.forgetCleanup(namespace, rng, id)
+	}
+}
+
+// --- cleanup journal ---
+
+func cleanupKey(namespace string, rng partition.Range) string {
+	return namespace + "\x00" + string(rng.Start)
+}
+
+func (m *Manager) journalCleanup(namespace string, rng partition.Range, nodes []string) {
+	if len(nodes) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := cleanupKey(namespace, rng)
+	c := m.pending[k]
+	if c == nil {
+		c = &cleanup{
+			namespace: namespace,
+			start:     rng.Start,
+			end:       rng.End,
+			nodes:     make(map[string]bool),
+		}
+		m.pending[k] = c
+	}
+	for _, id := range nodes {
+		c.nodes[id] = true
+	}
+}
+
+func (m *Manager) forgetCleanup(namespace string, rng partition.Range, node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := cleanupKey(namespace, rng)
+	if c := m.pending[k]; c != nil {
+		delete(c.nodes, node)
+		if len(c.nodes) == 0 {
+			delete(m.pending, k)
+		}
+	}
+}
+
+func (m *Manager) retryPendingFor(namespace string, rng partition.Range) {
+	m.mu.Lock()
+	c := m.pending[cleanupKey(namespace, rng)]
+	var nodes []string
+	var stored partition.Range
+	if c != nil {
+		nodes = c.pendingNodes()
+		// Tear down exactly what the journal recorded: the live range
+		// bounds may have shifted (split/merge) since the entry was
+		// written.
+		stored = partition.Range{Start: c.start, End: c.end}
+	}
+	m.mu.Unlock()
+	if len(nodes) > 0 {
+		m.runCleanup(namespace, stored, nodes)
+	}
+}
+
+// ownsPartOf reports whether node currently serves any subrange of
+// [start, end) according to the routing map (false when no Resolver
+// is wired — then only the post-flip forgetCleanup protects regained
+// ranges).
+func (m *Manager) ownsPartOf(namespace string, start, end []byte, node string) bool {
+	if m.Resolver == nil {
+		return false
+	}
+	pm, ok := m.Resolver(namespace)
+	if !ok {
+		return false
+	}
+	for _, r := range pm.Overlapping(start, end) {
+		if contains(r.Replicas, node) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- plumbing ---
+
+type nodeAddr struct {
+	id   string
+	addr string
+}
+
+func (m *Manager) pickDonor(replicas []string) (string, string, error) {
+	// Prefer the primary: it holds every acknowledged write.
+	for _, id := range replicas {
+		if addr, ok := m.addrOf(id); ok {
+			return id, addr, nil
+		}
+	}
+	return "", "", errors.New("no reachable donor replica")
+}
+
+func (m *Manager) resolveAll(ids []string) ([]nodeAddr, error) {
+	out := make([]nodeAddr, 0, len(ids))
+	for _, id := range ids {
+		addr, ok := m.addrOf(id)
+		if !ok {
+			return nil, fmt.Errorf("catch-up target %s is not serving", id)
+		}
+		out = append(out, nodeAddr{id: id, addr: addr})
+	}
+	return out, nil
+}
+
+func (m *Manager) addrOf(nodeID string) (string, bool) {
+	mem, ok := m.dir.Get(nodeID)
+	if !ok || mem.Status != cluster.StatusUp {
+		return "", false
+	}
+	return mem.Addr, true
+}
+
+func (m *Manager) applyTo(targets []nodeAddr, namespace string, recs []record.Record) error {
+	for _, t := range targets {
+		resp, err := m.transport.Call(t.addr, rpc.Request{
+			Method: rpc.MethodApply, Namespace: namespace, Records: recs,
+		})
+		if err == nil {
+			err = resp.Error()
+		}
+		if err != nil {
+			return fmt.Errorf("apply to %s: %w", t.id, err)
+		}
+	}
+	return nil
+}
+
+func (m *Manager) fence(addr, namespace string, rng partition.Range, on bool) error {
+	resp, err := m.transport.Call(addr, rpc.Request{
+		Method: rpc.MethodRangeFence, Namespace: namespace,
+		Start: rng.Start, End: rng.End, Fence: on,
+	})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+func (m *Manager) lockRange(namespace string, start []byte) func() {
+	k := namespace + "\x00" + string(start)
+	m.mu.Lock()
+	l := m.inflight[k]
+	if l == nil {
+		l = &rangeLock{ch: make(chan struct{}, 1)}
+		m.inflight[k] = l
+	}
+	l.refs++
+	m.mu.Unlock()
+
+	l.ch <- struct{}{} // acquire
+	return func() {
+		<-l.ch
+		m.mu.Lock()
+		l.refs--
+		if l.refs == 0 {
+			delete(m.inflight, k)
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *Manager) event(ev Event) {
+	if m.OnPhase != nil {
+		m.OnPhase(ev)
+	}
+}
+
+// nodePageLimit mirrors the storage nodes' per-request record clamp.
+// Snapshot pagination terminates on a short page, so the requested
+// page size must never exceed what a node is willing to return.
+const nodePageLimit = 10000
+
+func (m *Manager) pageSize() int {
+	if m.PageSize > 0 {
+		return min(m.PageSize, nodePageLimit)
+	}
+	return 1024
+}
+
+func (m *Manager) deltaRounds() int {
+	if m.DeltaRounds > 0 {
+		return m.DeltaRounds
+	}
+	return 4
+}
+
+func (m *Manager) deltaThreshold() int {
+	if m.DeltaThreshold >= 0 {
+		return m.DeltaThreshold
+	}
+	return 64
+}
+
+// --- small set helpers ---
+
+func sameReplicas(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// diff returns the members of a not present in b, in a's order.
+func diff(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		if !contains(b, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// diffOne returns ids without the given member.
+func diffOne(ids []string, drop string) []string {
+	var out []string
+	for _, x := range ids {
+		if x != drop {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scads/internal/cluster"
 	"scads/internal/record"
@@ -231,20 +232,29 @@ func (r *Router) write(namespace string, key, value []byte, method string) (uint
 	if err != nil {
 		return 0, nil, err
 	}
-	rng := m.Lookup(key)
-	primary := rng.Replicas[0]
-	addr, ok := r.addrOf(primary)
-	if !ok {
-		return 0, nil, fmt.Errorf("%w: primary %s down", ErrNoReplicaAvailable, primary)
+	for attempt := 0; ; attempt++ {
+		rng := m.Lookup(key)
+		primary := rng.Replicas[0]
+		addr, ok := r.addrOf(primary)
+		if !ok {
+			return 0, nil, fmt.Errorf("%w: primary %s down", ErrNoReplicaAvailable, primary)
+		}
+		resp, err := r.transport.Call(addr, rpc.Request{Method: method, Namespace: namespace, Key: key, Value: value})
+		if err != nil {
+			return 0, nil, err
+		}
+		if e := resp.Error(); e != nil {
+			if rpc.IsFenced(e) && attempt < rpc.FenceRetryLimit {
+				// The range is mid-handoff: each retry re-reads the
+				// partition map, so the first attempt after the flip
+				// lands on the new primary.
+				time.Sleep(rpc.FenceRetryPause)
+				continue
+			}
+			return 0, nil, e
+		}
+		return resp.Version, rng.Replicas, nil
 	}
-	resp, err := r.transport.Call(addr, rpc.Request{Method: method, Namespace: namespace, Key: key, Value: value})
-	if err != nil {
-		return 0, nil, err
-	}
-	if e := resp.Error(); e != nil {
-		return 0, nil, e
-	}
-	return resp.Version, rng.Replicas, nil
 }
 
 // Apply delivers pre-versioned records to one specific node (the

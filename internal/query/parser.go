@@ -54,7 +54,9 @@ func Parse(src string) (*Schema, error) {
 	return s, nil
 }
 
-// MustParse is Parse for statically known programs; panics on error.
+// MustParse is Parse for statically known programs; panics on error —
+// the regexp.MustCompile convention. Schemas arriving from users go
+// through Parse (DefineSchema does); no library code calls MustParse.
 func MustParse(src string) *Schema {
 	s, err := Parse(src)
 	if err != nil {

@@ -22,6 +22,8 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"scads/internal/record"
 )
@@ -37,6 +39,16 @@ const (
 	MethodDropRange = "droprange" // partition move cleanup
 	MethodStats     = "stats"
 	MethodBatch     = "batch" // envelope: independent sub-requests answered positionally
+
+	// Online range migration (snapshot → delta catch-up → fence):
+	// MethodRangeSnapshot pages a range's records (tombstones included)
+	// together with the donor's apply watermark; MethodRangeDelta
+	// returns the records modified after a watermark; MethodRangeFence
+	// installs or lifts a write fence over a range. All three travel
+	// through MethodBatch envelopes like any other method.
+	MethodRangeSnapshot = "rangesnap"
+	MethodRangeDelta    = "rangedelta"
+	MethodRangeFence    = "rangefence"
 )
 
 // Request is the single request envelope for all methods. Unused
@@ -56,6 +68,15 @@ type Request struct {
 	// Records carries pre-versioned writes for MethodApply.
 	Records []record.Record
 
+	// Since and Epoch carry the delta baseline for MethodRangeDelta:
+	// "everything applied after sequence Since of epoch Epoch".
+	Since uint64
+	Epoch uint64
+
+	// Fence selects install (true) or lift (false) for
+	// MethodRangeFence.
+	Fence bool
+
 	// Batch carries the sub-requests of a MethodBatch envelope.
 	Batch []Request
 }
@@ -73,6 +94,15 @@ type Response struct {
 	// Stats payload (MethodStats).
 	RecordCount int64
 	QueueDepth  int
+
+	// Watermark and Epoch report the node's apply position for
+	// MethodRangeSnapshot (captured before the snapshot scan) and
+	// MethodRangeDelta (covering the returned records).
+	Watermark uint64
+	Epoch     uint64
+
+	// Fenced reports the node's installed fence count (MethodStats).
+	Fenced int
 
 	// Batch carries the sub-responses of a MethodBatch envelope,
 	// positionally matching Request.Batch.
@@ -116,6 +146,42 @@ type Transport interface {
 // ErrUnreachable is returned when the destination node cannot be
 // reached (connection refused, node down in simulation, etc.).
 var ErrUnreachable = errors.New("rpc: node unreachable")
+
+// ErrFenced is the wire error a node returns for a write landing in a
+// range fenced for migration handoff. Coordinators react by re-reading
+// the partition map and retrying against the (possibly new) primary —
+// the write is delayed by the fence pause, never dropped.
+var ErrFenced = errors.New("rpc: range fenced for migration")
+
+// ErrSnapshotGap is the wire error MethodRangeDelta returns when the
+// supplied watermark predates the node's retained delta log (or names
+// a previous process lifetime). The migration must restart from a
+// fresh snapshot.
+var ErrSnapshotGap = errors.New("rpc: delta watermark outside retained apply log")
+
+// IsFenced reports whether err is a fence rejection, across the wire
+// boundary (errors arrive re-materialised from strings).
+func IsFenced(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "range fenced for migration")
+}
+
+// FenceRetryLimit and FenceRetryPause are the shared policy for
+// writers that hit a fence: re-read the partition map and retry, up to
+// this many attempts with this pause between them. A fence pause
+// covers one final delta drain plus the routing flip, so the bound is
+// generous; every fenced write path (coordinator applies, router
+// put/delete) uses the same policy so migration-time write behavior is
+// uniform.
+const (
+	FenceRetryLimit = 400
+	FenceRetryPause = time.Millisecond
+)
+
+// IsSnapshotGap reports whether err is a delta-baseline gap, across
+// the wire boundary.
+func IsSnapshotGap(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "delta watermark outside retained apply log")
+}
 
 // Unimplemented is a convenience response for unknown methods.
 func Unimplemented(req Request) Response {

@@ -13,6 +13,12 @@ type MergeOptions struct {
 	// safe for a full (major) compaction where no older table could
 	// still hold a value the tombstone shadows.
 	DropTombstones bool
+	// Drop, when set, excludes a source record from the merge entirely
+	// (before conflict resolution, as if the source table never held
+	// it). src is the index into the sources slice. The storage engine
+	// uses this to resolve pending range truncations at compaction
+	// time.
+	Drop func(src int, rec record.Record) bool
 }
 
 // Merge compacts the given tables into a single new table at outPath.
@@ -64,6 +70,17 @@ func Merge(outPath string, opts MergeOptions, sources ...*Reader) (*Reader, erro
 
 	for h.Len() > 0 {
 		item := heap.Pop(h).(mergeItem)
+		if opts.Drop != nil && opts.Drop(item.src, item.rec) {
+			// Excluded from this source: advance its iterator without
+			// letting the record contend.
+			if item.it.next() {
+				heap.Push(h, mergeItem{rec: item.it.rec, src: item.src, it: item.it})
+			} else if item.it.err != nil {
+				w.Abort()
+				return nil, item.it.err
+			}
+			continue
+		}
 		if err := emit(item.rec, item.src); err != nil {
 			w.Abort()
 			return nil, err

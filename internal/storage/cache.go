@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"hash/fnv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -158,6 +159,27 @@ func (c *Cache) Invalidate(namespace string, key []byte) {
 		s.bytes -= e.size
 	}
 	s.mu.Unlock()
+}
+
+// InvalidateNamespace drops every cached resolution for the
+// namespace. Range truncation (migration teardown) cannot enumerate
+// the affected keys cheaply, so it sheds the whole namespace; the
+// cache refills on the next reads.
+func (c *Cache) InvalidateNamespace(namespace string) {
+	prefix := namespace + "\x00"
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, el := range s.entries {
+			if strings.HasPrefix(k, prefix) {
+				e := el.Value.(*cacheEntry)
+				s.lru.Remove(el)
+				delete(s.entries, k)
+				s.bytes -= e.size
+			}
+		}
+		s.mu.Unlock()
+	}
 }
 
 // CacheStats summarises cache effectiveness.

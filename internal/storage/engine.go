@@ -228,6 +228,11 @@ func (e *Engine) openNamespace(name string) (*Namespace, error) {
 		name:   name,
 		engine: e,
 		mem:    memtable.New(int64(e.opts.NodeID) + 1),
+		// A fresh epoch per open: migration watermarks from a previous
+		// process lifetime must not validate against the new (empty)
+		// in-memory delta log. NextVersion is a hybrid logical clock,
+		// so epochs are unique across restarts.
+		applyEpoch: e.NextVersion(),
 	}
 	if e.opts.Dir == "" {
 		return ns, nil

@@ -27,8 +27,50 @@ type Namespace struct {
 	tableSeq uint64
 	closed   bool
 
+	// Apply-sequence watermark for online range migration: every
+	// accepted record gets the next applySeq, and the (seq, key) pairs
+	// of the most recent maxApplyLog accepted records are retained so
+	// ScanSince can serve "what changed after watermark W" delta
+	// queries. applyEpoch distinguishes process lifetimes — the log is
+	// in-memory, so a watermark issued before a restart must not be
+	// mistaken for a valid baseline afterwards.
+	applyEpoch uint64
+	applySeq   uint64
+	applyFloor uint64 // highest seq no longer retained; log covers (floor, seq]
+	applyLog   []applyEntry
+
+	// excluded records pending range truncations per SSTable: reads
+	// treat matching records as absent until the next compaction
+	// rewrites the tables without them (see TruncateRange).
+	excluded map[*sstable.Reader][]keyRange
+
 	compactMu sync.Mutex // serialises flush+compaction
 }
+
+type keyRange struct {
+	start, end []byte // start inclusive (nil = -inf), end exclusive (nil = +inf)
+}
+
+func (r keyRange) contains(key []byte) bool {
+	if r.start != nil && bytes.Compare(key, r.start) < 0 {
+		return false
+	}
+	if r.end != nil && bytes.Compare(key, r.end) >= 0 {
+		return false
+	}
+	return true
+}
+
+type applyEntry struct {
+	seq uint64
+	key []byte
+}
+
+// maxApplyLog bounds the per-namespace delta log. When the log
+// overflows, the oldest half is discarded and applyFloor advances;
+// a ScanSince watermark older than the floor reports ok=false and the
+// caller must restart from a fresh snapshot.
+const maxApplyLog = 1 << 16
 
 // Name returns the namespace name.
 func (ns *Namespace) Name() string { return ns.name }
@@ -109,9 +151,16 @@ func (ns *Namespace) ApplyBatch(recs []record.Record) error {
 	}
 	for _, rec := range accepted {
 		ns.mem.Put(rec)
+		ns.applySeq++
+		ns.applyLog = append(ns.applyLog, applyEntry{seq: ns.applySeq, key: rec.Key})
 		if cache != nil {
 			cache.Invalidate(ns.name, rec.Key)
 		}
+	}
+	if len(ns.applyLog) > maxApplyLog {
+		half := len(ns.applyLog) / 2
+		ns.applyFloor = ns.applyLog[half-1].seq
+		ns.applyLog = append([]applyEntry(nil), ns.applyLog[half:]...)
 	}
 	needFlush := ns.dir != "" && ns.mem.Bytes() >= ns.engine.opts.MemtableBytes && ns.flushing == nil
 	ns.mu.Unlock()
@@ -182,12 +231,26 @@ func (ns *Namespace) getLocked(key []byte) (record.Record, bool) {
 		consider(ns.flushing.Get(key))
 	}
 	for _, t := range ns.tables {
+		if ns.excludedFrom(t, key) {
+			continue
+		}
 		r, ok, err := t.Get(key)
 		if err == nil {
 			consider(r, ok)
 		}
 	}
 	return best, found
+}
+
+// excludedFrom reports whether key falls in a pending truncation of
+// table t. Caller holds ns.mu.
+func (ns *Namespace) excludedFrom(t *sstable.Reader, key []byte) bool {
+	for _, r := range ns.excluded[t] {
+		if r.contains(key) {
+			return true
+		}
+	}
+	return false
 }
 
 // ScanLive visits live (non-tombstone) records with start <= key < end
@@ -210,6 +273,66 @@ func (ns *Namespace) ScanAll(start, end []byte, fn func(record.Record) bool) err
 	return ns.scan(start, end, fn)
 }
 
+// ApplyWatermark returns the namespace's apply epoch and the sequence
+// number of the most recently accepted record. A migration captures
+// the watermark before taking its snapshot; ScanSince then serves
+// exactly the records accepted after it.
+func (ns *Namespace) ApplyWatermark() (epoch, seq uint64) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return ns.applyEpoch, ns.applySeq
+}
+
+// ScanSince returns the current record (tombstones included) of every
+// key in [start, end) modified after watermark `since`, up to limit
+// distinct keys, together with the new watermark covering the returned
+// changes. ok=false means the baseline is unusable — wrong epoch (the
+// node restarted) or older than the retained delta log — and the
+// caller must restart from a full snapshot. Records reference internal
+// storage; callers that retain them across writes must Clone.
+func (ns *Namespace) ScanSince(epoch, since uint64, start, end []byte, limit int) (recs []record.Record, watermark uint64, ok bool, err error) {
+	if limit <= 0 {
+		limit = maxApplyLog
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	if ns.closed {
+		return nil, 0, false, ErrClosed
+	}
+	if epoch != ns.applyEpoch || since > ns.applySeq || since < ns.applyFloor {
+		return nil, 0, false, nil
+	}
+	bounds := keyRange{start: start, end: end}
+	watermark = since
+	var keys [][]byte
+	seen := make(map[string]bool)
+	for _, e := range ns.applyLog {
+		if e.seq <= since {
+			continue
+		}
+		if !bounds.contains(e.key) || seen[string(e.key)] {
+			// Nothing new to resend for this entry; the watermark still
+			// advances past it.
+			watermark = e.seq
+			continue
+		}
+		if len(keys) == limit {
+			// Page full: later entries stay beyond the watermark so the
+			// next call picks them up.
+			break
+		}
+		seen[string(e.key)] = true
+		keys = append(keys, e.key)
+		watermark = e.seq
+	}
+	for _, k := range keys {
+		if rec, found := ns.getLocked(k); found {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, watermark, true, nil
+}
+
 func (ns *Namespace) scan(start, end []byte, fn func(record.Record) bool) error {
 	ns.mu.RLock()
 	if ns.closed {
@@ -225,11 +348,24 @@ func (ns *Namespace) scan(start, end []byte, fn func(record.Record) bool) error 
 		sources = append(sources, snapshotRange(ns.flushing, start, end))
 	}
 	tables := append([]*sstable.Reader(nil), ns.tables...)
+	var exclusions map[*sstable.Reader][]keyRange
+	if len(ns.excluded) > 0 {
+		exclusions = make(map[*sstable.Reader][]keyRange, len(ns.excluded))
+		for t, rs := range ns.excluded {
+			exclusions[t] = append([]keyRange(nil), rs...)
+		}
+	}
 	ns.mu.RUnlock()
 
 	for _, t := range tables {
+		excl := exclusions[t]
 		var recs []record.Record
 		if err := t.Scan(start, end, func(r record.Record) bool {
+			for _, x := range excl {
+				if x.contains(r.Key) {
+					return true
+				}
+			}
 			recs = append(recs, r)
 			return true
 		}); err != nil {
@@ -403,6 +539,88 @@ func (ns *Namespace) clearFlushing() {
 	ns.mu.Unlock()
 }
 
+// TruncateRange physically removes every record with start <= key <
+// end (nil bounds are infinite) and returns how many were unlinked
+// from the memtable. Matching memtable entries are unlinked, matching
+// SSTable records become invisible immediately (per-table exclusions)
+// and are rewritten out by the compaction this triggers, and the WAL
+// is reset past the truncated records. Unlike tombstoning, nothing
+// versioned survives: if the range is later re-installed by a
+// migration, the incoming records land on clean state instead of
+// losing last-write-wins to teardown markers.
+func (ns *Namespace) TruncateRange(start, end []byte) (int, error) {
+	ns.compactMu.Lock()
+	defer ns.compactMu.Unlock()
+	cache := ns.engine.cache
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return 0, ErrClosed
+	}
+	// compactMu is held, so no flush is in flight and ns.flushing is
+	// nil: the memtable unlink covers all unflushed state.
+	removed := ns.mem.DeleteRange(start, end)
+	excl := keyRange{start: cloneBound(start), end: cloneBound(end)}
+	hasTables := len(ns.tables) > 0
+	for _, t := range ns.tables {
+		if ns.excluded == nil {
+			ns.excluded = make(map[*sstable.Reader][]keyRange)
+		}
+		ns.excluded[t] = append(ns.excluded[t], excl)
+	}
+	if cache != nil {
+		// Truncation cannot enumerate affected keys cheaply; shed the
+		// namespace's cache entries wholesale.
+		cache.InvalidateNamespace(ns.name)
+	}
+	ns.mu.Unlock()
+
+	if ns.dir == "" {
+		return removed, nil
+	}
+	// The WAL still holds the truncated records; reset it so recovery
+	// cannot resurrect them. A non-empty memtable is flushed first
+	// (the surviving entries need a durable home before their log
+	// segments go away); an empty one just rotates the log out. The
+	// emptiness check and the rotate+truncate share one critical
+	// section — a write accepted between them would lose its WAL
+	// segment while still memtable-only.
+	ns.mu.Lock()
+	memEmpty := ns.mem.Len() == 0
+	if memEmpty {
+		err := ns.log.Rotate()
+		if err == nil {
+			err = ns.log.Truncate()
+		}
+		ns.mu.Unlock()
+		if err != nil {
+			return removed, err
+		}
+	} else {
+		ns.mu.Unlock()
+		// Concurrent writes can only add entries; flushLocked persists
+		// everything present when it re-acquires the lock, rotating
+		// before and truncating after, so no accepted write loses its
+		// log segment.
+		if err := ns.flushLocked(); err != nil {
+			return removed, err
+		}
+	}
+	if hasTables {
+		// Rewrite the tables without the excluded records now, so the
+		// truncation is durable rather than pending in memory.
+		return removed, ns.compactLocked()
+	}
+	return removed, nil
+}
+
+func cloneBound(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
 // Compact merges all SSTables into one, dropping tombstones.
 func (ns *Namespace) Compact() error {
 	ns.compactMu.Lock()
@@ -414,8 +632,17 @@ func (ns *Namespace) compactLocked() error {
 	ns.mu.RLock()
 	tables := append([]*sstable.Reader(nil), ns.tables...)
 	seq := ns.tableSeq
+	exclByIdx := make(map[int][]keyRange)
+	for i, t := range tables {
+		if rs := ns.excluded[t]; len(rs) > 0 {
+			exclByIdx[i] = append([]keyRange(nil), rs...)
+		}
+	}
 	ns.mu.RUnlock()
-	if len(tables) < 2 {
+	if len(tables) < 2 && len(exclByIdx) == 0 {
+		return nil
+	}
+	if len(tables) == 0 {
 		return nil
 	}
 
@@ -423,16 +650,31 @@ func (ns *Namespace) compactLocked() error {
 	ns.tableSeq++
 	ns.mu.Unlock()
 
-	merged, err := sstable.Merge(ns.tablePath(seq), sstable.MergeOptions{DropTombstones: true}, tables...)
+	opts := sstable.MergeOptions{DropTombstones: true}
+	if len(exclByIdx) > 0 {
+		opts.Drop = func(src int, rec record.Record) bool {
+			for _, r := range exclByIdx[src] {
+				if r.contains(rec.Key) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	merged, err := sstable.Merge(ns.tablePath(seq), opts, tables...)
 	if err != nil {
 		return fmt.Errorf("storage: compact %s: %w", ns.name, err)
 	}
 
 	ns.mu.Lock()
 	// Tables flushed while we merged sit in front of the ones we
-	// consumed; keep them, replace the rest.
+	// consumed; keep them, replace the rest. The consumed tables'
+	// pending truncations were applied by the merge filter.
 	keep := len(ns.tables) - len(tables)
 	ns.tables = append(ns.tables[:keep:keep], merged)
+	for _, t := range tables {
+		delete(ns.excluded, t)
+	}
 	ns.mu.Unlock()
 
 	for _, t := range tables {

@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"scads/internal/cluster"
-	"scads/internal/partition"
 	"scads/internal/rpc"
 	"scads/internal/storage"
 )
@@ -128,99 +127,21 @@ func (lc *LocalCluster) HealReplica(id string) {
 }
 
 // MoveRange migrates the partition containing key in the given
-// namespace to a new replica group: it copies the range's records to
-// the new replicas, flips the partition map, and drops the range from
-// nodes that no longer own it. This is the data-movement primitive the
-// director's rebalancer uses when the cluster grows or shrinks.
+// namespace to a new replica group, online and lossless: the
+// migration manager snapshots the range from the current holders,
+// catches the new replicas up through sequence-watermarked deltas,
+// briefly write-fences the donor primary for the final drain, flips
+// the partition map, and tears the range down on nodes that lost it.
+// Writes keep flowing throughout — a write arriving during the fence
+// pause bounces, is re-routed, and lands on the new primary. This is
+// the data-movement primitive behind Rebalance, SpreadNamespace,
+// DecommissionNode and the elastic actuator.
 func (c *Cluster) MoveRange(namespace string, key []byte, newReplicas []string) error {
 	m, ok := c.router.Map(namespace)
 	if !ok {
 		return fmt.Errorf("scads: no partition map for %s", namespace)
 	}
-	rng := m.Lookup(key)
-
-	// Copy data to replicas that don't already hold it.
-	old := make(map[string]bool, len(rng.Replicas))
-	for _, id := range rng.Replicas {
-		old[id] = true
-	}
-	var additions []string
-	for _, id := range newReplicas {
-		if !old[id] {
-			additions = append(additions, id)
-		}
-	}
-	if len(additions) > 0 {
-		if err := c.copyRange(namespace, rng, additions); err != nil {
-			return err
-		}
-	}
-
-	if err := m.SetReplicas(key, newReplicas); err != nil {
-		return err
-	}
-
-	// Drop the range from nodes that lost it.
-	keep := make(map[string]bool, len(newReplicas))
-	for _, id := range newReplicas {
-		keep[id] = true
-	}
-	for _, id := range rng.Replicas {
-		if keep[id] {
-			continue
-		}
-		addr, okAddr := c.addrOf(id)
-		if !okAddr {
-			continue // down node: it will be decommissioned anyway
-		}
-		resp, err := c.cfg.Transport.Call(addr, rpc.Request{
-			Method: rpc.MethodDropRange, Namespace: namespace,
-			Start: rng.Start, End: rng.End,
-		})
-		if err != nil {
-			return err
-		}
-		if e := resp.Error(); e != nil {
-			return e
-		}
-	}
-	return nil
-}
-
-// copyRange streams the range's records from the current primary to
-// the target nodes in bounded pages.
-func (c *Cluster) copyRange(namespace string, rng partition.Range, targets []string) error {
-	const page = 1024
-	start := rng.Start
-	for {
-		recs, err := c.router.Scan(namespace, start, rng.End, page, partition.ReadPrimary)
-		if err != nil {
-			return err
-		}
-		if len(recs) == 0 {
-			return nil
-		}
-		for _, target := range targets {
-			if err := c.router.Apply(namespace, target, recs); err != nil {
-				return err
-			}
-		}
-		if len(recs) < page {
-			return nil
-		}
-		// Next page starts just after the last key: the smallest key
-		// greater than k is k with a zero byte appended.
-		last := recs[len(recs)-1].Key
-		start = append(append([]byte(nil), last...), 0x00)
-	}
-}
-
-func (c *Cluster) addrOf(nodeID string) (string, bool) {
-	m, ok := c.dir.Get(nodeID)
-	if !ok || m.Status != cluster.StatusUp {
-		return "", false
-	}
-	return m.Addr, true
+	return c.migrations.MoveRange(m, namespace, key, newReplicas)
 }
 
 // ReplicateRangeTo adds targets as additional replicas of the range

@@ -2,6 +2,7 @@ package scads
 
 import (
 	"fmt"
+	"sync"
 
 	"scads/internal/balancer"
 	"scads/internal/cluster"
@@ -52,33 +53,52 @@ func (c *Cluster) RebalancePlan(cfg BalanceConfig) []BalanceAction {
 
 // Rebalance plans against the tracked workload window and executes the
 // plan: splits change only the partition map (both halves keep their
-// replicas); moves copy data and flip routing via MoveRange. The
-// tracking window resets afterwards so the next plan reflects the new
-// layout. Returns the executed actions.
+// replicas); moves migrate data online and flip routing via MoveRange.
+// The tracking window resets afterwards so the next plan reflects the
+// new layout. Returns the executed actions — on a mid-plan failure the
+// returned prefix is exactly what took effect, so the operator (or a
+// retry) knows which splits and moves already hold.
 func (c *Cluster) Rebalance(cfg BalanceConfig) ([]BalanceAction, error) {
 	plan := c.RebalancePlan(cfg)
+	executed, err := c.executePlan(plan)
+	if err != nil {
+		return executed, err
+	}
+	c.loads.Reset()
+	return executed, nil
+}
+
+// executePlan applies plan actions in order, returning the executed
+// prefix alongside any error.
+func (c *Cluster) executePlan(plan []BalanceAction) ([]BalanceAction, error) {
+	executed := make([]BalanceAction, 0, len(plan))
 	for _, a := range plan {
 		switch a.Kind {
 		case balancer.ActionSplit:
 			m, ok := c.router.Map(a.Namespace)
 			if !ok {
-				return nil, fmt.Errorf("scads: rebalance: no partition map for %s", a.Namespace)
+				return executed, fmt.Errorf("scads: rebalance: no partition map for %s", a.Namespace)
 			}
 			if err := m.Split(a.At); err != nil {
-				return nil, fmt.Errorf("scads: rebalance split %s: %w", a.Namespace, err)
+				return executed, fmt.Errorf("scads: rebalance split %s: %w", a.Namespace, err)
 			}
 		case balancer.ActionMove:
+			// Re-look up by the range's start: if an earlier action in
+			// this plan split the planned range, only the post-split
+			// left half — the range still containing a.Start — moves.
+			// The right half stays where the split left it and gets its
+			// own action in a later plan if it is still hot.
 			key := a.Start
 			if key == nil {
 				key = []byte{}
 			}
 			if err := c.MoveRange(a.Namespace, key, a.Target); err != nil {
-				return nil, fmt.Errorf("scads: rebalance move %s: %w", a.Namespace, err)
+				return executed, fmt.Errorf("scads: rebalance move %s: %w", a.Namespace, err)
 			}
 		}
+		executed = append(executed, a)
 	}
-	c.loads.Reset()
-	return plan, nil
+	return executed, nil
 }
 
 // LoadSnapshot exposes the tracked per-range workload window (for
@@ -89,9 +109,11 @@ func (c *Cluster) LoadSnapshot() []balancer.RangeObservation {
 
 // SpreadNamespace redistributes a namespace's ranges round-robin over
 // the currently serving nodes (preserving the replication factor),
-// moving data as needed. The director calls this after adding or
-// removing capacity so new machines actually take load — the
-// data-movement half of "scaling up and down" (§1.1).
+// migrating data online as needed. The director calls this after
+// adding or removing capacity so new machines actually take load —
+// the data-movement half of "scaling up and down" (§1.1). Per-range
+// migrations run concurrently, bounded by the migration manager's
+// parallelism (Config.MigrationParallelism).
 func (c *Cluster) SpreadNamespace(namespace string) error {
 	m, ok := c.router.Map(namespace)
 	if !ok {
@@ -109,6 +131,12 @@ func (c *Cluster) SpreadNamespace(namespace string) error {
 	if rf > len(ids) {
 		rf = len(ids)
 	}
+	type move struct {
+		idx  int
+		key  []byte
+		want []string
+	}
+	var moves []move
 	for i, rng := range m.Ranges() {
 		want := make([]string, rf)
 		for j := 0; j < rf; j++ {
@@ -121,11 +149,30 @@ func (c *Cluster) SpreadNamespace(namespace string) error {
 		if key == nil {
 			key = []byte{}
 		}
-		if err := c.MoveRange(namespace, key, want); err != nil {
-			return fmt.Errorf("scads: spread %s range %d: %w", namespace, i, err)
-		}
+		moves = append(moves, move{idx: i, key: key, want: want})
 	}
-	return nil
+	// Distinct ranges migrate independently; the manager's semaphore
+	// bounds how many are actually in flight.
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, mv := range moves {
+		wg.Add(1)
+		go func(mv move) {
+			defer wg.Done()
+			if err := c.MoveRange(namespace, mv.key, mv.want); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("scads: spread %s range %d: %w", namespace, mv.idx, err)
+				}
+				errMu.Unlock()
+			}
+		}(mv)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // SpreadAll runs SpreadNamespace over every namespace with a partition
@@ -141,7 +188,7 @@ func (c *Cluster) SpreadAll() error {
 
 // DecommissionNode removes a (possibly dead) node from every replica
 // group, re-replicating each affected range onto the first candidate
-// not already in the group. Data is copied from the surviving
+// not already in the group via online migration from the surviving
 // replicas, so this is the recovery path after a crash as well as the
 // scale-down path before terminating an instance.
 func (c *Cluster) DecommissionNode(nodeID string, candidates []string) error {

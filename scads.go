@@ -33,6 +33,7 @@ import (
 	"scads/internal/clock"
 	"scads/internal/cluster"
 	"scads/internal/consistency"
+	"scads/internal/migration"
 	"scads/internal/partition"
 	"scads/internal/planner"
 	"scads/internal/query"
@@ -79,6 +80,10 @@ type Config struct {
 	// data directory, ...). Clock and NodeID are filled in per node.
 	// Ignored for clusters over remote nodes.
 	NodeStorage storage.Options
+	// MigrationParallelism bounds how many range migrations run
+	// concurrently (default 4). Spreads and decommissions queue their
+	// per-range migrations against this bound.
+	MigrationParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,12 +115,13 @@ var (
 // Cluster is the client- and coordinator-side handle on a SCADS
 // deployment. Safe for concurrent use.
 type Cluster struct {
-	cfg     Config
-	clk     clock.Clock
-	router  *partition.Router
-	dir     *cluster.Directory
-	pump    *replication.Pump
-	batcher *rpc.Batcher // nil when batching disabled
+	cfg        Config
+	clk        clock.Clock
+	router     *partition.Router
+	dir        *cluster.Directory
+	pump       *replication.Pump
+	batcher    *rpc.Batcher // nil when batching disabled
+	migrations *migration.Manager
 
 	merges     *consistency.MergeRegistry
 	serializer *consistency.Serializer
@@ -178,6 +184,13 @@ func Open(cfg Config) (*Cluster, error) {
 		maint:      newMaintQueue(),
 		loads:      balancer.NewTracker(),
 	}
+	// Online range migrations share the (possibly batching) transport
+	// with the router; MigrationParallelism bounds how many ranges move
+	// concurrently during spreads and decommissions. The router's maps
+	// back the manager's ownership checks, so a journaled teardown can
+	// never truncate a range its node has since regained.
+	c.migrations = migration.NewManager(transport, cfg.Directory, cfg.MigrationParallelism)
+	c.migrations.Resolver = c.router.Map
 	queue := replication.NewQueue(cfg.ReplicationOrder)
 	c.pump = replication.NewPump(queue, c.router.Apply, cfg.Clock)
 	return c, nil
@@ -257,6 +270,13 @@ func (c *Cluster) Directory() *cluster.Directory { return c.dir }
 // Pump exposes the replication pump (metrics, draining in tests and
 // simulations).
 func (c *Cluster) Pump() *replication.Pump { return c.pump }
+
+// Migrations exposes the online range-migration manager (tuning,
+// progress events, pending-cleanup retries).
+func (c *Cluster) Migrations() *migration.Manager { return c.migrations }
+
+// MigrationStats returns a snapshot of range-migration counters.
+func (c *Cluster) MigrationStats() migration.Stats { return c.migrations.Stats() }
 
 // Monitor exposes the SLA monitor.
 func (c *Cluster) Monitor() *sla.Monitor { return c.monitor }
@@ -348,6 +368,7 @@ type Stats struct {
 	Maintenance int // pending asynchronous index-maintenance tasks
 	SLA         sla.Summary
 	Batching    rpc.BatcherStats // request coalescing (zero when disabled)
+	Migration   migration.Stats  // online range-migration activity
 }
 
 // Stats returns a snapshot.
@@ -356,6 +377,7 @@ func (c *Cluster) Stats() Stats {
 		Replication: c.pump.Stats(),
 		Maintenance: c.maint.Len(),
 		SLA:         c.monitor.Summary(),
+		Migration:   c.migrations.Stats(),
 	}
 	if c.batcher != nil {
 		s.Batching = c.batcher.Stats()

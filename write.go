@@ -12,6 +12,7 @@ import (
 	"scads/internal/query"
 	"scads/internal/record"
 	"scads/internal/row"
+	"scads/internal/rpc"
 )
 
 // Insert stores a new row (or fully replaces an existing one) in a
@@ -146,12 +147,30 @@ func (c *Cluster) insertBatch(table string, rows []row.Row) error {
 				recs[i] = u.rec
 			}
 			if err := c.router.Apply(ns, node, recs); err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
+				if !rpc.IsFenced(err) {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
 				}
-				errMu.Unlock()
-				return
+				// The group hit a range mid-handoff: fall back to
+				// per-record routing, which re-reads the map and waits
+				// out the fence. Replicas are re-captured from the
+				// post-flip ranges so replication follows the writes.
+				for i := range ups {
+					rng, err := c.applyToPrimary(ns, m, ups[i].rec.Key, []record.Record{ups[i].rec})
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					ups[i].replicas = rng.Replicas
+				}
 			}
 			for _, u := range ups {
 				if len(u.replicas) > 1 {
@@ -332,6 +351,29 @@ func (c *Cluster) mergeRows(mergeName string, old, new row.Row) (row.Row, error)
 	return merged, nil
 }
 
+// applyToPrimary delivers pre-versioned records to the primary of
+// key's range, re-reading the partition map and retrying (per the
+// shared rpc.FenceRetry policy) when the primary is write-fenced for
+// migration handoff. It returns the range that accepted the write, so
+// callers enqueue replication to the replica set that is actually
+// serving it.
+func (c *Cluster) applyToPrimary(ns string, m *partition.Map, key []byte, recs []record.Record) (partition.Range, error) {
+	for attempt := 0; ; attempt++ {
+		rng := m.Lookup(key)
+		err := c.router.Apply(ns, rng.Replicas[0], recs)
+		if err == nil {
+			return rng, nil
+		}
+		if !rpc.IsFenced(err) || attempt >= rpc.FenceRetryLimit {
+			return rng, err
+		}
+		// The fence lifts (or routing flips away from it) shortly;
+		// real sleep rather than the virtual clock, since the fence is
+		// held by a concurrent migration goroutine, not by time.
+		time.Sleep(rpc.FenceRetryPause)
+	}
+}
+
 // applyWrite is the common write path: version the record, write the
 // table primary, enqueue replication to secondaries, and enqueue
 // asynchronous index maintenance with the namespace's staleness
@@ -353,9 +395,9 @@ func (c *Cluster) applyWrite(t *query.TableDef, key []byte, oldRow, newRow row.R
 	if !ok {
 		return fmt.Errorf("scads: no partition map for %s", ns)
 	}
-	rng := m.Lookup(key)
-	c.loads.Record(ns, rng.Start, key)
-	if err := c.router.Apply(ns, rng.Replicas[0], []record.Record{rec}); err != nil {
+	c.loads.Record(ns, m.Lookup(key).Start, key)
+	rng, err := c.applyToPrimary(ns, m, key, []record.Record{rec})
+	if err != nil {
 		return err
 	}
 	bound := c.stalenessBound(t.Name)
@@ -433,8 +475,8 @@ func (c *Cluster) applyIndexMutation(ns string, key []byte, val row.Row) error {
 	if !ok {
 		return fmt.Errorf("scads: no partition map for %s", ns)
 	}
-	rng := m.Lookup(key)
-	if err := c.router.Apply(ns, rng.Replicas[0], []record.Record{rec}); err != nil {
+	rng, err := c.applyToPrimary(ns, m, key, []record.Record{rec})
+	if err != nil {
 		return err
 	}
 	if len(rng.Replicas) > 1 {
