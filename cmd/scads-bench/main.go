@@ -46,10 +46,11 @@ var experiments = []struct {
 	{"e10", "Partition contention: priority order arbitration (§3.3.1)", runE10},
 	{"e11", "Workload-driven repartitioning: hot-range split & move", runE11},
 	{"e12", "Writes during migration: lossless online range handoff", runE12},
+	{"e13", "Crash recovery: failure detector, failover, RF repair under load", runE13},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12, e4a..e4e) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e13, e4a..e4e) or 'all'")
 	csvDir := flag.String("csv", "", "directory for per-experiment output files plus index.csv")
 	flag.Parse()
 

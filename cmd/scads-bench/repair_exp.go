@@ -1,0 +1,280 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scads"
+	"scads/internal/planner"
+	"scads/internal/repair"
+)
+
+// runE13 is the crash-recovery experiment: sustained replicated writes
+// while a storage node is killed and later resurrected, with the
+// self-healing loop (failure detector → primary failover → RF repair)
+// doing every bit of the recovery. It proves three claims and aborts
+// loudly if any fails:
+//
+//   - zero acknowledged-write loss: every write acknowledged at any
+//     point — before the crash, during the failover window, during RF
+//     repair — is readable afterwards with exactly its last
+//     acknowledged content, and acknowledged deletes stay deleted;
+//   - self-healing writes: writes to the crashed node's ranges succeed
+//     again without manual intervention (they stall through the
+//     failover window via the coordinator's down-retry loop; the
+//     experiment reports that unavailability window, measured by a
+//     2ms-interval write prober);
+//   - RF restoration: every range is back at full replication strength
+//     on live nodes before the run ends, and the resurrected node
+//     rejoins as a replica target.
+func runE13() {
+	lc, err := scads.NewLocalCluster(4, scads.Config{
+		ReplicationFactor: 2,
+		Repair: repair.Config{
+			SweepInterval:    10 * time.Millisecond,
+			HeartbeatTimeout: 250 * time.Millisecond,
+			ReplaceAfter:     50 * time.Millisecond,
+		},
+	})
+	must(err)
+	defer lc.Close()
+	must(lc.DefineSchema(socialDDL))
+	must(lc.SplitTable("users", "user1000", "user2000", "user3000"))
+	must(lc.SpreadAll())
+	ns := planner.TableNamespace("users")
+
+	// Phase-event latencies for the incident report.
+	var (
+		evMu       sync.Mutex
+		crashedAt  time.Time
+		detectedAt time.Time
+		failoverAt time.Time
+		repairedAt time.Time
+		victim     string
+	)
+	lc.Repairs().OnEvent = func(ev repair.Event) {
+		evMu.Lock()
+		defer evMu.Unlock()
+		switch ev.Kind {
+		case repair.EventNodeDown:
+			if ev.Node == victim && detectedAt.IsZero() {
+				detectedAt = time.Now()
+			}
+		case repair.EventFailover:
+			if failoverAt.IsZero() {
+				failoverAt = time.Now()
+			}
+		case repair.EventRepairDone:
+			repairedAt = time.Now()
+		}
+	}
+	lc.StartBackground(4)
+	defer lc.StopBackground()
+
+	type ackedState struct {
+		round   int
+		deleted bool
+	}
+	var (
+		ackMu     sync.Mutex
+		lastAcked = map[string]ackedState{}
+		acked     atomic.Int64
+		stop      atomic.Bool
+	)
+
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		for i := 0; i < 40; i++ {
+			id := fmt.Sprintf("user%04d", w*1000+i)
+			must(lc.Insert("users", scads.Row{
+				"id": id, "name": fmt.Sprintf("w%d-r%d", w, -1), "birthday": 1,
+			}))
+			lastAcked[id] = ackedState{round: -1}
+			acked.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				id := fmt.Sprintf("user%04d", w*1000+i%40)
+				if i%10 == 9 {
+					must(lc.Delete("users", scads.Row{"id": id}))
+					ackMu.Lock()
+					lastAcked[id] = ackedState{round: i, deleted: true}
+					ackMu.Unlock()
+				} else {
+					must(lc.Insert("users", scads.Row{
+						"id": id, "name": fmt.Sprintf("w%d-r%d", w, i), "birthday": i%365 + 1,
+					}))
+					ackMu.Lock()
+					lastAcked[id] = ackedState{round: i}
+					ackMu.Unlock()
+				}
+				acked.Add(1)
+			}
+		}(w)
+	}
+
+	// Pick the victim: the primary of the first users range, so the
+	// crash provably hits the write path.
+	m, _ := lc.Router().Map(ns)
+	victimID := m.Ranges()[0].Replicas[0]
+	evMu.Lock()
+	victim = victimID
+	evMu.Unlock()
+
+	// The prober hammers one key homed in the victim's range and
+	// records the longest gap between consecutive successful acks —
+	// the client-visible write-unavailability window around the crash.
+	var (
+		probeStop atomic.Bool
+		windowNs  atomic.Int64
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lastOK := time.Now()
+		for !probeStop.Load() {
+			err := lc.Insert("users", scads.Row{"id": "user0000", "name": "probe", "birthday": 1})
+			now := time.Now()
+			if err == nil {
+				if gap := now.Sub(lastOK).Nanoseconds(); gap > windowNs.Load() {
+					windowNs.Store(gap)
+				}
+				lastOK = now
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond) // steady state under load
+	evMu.Lock()
+	crashedAt = time.Now()
+	evMu.Unlock()
+	lc.CrashNode(victimID)
+
+	// Sustain the write load through detection, failover and repair.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := lc.RepairStats()
+		evMu.Lock()
+		done := st.Failovers > 0 && st.RepairsDone > 0 && !repairedAt.IsZero()
+		evMu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	// Resurrect the victim: it must rejoin as a replica target (or be
+	// torn down and re-enter as a spare) with no operator action.
+	lc.RecoverNode(victimID)
+	time.Sleep(300 * time.Millisecond)
+
+	probeStop.Store(true)
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiesce: repair settles, replication and index maintenance
+	// drain.
+	settle := time.Now().Add(10 * time.Second)
+	for !rfRestoredE13(lc, 2) && time.Now().Before(settle) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	lc.Repairs().Quiesce(10 * time.Second)
+	must(lc.FlushAll())
+
+	// The probe key's bookkeeping: it was last written by the prober.
+	ackMu.Lock()
+	delete(lastAcked, "user0000")
+	ackMu.Unlock()
+
+	lost, wrong, resurrected := 0, 0, 0
+	for id, want := range lastAcked {
+		row, found, err := lc.Get("users", scads.Row{"id": id})
+		must(err)
+		switch {
+		case want.deleted && found:
+			resurrected++
+		case !want.deleted && !found:
+			lost++
+		case !want.deleted && found:
+			if row["name"] != fmt.Sprintf("w%c-r%d", id[4], want.round) {
+				wrong++
+			}
+		}
+	}
+
+	st := lc.RepairStats()
+	evMu.Lock()
+	detect := detectedAt.Sub(crashedAt)
+	failover := failoverAt.Sub(crashedAt)
+	evMu.Unlock()
+	fmt.Printf("%d writers under sustained load; primary %s killed and resurrected; RF=2 over 4 nodes\n\n",
+		writers, victimID)
+	fmt.Printf("  %-34s %12d\n", "acknowledged writes+deletes", acked.Load())
+	fmt.Printf("  %-34s %12d\n", "lost updates", lost)
+	fmt.Printf("  %-34s %12d\n", "corrupted updates", wrong)
+	fmt.Printf("  %-34s %12d\n", "resurrected deletes", resurrected)
+	fmt.Printf("  %-34s %12v\n", "crash -> detected", detect.Round(time.Millisecond))
+	fmt.Printf("  %-34s %12v\n", "crash -> failover flip", failover.Round(time.Millisecond))
+	fmt.Printf("  %-34s %12v\n", "write-unavailability window", time.Duration(windowNs.Load()).Round(time.Millisecond))
+	fmt.Printf("  %-34s %12d\n", "failovers", st.Failovers)
+	fmt.Printf("  %-34s %12d\n", "rf repairs completed", st.RepairsDone)
+	fmt.Printf("  %-34s %12d\n", "rejoins of returned nodes", st.Rejoins)
+	fmt.Printf("  %-34s %12d\n", "demotions of stale replicas", st.Demotions)
+
+	if lost > 0 || wrong > 0 || resurrected > 0 {
+		log.Fatalf("e13: CRASH RECOVERY LOST DATA: lost=%d corrupted=%d resurrected=%d",
+			lost, wrong, resurrected)
+	}
+	if st.Failovers == 0 || st.RepairsDone == 0 {
+		log.Fatalf("e13: recovery machinery never engaged: %+v", st)
+	}
+	if !rfRestoredE13(lc, 2) {
+		log.Fatalf("e13: RF not restored: repair stats %+v", st)
+	}
+
+	fmt.Println("\nevery write acknowledged before, during and after the crash is")
+	fmt.Println("readable with its final content; writes to the dead primary's ranges")
+	fmt.Println("resumed without intervention once the detector fired; and replication")
+	fmt.Println("strength was rebuilt from surviving replicas — node failures are now")
+	fmt.Println("routine events, not data-loss incidents (the director's promise in §1).")
+	must(mapValidate(lc, ns))
+}
+
+// rfRestoredE13 reports whether every range of every namespace has rf
+// distinct serving replicas and no repair job is in flight.
+func rfRestoredE13(lc *scads.LocalCluster, rf int) bool {
+	if lc.RepairStats().PendingJobs != 0 {
+		return false
+	}
+	for _, ns := range lc.Router().Namespaces() {
+		m, ok := lc.Router().Map(ns)
+		if !ok {
+			return false
+		}
+		for _, rng := range m.Ranges() {
+			if len(rng.Replicas) < rf {
+				return false
+			}
+			seen := map[string]bool{}
+			for _, id := range rng.Replicas {
+				mem, ok := lc.Directory().Get(id)
+				if !ok || mem.Status.String() != "up" || seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+	}
+	return true
+}

@@ -14,13 +14,18 @@
 //	scads-ctl -addr host:7070 watermark -ns tbl_users
 //	scads-ctl -addr host:7070 fence   -ns tbl_users -start a -end b
 //	scads-ctl -addr host:7070 unfence -ns tbl_users -start a -end b
+//	scads-ctl -addr coord:7071 repairs     # coordinator admin port
 //
 // watermark prints the namespace's apply epoch/sequence — the delta
-// baseline online migrations catch up from; comparing a donor's
-// watermark across two probes shows whether it is still taking
-// writes. fence/unfence install and lift a migration write fence by
-// hand (repair tooling; the migration manager drives them itself).
-// stats includes the node's installed fence count.
+// baseline online migrations catch up from (plus the node's highest
+// accepted record version, the freshness signal failover ranks
+// replicas by); comparing a donor's watermark across two probes shows
+// whether it is still taking writes. fence/unfence install and lift a
+// migration write fence by hand (repair tooling; the migration manager
+// drives them itself). stats includes the node's installed fence
+// count. repairs queries a *coordinator's* admin listener (see
+// scads.Cluster.AdminHandler) for the self-healing loop's counters and
+// in-flight repair jobs.
 //
 // Keys are given as text; pass -hex to supply hex-encoded binary keys
 // (index namespaces use order-preserving binary encodings).
@@ -201,6 +206,20 @@ func runOne(tr rpc.Transport, addr, cmd string, p params) error {
 		fmt.Printf("%s: epoch=%d seq=%d\n", addr, resp.Epoch, resp.Watermark)
 		return nil
 
+	case "repairs":
+		resp, err := tr.Call(addr, rpc.Request{Method: rpc.MethodRepairs})
+		if err != nil {
+			return err
+		}
+		if er := resp.Error(); er != nil {
+			return er
+		}
+		fmt.Printf("%s: %d repair job(s) in flight\n", addr, resp.RecordCount)
+		for _, line := range strings.Split(strings.TrimRight(string(resp.Value), "\n"), "\n") {
+			fmt.Printf("%s:   %s\n", addr, line)
+		}
+		return nil
+
 	case "fence", "unfence":
 		if p.ns == "" {
 			return fmt.Errorf("%s needs -ns", cmd)
@@ -227,7 +246,7 @@ func runOne(tr rpc.Transport, addr, cmd string, p params) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (ping, stats, get, scan, droprange, watermark, fence, unfence)", cmd)
+		return fmt.Errorf("unknown command %q (ping, stats, get, scan, droprange, watermark, fence, unfence, repairs)", cmd)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"scads"
+
 	"scads/internal/cluster"
 	"scads/internal/record"
 	"scads/internal/rpc"
@@ -158,5 +160,52 @@ func TestCtlWatermarkAndFence(t *testing.T) {
 	})
 	if err != nil || resp.Error() != nil {
 		t.Fatalf("put after unfence: %v %v", err, resp.Error())
+	}
+}
+
+// TestCtlRepairs queries a coordinator's admin listener — the same
+// wire protocol as a storage node, served by Cluster.AdminHandler —
+// and renders the self-healing loop's state.
+func TestCtlRepairs(t *testing.T) {
+	lc, err := scads.NewLocalCluster(2, scads.Config{ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	lc.RepairNow() // one sweep so the counters are non-zero
+
+	server := rpc.NewServer(lc.AdminHandler())
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+	tr := rpc.NewTCPTransport()
+
+	if err := runOne(tr, addr, "repairs", params{}); err != nil {
+		t.Fatalf("repairs: %v", err)
+	}
+	// The reply carries the rendered repair state.
+	resp, err := tr.Call(addr, rpc.Request{Method: rpc.MethodRepairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := resp.Error(); e != nil {
+		t.Fatal(e)
+	}
+	for _, want := range []string{"sweeps=1", "repairs:", "ranges:"} {
+		if !strings.Contains(string(resp.Value), want) {
+			t.Fatalf("repairs output missing %q:\n%s", want, resp.Value)
+		}
+	}
+	// Ping distinguishes a coordinator from a storage node.
+	pong, err := tr.Call(addr, rpc.Request{Method: rpc.MethodPing})
+	if err != nil || string(pong.Value) != "coordinator" {
+		t.Fatalf("admin ping = %q err=%v", pong.Value, err)
+	}
+	// A repairs query against a storage node fails cleanly.
+	nodeAddr := startNode(t)
+	if err := runOne(tr, nodeAddr, "repairs", params{}); err == nil {
+		t.Fatal("repairs against a storage node should error")
 	}
 }

@@ -3,6 +3,8 @@ package scads
 import (
 	"log"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"scads/internal/director"
@@ -38,10 +40,26 @@ func (c *Cluster) Observe(margin time.Duration) director.Observation {
 // a scale action under write load never drops an acknowledged write.
 // This closes the Figure 2 loop against actual data-bearing nodes
 // rather than the abstract cloud simulator.
+//
+// Request runs asynchronously (booting instances and redistributing
+// data can take a while under load, and must not stall the director's
+// control loop); Booting reports the requested-but-not-yet-serving
+// count, so a control step during the boot window sees running+booting
+// instead of double-provisioning — the exact failure mode of a repair
+// storm, where migrations back up behind the migration manager's
+// parallelism bound. Wait blocks until in-flight requests settle.
 type ElasticActuator struct {
 	lc *LocalCluster
 	// OnError receives rebalancing errors (default: log).
 	OnError func(error)
+
+	booting atomic.Int64
+	wg      sync.WaitGroup
+
+	// testHookBooting, when set, runs at the start of a Request's
+	// asynchronous work, while the requested nodes are still counted
+	// as booting.
+	testHookBooting func()
 }
 
 var _ director.Actuator = (*ElasticActuator)(nil)
@@ -56,27 +74,54 @@ func (a *ElasticActuator) Running() int {
 	return len(a.lc.Directory().Up())
 }
 
-// Booting implements director.Actuator. In-process nodes boot
-// instantly.
-func (a *ElasticActuator) Booting() int { return 0 }
+// Booting implements director.Actuator: the number of instances
+// requested but not yet registered as serving. The director adds this
+// to Running when sizing, so capacity already on its way is never
+// requested twice.
+func (a *ElasticActuator) Booting() int { return int(a.booting.Load()) }
 
 // Request implements director.Actuator: boot n nodes and move data
-// onto them.
+// onto them. Returns immediately; the boot and the data spread proceed
+// in the background (Wait blocks until they settle). Each node leaves
+// the booting count the moment it starts serving — from then on it is
+// visible through Running.
 func (a *ElasticActuator) Request(n int) {
-	for i := 0; i < n; i++ {
-		if _, err := a.lc.AddStorageNode(); err != nil {
-			a.fail(err)
-			return
+	if n <= 0 {
+		return
+	}
+	a.booting.Add(int64(n))
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		if a.testHookBooting != nil {
+			a.testHookBooting()
 		}
-	}
-	if err := a.lc.SpreadAll(); err != nil {
-		a.fail(err)
-	}
+		for i := 0; i < n; i++ {
+			if _, err := a.lc.AddStorageNode(); err != nil {
+				a.booting.Add(int64(i - n))
+				a.fail(err)
+				return
+			}
+			a.booting.Add(-1)
+		}
+		if err := a.lc.SpreadAll(); err != nil {
+			a.fail(err)
+		}
+	}()
 }
 
+// Wait blocks until all in-flight Request work (node boots and data
+// spreads) has settled.
+func (a *ElasticActuator) Wait() { a.wg.Wait() }
+
 // Release implements director.Actuator: decommission the n
-// most-recently added serving nodes, draining their data first.
+// most-recently added serving nodes, draining their data first. It
+// waits for in-flight Request work to settle before picking victims —
+// releasing a node while a concurrent spread is still migrating data
+// onto it would tear down the donor copy of ranges that just landed
+// there.
 func (a *ElasticActuator) Release(n int) {
+	a.Wait()
 	up := a.lc.Directory().Up()
 	if len(up)-n < 1 {
 		n = len(up) - 1 // never go below one node

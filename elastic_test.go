@@ -42,10 +42,15 @@ func TestElasticActuatorGrowsAndShrinksRealCluster(t *testing.T) {
 		t.Fatalf("running = %d", act.Running())
 	}
 
-	// Violation: the reactive policy must add a real node.
+	// Violation: the reactive policy must add a real node. Request is
+	// asynchronous; Wait blocks until the boot and the spread settle.
 	d.Step(director.Observation{Rate: 5000, Latency: time.Second, SuccessRate: 90, SLAMet: false})
+	act.Wait()
 	if act.Running() != 3 {
 		t.Fatalf("running after violation = %d", act.Running())
+	}
+	if act.Booting() != 0 {
+		t.Fatalf("booting after settle = %d", act.Booting())
 	}
 	// The new node actually carries ranges after the spread.
 	usedNodes := map[string]bool{}
@@ -82,6 +87,64 @@ func TestElasticActuatorGrowsAndShrinksRealCluster(t *testing.T) {
 	// Writes still work after both transitions.
 	if err := lc.Insert("users", Row{"id": "after", "name": "A", "birthday": 9}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBootingPreventsDoubleProvision pins the Actuator contract the
+// director sizes against: while a Request is in flight its instances
+// count as booting, so a control step during the boot window must not
+// request capacity again (the repair-storm double-provision bug —
+// Booting used to be hardcoded to 0).
+func TestBootingPreventsDoubleProvision(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	lc, err := NewLocalCluster(2, Config{Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.DefineSchema(socialDDL); err != nil {
+		t.Fatal(err)
+	}
+
+	act := NewElasticActuator(lc)
+	act.OnError = func(err error) { t.Errorf("actuator: %v", err) }
+	// Hold the requested nodes in the booting state until released.
+	hold := make(chan struct{})
+	booting := make(chan int, 1)
+	act.testHookBooting = func() {
+		booting <- act.Booting()
+		<-hold
+	}
+	d := director.New(vc, act, director.Config{
+		SLALatency: 100 * time.Millisecond,
+		Policy:     director.Reactive,
+		MinServers: 2,
+	})
+
+	violation := director.Observation{Rate: 5000, Latency: time.Second, SuccessRate: 90, SLAMet: false}
+	dec := d.Step(violation)
+	if dec.Added != 1 {
+		t.Fatalf("first step added %d, want 1", dec.Added)
+	}
+	if got := <-booting; got != 1 {
+		t.Fatalf("Booting during request = %d, want 1", got)
+	}
+
+	// A second violation step while the first request is still booting:
+	// running(2) + booting(1) covers the target(3), so the director
+	// must not double-provision.
+	dec = d.Step(violation)
+	if dec.Added != 0 {
+		t.Fatalf("second step double-provisioned: added %d, booting %d", dec.Added, dec.Booting)
+	}
+	if dec.Booting != 1 {
+		t.Fatalf("director observed booting = %d, want 1", dec.Booting)
+	}
+
+	close(hold)
+	act.Wait()
+	if act.Running() != 3 || act.Booting() != 0 {
+		t.Fatalf("after settle: running=%d booting=%d, want 3/0", act.Running(), act.Booting())
 	}
 }
 

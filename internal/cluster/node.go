@@ -195,7 +195,9 @@ func (n *Node) dropRange(req rpc.Request) rpc.Response {
 // baseline: anything modified after it is re-fetched by
 // MethodRangeDelta, so later pages racing with writes are safe
 // (last-write-wins applies dedupe re-sent records). Limit < 0 returns
-// the watermark alone (operator tooling).
+// the watermark alone plus the namespace's highest accepted record
+// version (the freshness probe the repair manager ranks failover
+// candidates by).
 func (n *Node) rangeSnapshot(req rpc.Request) rpc.Response {
 	n.reads.Add(1)
 	ns, errResp, ok := n.namespace(req.Namespace)
@@ -203,7 +205,7 @@ func (n *Node) rangeSnapshot(req rpc.Request) rpc.Response {
 		return errResp
 	}
 	epoch, wm := ns.ApplyWatermark()
-	resp := rpc.Response{Found: true, Epoch: epoch, Watermark: wm}
+	resp := rpc.Response{Found: true, Epoch: epoch, Watermark: wm, Version: ns.MaxVersion()}
 	if req.Limit < 0 {
 		return resp
 	}

@@ -103,6 +103,16 @@ type Manager struct {
 	// OnPhase, when set, receives one Event per phase transition
 	// (synchronously, on the migrating goroutine).
 	OnPhase func(Event)
+	// OnFlip, when set, is called synchronously after the routing flip
+	// succeeds and *before* the donor's write fence lifts. While the
+	// fence is still held no write can land on the donor, so this is
+	// the one moment the coordinator can enumerate replication updates
+	// the fenced drain provably did not cover (still queued at the
+	// coordinator) and clone them to the replicas the flip added — see
+	// replication.Pump.Rebind. Without it, an in-flight update that
+	// lands on the donor after the handoff never reaches the new
+	// replicas.
+	OnFlip func(namespace string, start, end []byte, old, target []string)
 	// Resolver, when set, returns the current partition map of a
 	// namespace. Cleanup retries consult it so a journaled teardown
 	// can never fence and truncate a range the node has since
@@ -392,11 +402,19 @@ func (m *Manager) migrate(pm *partition.Map, namespace string, key []byte, rng p
 		}
 	}
 
-	// Flip the routing: the single atomic step of the handoff.
+	// Flip the routing: the single atomic step of the handoff. The
+	// compare-and-set guards against a concurrent reconfiguration of
+	// the same range — most importantly the repair manager's failover
+	// promotion after the donor primary crashed mid-migration. Losing
+	// the race aborts the migration (the caller re-reads and retries)
+	// rather than silently reinstating a dead primary.
 	m.event(Event{Phase: PhaseFlip, Namespace: namespace, Start: rng.Start, End: rng.End, Target: target})
-	if err := pm.SetReplicas(key, target); err != nil {
+	if err := pm.CompareAndSetReplicas(key, old, target); err != nil {
 		unfencePrimary()
 		return fmt.Errorf("migration: flip %s %s: %w", namespace, rng, err)
+	}
+	if m.OnFlip != nil {
+		m.OnFlip(namespace, rng.Start, rng.End, old, target)
 	}
 
 	if contains(target, old[0]) {

@@ -75,6 +75,11 @@ var (
 	ErrNoSuchRange  = errors.New("partition: no range contains that key")
 	ErrBadSplit     = errors.New("partition: split point at range boundary")
 	ErrNeedReplicas = errors.New("partition: replica set must be non-empty")
+	// ErrReplicasChanged is returned by CompareAndSetReplicas when the
+	// range's replica group no longer matches the caller's expectation
+	// — another actor (a concurrent migration flip, or the repair
+	// manager's failover) got there first. Callers re-read and retry.
+	ErrReplicasChanged = errors.New("partition: replica set changed concurrently")
 )
 
 // Map is the partition map of one namespace: an ordered list of
@@ -207,6 +212,43 @@ func (m *Map) SetReplicas(key []byte, replicas []string) error {
 	m.ranges[i].Replicas = append([]string(nil), replicas...)
 	m.ver++
 	return nil
+}
+
+// CompareAndSetReplicas reassigns the replica group of the range
+// containing key only if its current group equals expect. Both the
+// migration manager's routing flip and the repair manager's failover
+// promotion go through this, so two concurrent reconfigurations of the
+// same range can never silently overwrite each other: the loser gets
+// ErrReplicasChanged and must re-read the map.
+func (m *Map) CompareAndSetReplicas(key []byte, expect, replicas []string) error {
+	if len(replicas) == 0 {
+		return ErrNeedReplicas
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := m.indexOf(key)
+	if !EqualIDs(m.ranges[i].Replicas, expect) {
+		return ErrReplicasChanged
+	}
+	m.ranges[i].Replicas = append([]string(nil), replicas...)
+	m.ver++
+	return nil
+}
+
+// EqualIDs reports whether two replica sets are identical (same nodes,
+// same order — order is meaningful: Replicas[0] is the primary). This
+// is the comparison CompareAndSetReplicas uses, exported so callers
+// deciding whether a reconfiguration is a no-op agree with the CAS.
+func EqualIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ReplaceNode substitutes newID for oldID in every replica group that

@@ -366,3 +366,121 @@ func TestReplicaOrderRotates(t *testing.T) {
 		t.Fatal("ReadPrimary does not start at primary")
 	}
 }
+
+func TestCompareAndSetReplicas(t *testing.T) {
+	m, _ := NewMap([]string{"n1", "n2"})
+	// Wrong expectation: rejected, map untouched.
+	if err := m.CompareAndSetReplicas([]byte("k"), []string{"n2", "n1"}, []string{"n3"}); err != ErrReplicasChanged {
+		t.Fatalf("stale CAS = %v, want ErrReplicasChanged", err)
+	}
+	if got := m.Lookup([]byte("k")).Replicas; got[0] != "n1" {
+		t.Fatalf("stale CAS mutated the map: %v", got)
+	}
+	// Matching expectation: applied, version bumped.
+	v := m.Version()
+	if err := m.CompareAndSetReplicas([]byte("k"), []string{"n1", "n2"}, []string{"n3", "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Lookup([]byte("k")).Replicas
+	if len(got) != 2 || got[0] != "n3" || got[1] != "n1" {
+		t.Fatalf("replicas after CAS = %v", got)
+	}
+	if m.Version() <= v {
+		t.Fatal("CAS did not bump the map version")
+	}
+	// Empty replica set still rejected.
+	if err := m.CompareAndSetReplicas([]byte("k"), []string{"n3", "n1"}, nil); err != ErrNeedReplicas {
+		t.Fatalf("empty CAS = %v", err)
+	}
+	// A second actor expecting the pre-flip set loses.
+	if err := m.CompareAndSetReplicas([]byte("k"), []string{"n1", "n2"}, []string{"n2"}); err != ErrReplicasChanged {
+		t.Fatalf("concurrent-loser CAS = %v", err)
+	}
+}
+
+// TestGetBatchFallbackUnderCrashedNode covers the per-node-envelope
+// fallback: the directory still lists the primary as up, but its
+// transport is dead, so the batched read fails and every key must fall
+// back to the single-key path with replica failover.
+func TestGetBatchFallbackUnderCrashedNode(t *testing.T) {
+	tc := newTestCluster(t, "n1", "n2")
+	m, _ := NewMap([]string{"n1", "n2"})
+	tc.router.SetMap("ns", m)
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	for i, k := range keys {
+		ver, _, err := tc.router.Put("ns", k, []byte("v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replicate so the secondary can answer the failover read.
+		if err := tc.router.Apply("ns", "n2", []record.Record{{Key: k, Value: []byte("v"), Version: ver}}); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	// Crash the primary's transport without telling the directory: the
+	// batch envelope to n1 errors and the fallback must recover every
+	// key from n2.
+	tc.transport.SetDown("addr-n1", true)
+	res, err := tc.router.GetBatch("ns", keys, ReadPrimary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil || !r.Found || string(r.Value) != "v" {
+			t.Fatalf("key %d after fallback: %+v", i, r)
+		}
+	}
+}
+
+// TestGetBatchUnroutedKeysRetryThroughGet covers the other fallback
+// entry: no replica is reachable at grouping time (directory marks
+// everything down), but the down-retry loop inside Get rides through a
+// concurrent recovery.
+func TestGetBatchUnroutedKeysRetryThroughGet(t *testing.T) {
+	tc := newTestCluster(t, "n1")
+	m, _ := NewMap([]string{"n1"})
+	tc.router.SetMap("ns", m)
+	if _, _, err := tc.router.Put("ns", []byte("a"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	tc.dir.MarkDown("n1")
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		tc.dir.MarkUp("n1")
+	}()
+	res, err := tc.router.GetBatch("ns", [][]byte{[]byte("a")}, ReadAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || !res[0].Found {
+		t.Fatalf("unrouted key did not recover: %+v", res[0])
+	}
+}
+
+// TestWriteRetriesAcrossFailoverFlip pins the coordinator-side crash
+// contract: a Put against a down primary stalls in the down-retry loop
+// and succeeds as soon as a failover flip re-points the range.
+func TestWriteRetriesAcrossFailoverFlip(t *testing.T) {
+	tc := newTestCluster(t, "n1", "n2")
+	m, _ := NewMap([]string{"n1", "n2"})
+	tc.router.SetMap("ns", m)
+	tc.transport.SetDown("addr-n1", true)
+	tc.dir.MarkDown("n1")
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		if err := m.CompareAndSetReplicas([]byte("k"), []string{"n1", "n2"}, []string{"n2"}); err != nil {
+			t.Error(err)
+		}
+	}()
+	ver, replicas, err := tc.router.Put("ns", []byte("k"), []byte("v"))
+	if err != nil {
+		t.Fatalf("write across failover: %v", err)
+	}
+	if ver == 0 || len(replicas) != 1 || replicas[0] != "n2" {
+		t.Fatalf("write landed on %v", replicas)
+	}
+	if v, _, found, err := tc.router.Get("ns", []byte("k"), ReadPrimary); err != nil || !found || string(v) != "v" {
+		t.Fatalf("read-back: %q %v %v", v, found, err)
+	}
+}

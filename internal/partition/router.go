@@ -29,6 +29,15 @@ const (
 // range is down or unreachable.
 var ErrNoReplicaAvailable = errors.New("partition: no replica available")
 
+// IsUnavailable reports whether err means the operation's target nodes
+// could not be reached (as opposed to a semantic failure from a node
+// that answered). Coordinator write paths treat these like fence
+// rejections: re-read the partition map and retry, so a crash-failover
+// flip by the repair manager un-sticks the writer.
+func IsUnavailable(err error) bool {
+	return err != nil && (errors.Is(err, ErrNoReplicaAvailable) || rpc.IsUnreachable(err))
+}
+
 // Router maps (namespace, key) to replica groups and performs the
 // client-side request fan-out. Safe for concurrent use.
 type Router struct {
@@ -91,30 +100,48 @@ func (r *Router) addrOf(nodeID string) (string, bool) {
 }
 
 // Get reads key, trying replicas according to policy with failover.
-// It returns the value, its version, and whether it was found.
+// It returns the value, its version, and whether it was found. When no
+// replica at all is reachable the lookup is retried against a freshly
+// read partition map (up to the shared down-retry budget), so reads —
+// including the primary reads the write path depends on — ride through
+// a crash window that the repair manager resolves with a failover
+// flip.
 func (r *Router) Get(namespace string, key []byte, policy ReadPolicy) ([]byte, uint64, bool, error) {
 	m, err := r.mapFor(namespace)
 	if err != nil {
 		return nil, 0, false, err
 	}
-	rng := m.Lookup(key)
-	order := r.replicaOrder(rng.Replicas, policy)
+	return r.getUntil(m, namespace, key, policy, time.Now().Add(rpc.DownRetryBudget))
+}
+
+// getUntil is Get with an explicit retry deadline, so batched
+// fallbacks can share one budget across many keys instead of paying
+// it per key.
+func (r *Router) getUntil(m *Map, namespace string, key []byte, policy ReadPolicy, deadline time.Time) ([]byte, uint64, bool, error) {
 	req := rpc.Request{Method: rpc.MethodGet, Namespace: namespace, Key: key}
-	for _, id := range order {
-		addr, ok := r.addrOf(id)
-		if !ok {
-			continue
+	for {
+		rng := m.Lookup(key)
+		for _, id := range r.replicaOrder(rng.Replicas, policy) {
+			addr, ok := r.addrOf(id)
+			if !ok {
+				continue
+			}
+			resp, err := r.transport.Call(addr, req)
+			if err != nil {
+				continue // failover to the next replica
+			}
+			if e := resp.Error(); e != nil {
+				return nil, 0, false, e
+			}
+			return resp.Value, resp.Version, resp.Found, nil
 		}
-		resp, err := r.transport.Call(addr, req)
-		if err != nil {
-			continue // failover to the next replica
+		// The budget is wall-clock, not attempt-counted: over TCP one
+		// attempt can burn a whole dial timeout.
+		if time.Now().After(deadline) {
+			return nil, 0, false, ErrNoReplicaAvailable
 		}
-		if e := resp.Error(); e != nil {
-			return nil, 0, false, e
-		}
-		return resp.Value, resp.Version, resp.Found, nil
+		time.Sleep(rpc.DownRetryPause)
 	}
-	return nil, 0, false, ErrNoReplicaAvailable
 }
 
 // GetResult is one key's outcome from GetBatch.
@@ -140,6 +167,7 @@ func (r *Router) GetBatch(namespace string, keys [][]byte, policy ReadPolicy) ([
 	}
 	out := make([]GetResult, len(keys))
 	groups := make(map[string][]int) // addr -> indices into keys
+	var unrouted []int               // keys with no reachable replica right now
 	for i, key := range keys {
 		rng := m.Lookup(key)
 		addr := ""
@@ -150,7 +178,11 @@ func (r *Router) GetBatch(namespace string, keys [][]byte, policy ReadPolicy) ([
 			}
 		}
 		if addr == "" {
-			out[i] = GetResult{Err: ErrNoReplicaAvailable}
+			// No replica is reachable at this instant — likely a crash
+			// window the repair manager is about to resolve. Fall back
+			// to the single-key path, which re-reads the map and waits
+			// out the failover.
+			unrouted = append(unrouted, i)
 			continue
 		}
 		groups[addr] = append(groups[addr], i)
@@ -194,6 +226,21 @@ func (r *Router) GetBatch(namespace string, keys [][]byte, policy ReadPolicy) ([
 			}
 		}(addr, idxs)
 	}
+	if len(unrouted) > 0 {
+		// One goroutine and one shared down-retry budget for ALL
+		// unrouted keys: they typically share the same crashed range,
+		// and a permanent configuration error must cost one budget per
+		// batch, not one per key.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(rpc.DownRetryBudget)
+			for _, i := range unrouted {
+				v, ver, found, err := r.getUntil(m, namespace, keys[i], policy, deadline)
+				out[i] = GetResult{Value: v, Version: ver, Found: found, Err: err}
+			}
+		}()
+	}
 	wg.Wait()
 	return out, nil
 }
@@ -232,22 +279,44 @@ func (r *Router) write(namespace string, key, value []byte, method string) (uint
 	if err != nil {
 		return 0, nil, err
 	}
-	for attempt := 0; ; attempt++ {
+	// Fence retries are counted separately from the wall-clock down
+	// budget: a write that waited out a crash failover must still get
+	// its full fence allowance when the promoted primary is briefly
+	// fenced by the ensuing RF-repair handoff.
+	downDeadline := time.Now().Add(rpc.DownRetryBudget)
+	fenceAttempts := 0
+	for {
 		rng := m.Lookup(key)
 		primary := rng.Replicas[0]
 		addr, ok := r.addrOf(primary)
 		if !ok {
+			// The primary is marked down. Each retry re-reads the
+			// partition map, so the first attempt after the repair
+			// manager's failover flip lands on the promoted replica.
+			// The budget is wall-clock (over TCP one attempt can burn
+			// a whole dial timeout).
+			if time.Now().Before(downDeadline) {
+				time.Sleep(rpc.DownRetryPause)
+				continue
+			}
 			return 0, nil, fmt.Errorf("%w: primary %s down", ErrNoReplicaAvailable, primary)
 		}
 		resp, err := r.transport.Call(addr, rpc.Request{Method: method, Namespace: namespace, Key: key, Value: value})
 		if err != nil {
+			// Unreachable before the directory noticed: same failover
+			// wait as a down primary.
+			if rpc.IsUnreachable(err) && time.Now().Before(downDeadline) {
+				time.Sleep(rpc.DownRetryPause)
+				continue
+			}
 			return 0, nil, err
 		}
 		if e := resp.Error(); e != nil {
-			if rpc.IsFenced(e) && attempt < rpc.FenceRetryLimit {
+			if rpc.IsFenced(e) && fenceAttempts < rpc.FenceRetryLimit {
 				// The range is mid-handoff: each retry re-reads the
 				// partition map, so the first attempt after the flip
 				// lands on the new primary.
+				fenceAttempts++
 				time.Sleep(rpc.FenceRetryPause)
 				continue
 			}

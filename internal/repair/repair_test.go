@@ -1,0 +1,586 @@
+package repair_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/cluster"
+	"scads/internal/migration"
+	"scads/internal/partition"
+	"scads/internal/record"
+	"scads/internal/repair"
+	"scads/internal/replication"
+	"scads/internal/rpc"
+	"scads/internal/storage"
+)
+
+var t0 = time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+
+// fixture is a miniature coordinator: real directory, transport,
+// router, migration manager and replication pump over in-memory
+// storage nodes — everything the repair manager touches, none of the
+// public API (the root package imports repair, so tests here cannot
+// import it back).
+type fixture struct {
+	t      *testing.T
+	clk    *clock.Virtual
+	lt     *rpc.LocalTransport
+	dir    *cluster.Directory
+	router *partition.Router
+	mig    *migration.Manager
+	pump   *replication.Pump
+	mgr    *repair.Manager
+	nodes  map[string]*cluster.Node
+
+	mu     sync.Mutex
+	events []repair.Event
+}
+
+func newFixture(t *testing.T, n, rf int, cfg repair.Config) *fixture {
+	t.Helper()
+	f := &fixture{t: t, clk: clock.NewVirtual(t0), nodes: make(map[string]*cluster.Node)}
+	f.lt = rpc.NewLocalTransport()
+	f.dir = cluster.NewDirectory(f.clk)
+	f.router = partition.NewRouter(f.lt, f.dir)
+	f.mig = migration.NewManager(f.lt, f.dir, 2)
+	f.mig.Resolver = f.router.Map
+	queue := replication.NewQueue(replication.ByDeadline)
+	f.pump = replication.NewPump(queue, f.router.Apply, f.clk)
+	var ids []string
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("n%d", i)
+		engine, err := storage.Open(storage.Options{NodeID: uint16(i), Clock: f.clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := cluster.NewNode(id, engine)
+		f.nodes[id] = node
+		f.lt.Register("local://"+id, node)
+		f.dir.Join(id, "local://"+id)
+		f.dir.MarkUp(id)
+		ids = append(ids, id)
+	}
+	if rf > n {
+		rf = n
+	}
+	m, err := partition.NewMap(ids[:rf])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router.SetMap("ns", m)
+	f.mgr = repair.NewManager(cfg, f.clk, f.dir, f.lt, f.router, f.mig, f.pump, rf)
+	f.mgr.OnEvent = func(ev repair.Event) {
+		f.mu.Lock()
+		f.events = append(f.events, ev)
+		f.mu.Unlock()
+	}
+	return f
+}
+
+func (f *fixture) crash(id string)   { f.lt.SetDown("local://"+id, true) }
+func (f *fixture) recover(id string) { f.lt.SetDown("local://"+id, false) }
+
+func (f *fixture) replicas() []string {
+	m, _ := f.router.Map("ns")
+	return m.Ranges()[0].Replicas
+}
+
+// put applies a record with the given version to each named node.
+func (f *fixture) put(key string, version uint64, nodes ...string) {
+	f.t.Helper()
+	rec := record.Record{Key: []byte(key), Value: []byte("v"), Version: version}
+	for _, id := range nodes {
+		if err := f.router.Apply("ns", id, []record.Record{rec}); err != nil {
+			f.t.Fatalf("apply %s to %s: %v", key, id, err)
+		}
+	}
+}
+
+func (f *fixture) eventKinds() []repair.EventKind {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]repair.EventKind, len(f.events))
+	for i, ev := range f.events {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+func (f *fixture) countKind(k repair.EventKind) int {
+	n := 0
+	for _, got := range f.eventKinds() {
+		if got == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDetectorFlapping drives down → heartbeat-back → down through
+// ExpireStale on the fake clock and checks each transition is observed
+// exactly once.
+func TestDetectorFlapping(t *testing.T) {
+	f := newFixture(t, 2, 1, repair.Config{HeartbeatTimeout: 10 * time.Second})
+	f.mgr.Sweep() // baseline: everyone heartbeats, no events
+	if st := f.mgr.Stats(); st.NodesDown != 0 || st.NodesUp != 0 {
+		t.Fatalf("baseline transitions: %+v", st)
+	}
+
+	// n2 goes silent: after the timeout the sweep expires it.
+	f.crash("n2")
+	f.clk.Advance(11 * time.Second)
+	f.mgr.Sweep()
+	if st := f.mgr.Stats(); st.NodesDown != 1 {
+		t.Fatalf("NodesDown = %d after expiry, want 1", st.NodesDown)
+	}
+	if m, _ := f.dir.Get("n2"); m.Status != cluster.StatusDown {
+		t.Fatalf("n2 status = %v, want down", m.Status)
+	}
+
+	// It heartbeats back: the probe resurrects it.
+	f.recover("n2")
+	f.mgr.Sweep()
+	if st := f.mgr.Stats(); st.NodesUp != 1 {
+		t.Fatalf("NodesUp = %d after return, want 1", st.NodesUp)
+	}
+	if m, _ := f.dir.Get("n2"); m.Status != cluster.StatusUp {
+		t.Fatalf("n2 status = %v, want up", m.Status)
+	}
+
+	// And goes silent again.
+	f.crash("n2")
+	f.clk.Advance(11 * time.Second)
+	f.mgr.Sweep()
+	if st := f.mgr.Stats(); st.NodesDown != 2 || st.NodesUp != 1 {
+		t.Fatalf("after flap: down=%d up=%d, want 2/1", st.NodesDown, st.NodesUp)
+	}
+}
+
+// TestExpireBoundary pins the sweep-interval edge case: a heartbeat
+// exactly timeout-old is NOT expired (ExpireStale is strictly older
+// than), one instant past it is.
+func TestExpireBoundary(t *testing.T) {
+	f := newFixture(t, 1, 1, repair.Config{HeartbeatTimeout: 10 * time.Second})
+	f.mgr.Sweep() // heartbeat at t0
+	f.crash("n1") // silence the probe without marking anything
+
+	f.clk.Advance(10 * time.Second)
+	f.mgr.Sweep()
+	if m, _ := f.dir.Get("n1"); m.Status != cluster.StatusUp {
+		t.Fatalf("expired at exactly the timeout; want up")
+	}
+	f.clk.Advance(1)
+	f.mgr.Sweep()
+	if m, _ := f.dir.Get("n1"); m.Status != cluster.StatusDown {
+		t.Fatalf("not expired just past the timeout")
+	}
+}
+
+// TestRunSweepsOnFakeClock checks the background loop paces itself on
+// the injected clock: sweeps fire only as virtual time crosses the
+// interval, and Stop halts them.
+func TestRunSweepsOnFakeClock(t *testing.T) {
+	f := newFixture(t, 1, 1, repair.Config{SweepInterval: 100 * time.Millisecond})
+	f.mgr.Run()
+
+	// Less than one interval of virtual time never fires, no matter
+	// how much real time passes.
+	f.clk.Advance(99 * time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	if got := f.mgr.Stats().Sweeps; got != 0 {
+		t.Fatalf("sweeps after partial interval = %d, want 0", got)
+	}
+
+	// Advancing virtual time drives sweeps.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.mgr.Stats().Sweeps < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeps = %d, want >= 3", f.mgr.Stats().Sweeps)
+		}
+		f.clk.Advance(100 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Stop halts the loop: further advances never sweep again.
+	f.mgr.Stop()
+	n := f.mgr.Stats().Sweeps
+	f.clk.Advance(time.Second)
+	time.Sleep(30 * time.Millisecond)
+	if got := f.mgr.Stats().Sweeps; got != n {
+		t.Fatalf("swept after Stop: %d -> %d", n, got)
+	}
+}
+
+// TestFailoverPromotesFreshestSurvivor crashes a primary and checks
+// the promoted replica is the one with the highest accepted record
+// version, not simply the next in line.
+func TestFailoverPromotesFreshestSurvivor(t *testing.T) {
+	f := newFixture(t, 3, 3, repair.Config{HeartbeatTimeout: 10 * time.Second})
+	f.put("a", 100, "n1", "n2", "n3")
+	f.put("b", 200, "n1", "n3") // n3 is fresher than n2
+
+	f.crash("n1")
+	f.dir.MarkDown("n1")
+	f.mgr.Sweep()
+
+	// Freshest survivor first; the dead ex-primary is kept at the tail
+	// (it still holds a copy — if both survivors die and it returns, it
+	// must be promotable rather than the range going dark).
+	got := f.replicas()
+	if len(got) != 3 || got[0] != "n3" || got[1] != "n2" || got[2] != "n1" {
+		t.Fatalf("replicas after failover = %v, want [n3 n2 n1]", got)
+	}
+	if st := f.mgr.Stats(); st.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1", st.Failovers)
+	}
+	if f.countKind(repair.EventFailover) != 1 {
+		t.Fatalf("events: %v", f.eventKinds())
+	}
+}
+
+// TestUnavailableRangeReported: no live replica → one unavailable
+// event, gauge set; recovery clears it and resurrects service.
+func TestUnavailableRangeReported(t *testing.T) {
+	f := newFixture(t, 1, 1, repair.Config{HeartbeatTimeout: 10 * time.Second})
+	f.crash("n1")
+	f.dir.MarkDown("n1")
+	f.mgr.Sweep()
+	f.mgr.Sweep() // second sweep must not re-emit
+	if st := f.mgr.Stats(); st.RangesUnavailable != 1 {
+		t.Fatalf("RangesUnavailable = %d, want 1", st.RangesUnavailable)
+	}
+	if n := f.countKind(repair.EventUnavailable); n != 1 {
+		t.Fatalf("unavailable events = %d, want 1 (deduplicated)", n)
+	}
+	f.recover("n1")
+	f.mgr.Sweep()
+	if st := f.mgr.Stats(); st.RangesUnavailable != 0 {
+		t.Fatalf("RangesUnavailable after recovery = %d, want 0", st.RangesUnavailable)
+	}
+}
+
+// TestRFRepairReplacesDeadReplicaAfterGrace: a down secondary is
+// replaced with a spare only after ReplaceAfter, and the spare holds a
+// complete copy.
+func TestRFRepairReplacesDeadReplicaAfterGrace(t *testing.T) {
+	f := newFixture(t, 3, 2, repair.Config{
+		HeartbeatTimeout: 10 * time.Second,
+		ReplaceAfter:     5 * time.Second,
+	})
+	f.put("a", 100, "n1", "n2")
+	f.put("b", 200, "n1", "n2")
+
+	f.crash("n2")
+	f.dir.MarkDown("n2")
+	f.mgr.Sweep()
+	if !f.mgr.Quiesce(5 * time.Second) {
+		t.Fatal("repair did not quiesce")
+	}
+	if got := f.replicas(); len(got) != 2 || got[1] != "n2" {
+		t.Fatalf("replaced before grace: %v", got)
+	}
+
+	f.clk.Advance(6 * time.Second)
+	f.mgr.Sweep()
+	if !f.mgr.Quiesce(5 * time.Second) {
+		t.Fatal("repair did not quiesce")
+	}
+	got := f.replicas()
+	if len(got) != 2 || got[0] != "n1" || got[1] != "n3" {
+		t.Fatalf("replicas after replacement = %v, want [n1 n3]", got)
+	}
+	// The replacement holds every record.
+	for _, key := range []string{"a", "b"} {
+		ns, err := f.nodes["n3"].Engine().Namespace("ns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := ns.GetRecord([]byte(key)); !ok {
+			t.Fatalf("replacement n3 missing %q", key)
+		}
+	}
+	if st := f.mgr.Stats(); st.RepairsDone != 1 || st.Rejoins != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAntiFlapHoldsBeforeGrace: a node that returns before the grace
+// triggers no repair at all — membership is untouched and no migration
+// ran.
+func TestAntiFlapHoldsBeforeGrace(t *testing.T) {
+	f := newFixture(t, 3, 2, repair.Config{
+		HeartbeatTimeout: 10 * time.Second,
+		ReplaceAfter:     5 * time.Second,
+	})
+	f.crash("n2")
+	f.dir.MarkDown("n2")
+	f.mgr.Sweep()
+	f.clk.Advance(2 * time.Second) // still inside the grace
+	f.mgr.Sweep()
+	f.recover("n2")
+	f.mgr.Sweep()
+	f.mgr.Quiesce(time.Second)
+	if got := f.replicas(); len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("flap changed membership: %v", got)
+	}
+	if st := f.mgr.Stats(); st.RepairsStarted != 0 || st.Demotions != 0 {
+		t.Fatalf("flap triggered repairs: %+v", st)
+	}
+}
+
+// TestStaleReturnDemotedAndRejoins: deliveries to a down secondary are
+// abandoned (pump drops), so on return it is demoted and immediately
+// re-added through a full catch-up — and ends up holding the write it
+// missed.
+func TestStaleReturnDemotedAndRejoins(t *testing.T) {
+	f := newFixture(t, 2, 2, repair.Config{
+		HeartbeatTimeout: 10 * time.Second,
+		ReplaceAfter:     time.Hour, // rejoin must not wait for any grace
+	})
+	f.pump.MaxAttempts = 1
+	f.put("a", 100, "n1", "n2")
+
+	f.crash("n2")
+	f.dir.MarkDown("n2")
+	f.mgr.Sweep()
+
+	// A write lands on the primary; its replication to n2 is dropped.
+	f.put("b", 200, "n1")
+	f.pump.Enqueue("ns", record.Record{Key: []byte("b"), Value: []byte("v"), Version: 200}, []string{"n2"}, time.Second)
+	if n := f.pump.Drain(10); n != 1 {
+		t.Fatalf("drained %d", n)
+	}
+	if f.pump.DroppedTo("n2") != 1 {
+		t.Fatalf("expected a dropped delivery to n2")
+	}
+
+	f.recover("n2")
+	f.mgr.Sweep()
+	if !f.mgr.Quiesce(5 * time.Second) {
+		t.Fatal("rejoin did not quiesce")
+	}
+	if st := f.mgr.Stats(); st.Demotions != 1 || st.Rejoins != 1 || st.RepairsDone != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := f.replicas(); len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("replicas after rejoin = %v", got)
+	}
+	ns, err := f.nodes["n2"].Engine().Namespace("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, _ := ns.GetRecord([]byte("b"))
+	if !ok || rec.Version != 200 {
+		t.Fatalf("rejoined n2 missing the dropped write: ok=%v rec=%+v", ok, rec)
+	}
+}
+
+// TestResurrectionMidRepair: the down secondary heartbeats back while
+// its replacement migration is mid-flight. The migration commits to
+// its target; the loop then treats the returned node as a spare, and
+// its stale copy is torn down by the journaled cleanup — no wrong
+// membership, no stranded data.
+func TestResurrectionMidRepair(t *testing.T) {
+	f := newFixture(t, 3, 2, repair.Config{
+		HeartbeatTimeout: 10 * time.Second,
+		ReplaceAfter:     time.Millisecond,
+	})
+	f.put("a", 100, "n1", "n2")
+
+	var once sync.Once
+	f.mig.OnPhase = func(ev migration.Event) {
+		if ev.Phase == migration.PhaseSnapshot {
+			once.Do(func() {
+				f.recover("n2")
+				f.dir.Heartbeat("n2")
+			})
+		}
+	}
+
+	f.crash("n2")
+	f.dir.MarkDown("n2")
+	f.mgr.Sweep()              // observe the down transition
+	f.clk.Advance(time.Second) // past the tiny grace
+	f.mgr.Sweep()              // schedules the replacement
+	if !f.mgr.Quiesce(5 * time.Second) {
+		t.Fatal("repair did not quiesce")
+	}
+	got := f.replicas()
+	if len(got) != 2 || got[0] != "n1" || got[1] != "n3" {
+		t.Fatalf("replicas = %v, want [n1 n3]", got)
+	}
+	// Subsequent sweeps settle: n2's up transition is observed, the
+	// journaled teardown of its copy retries now that it is reachable.
+	f.mgr.Sweep()
+	f.mgr.Quiesce(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ns, err := f.nodes["n2"].Engine().Namespace("ns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := ns.GetRecord([]byte("a")); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stale copy on resurrected n2 never torn down")
+		}
+		f.mgr.Sweep()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := f.mgr.Stats(); st.RepairsDone < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestFailoverThenRejoin: the crashed primary returns after failover.
+// Deliveries to it were abandoned while it was away, so the staleness
+// audit demotes it and the rejoin path rebuilds its copy — which ends
+// up holding the write it missed.
+func TestFailoverThenRejoin(t *testing.T) {
+	f := newFixture(t, 2, 2, repair.Config{
+		HeartbeatTimeout: 10 * time.Second,
+		ReplaceAfter:     time.Hour,
+	})
+	f.pump.MaxAttempts = 1
+	f.put("a", 100, "n1", "n2")
+
+	f.crash("n1")
+	f.dir.MarkDown("n1")
+	f.mgr.Sweep()
+	// Promoted survivor first, dead ex-primary kept at the tail.
+	if got := f.replicas(); len(got) != 2 || got[0] != "n2" || got[1] != "n1" {
+		t.Fatalf("replicas after failover = %v, want [n2 n1]", got)
+	}
+
+	// A write lands on the promoted primary while n1 is away; its
+	// replication to the dead tail member is abandoned.
+	f.put("b", 200, "n2")
+	f.pump.Enqueue("ns", record.Record{Key: []byte("b"), Value: []byte("v"), Version: 200}, []string{"n1"}, time.Second)
+	if n := f.pump.Drain(10); n != 1 {
+		t.Fatalf("drained %d", n)
+	}
+	if f.pump.DroppedTo("n1") != 1 {
+		t.Fatal("expected the delivery to dead n1 to be dropped")
+	}
+
+	f.recover("n1")
+	f.mgr.Sweep()
+	if !f.mgr.Quiesce(5 * time.Second) {
+		t.Fatal("rejoin did not quiesce")
+	}
+	got := f.replicas()
+	if len(got) != 2 || got[0] != "n2" || got[1] != "n1" {
+		t.Fatalf("replicas after rejoin = %v, want [n2 n1]", got)
+	}
+	ns, err := f.nodes["n1"].Engine().Namespace("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ns.GetRecord([]byte("b")); !ok {
+		t.Fatal("rejoined n1 missing the write it was away for")
+	}
+	if st := f.mgr.Stats(); st.Failovers != 1 || st.Demotions != 1 || st.Rejoins != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPartitionedReplicaDemotedWhileUp covers the asymmetric-fault
+// audit: a secondary whose replication link is severed keeps answering
+// pings (never leaves the up state) while the pump abandons deliveries
+// to it. The per-sweep drop audit must demote and rebuild it anyway —
+// otherwise a later failover onto it would lose the dropped writes.
+func TestPartitionedReplicaDemotedWhileUp(t *testing.T) {
+	f := newFixture(t, 2, 2, repair.Config{
+		HeartbeatTimeout: 10 * time.Second,
+		ReplaceAfter:     time.Hour,
+	})
+	f.pump.MaxAttempts = 1
+	f.put("a", 100, "n1", "n2")
+	f.mgr.Sweep() // baseline drop marks
+
+	// Sever only the replication link: pings still answer.
+	f.lt.SetApplyDown("local://n2", true)
+	f.put("b", 200, "n1")
+	f.pump.Enqueue("ns", record.Record{Key: []byte("b"), Value: []byte("v"), Version: 200}, []string{"n2"}, time.Second)
+	if n := f.pump.Drain(10); n != 1 {
+		t.Fatalf("drained %d", n)
+	}
+	f.lt.SetApplyDown("local://n2", false)
+
+	f.mgr.Sweep()
+	if !f.mgr.Quiesce(5 * time.Second) {
+		t.Fatal("rebuild did not quiesce")
+	}
+	if m, _ := f.dir.Get("n2"); m.Status != cluster.StatusUp {
+		t.Fatalf("n2 went %v; the fault was replication-only", m.Status)
+	}
+	if st := f.mgr.Stats(); st.NodesDown != 0 || st.Demotions != 1 || st.Rejoins != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ns, err := f.nodes["n2"].Engine().Namespace("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ns.GetRecord([]byte("b")); !ok {
+		t.Fatal("rebuilt n2 missing the dropped write")
+	}
+	if got := f.replicas(); len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("replicas = %v", got)
+	}
+}
+
+// TestSurvivorDiesAndOldPrimaryReturns: after failover the promoted
+// survivor also dies; when the original (dead, tail-retained) primary
+// returns, the next sweep promotes it instead of leaving the range
+// permanently unavailable.
+func TestSurvivorDiesAndOldPrimaryReturns(t *testing.T) {
+	f := newFixture(t, 2, 2, repair.Config{
+		HeartbeatTimeout: 10 * time.Second,
+		ReplaceAfter:     time.Hour,
+	})
+	f.put("a", 100, "n1", "n2")
+
+	f.crash("n1")
+	f.dir.MarkDown("n1")
+	f.mgr.Sweep() // failover to [n2 n1]
+	f.crash("n2")
+	f.dir.MarkDown("n2")
+	f.mgr.Sweep()
+	if st := f.mgr.Stats(); st.RangesUnavailable != 1 {
+		t.Fatalf("expected unavailable range, stats %+v", st)
+	}
+
+	f.recover("n1")
+	f.mgr.Sweep()
+	got := f.replicas()
+	if got[0] != "n1" {
+		t.Fatalf("returned old primary not promoted: %v", got)
+	}
+	if st := f.mgr.Stats(); st.RangesUnavailable != 0 || st.Failovers != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Its data still serves.
+	ns, err := f.nodes["n1"].Engine().Namespace("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ns.GetRecord([]byte("a")); !ok {
+		t.Fatal("promoted returnee missing data")
+	}
+}
+
+func TestDescribeRendersState(t *testing.T) {
+	f := newFixture(t, 2, 2, repair.Config{})
+	f.mgr.Sweep()
+	out := f.mgr.Describe()
+	for _, want := range []string{"sweeps=1", "repairs:", "ranges:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package replication
 
 import (
+	"bytes"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +49,9 @@ type Pump struct {
 	mu          sync.Mutex
 	parked      []parkedUpdate // failed deliveries awaiting retry
 	violationNS map[string]int64
+	inflight    map[int64]Update // popped, delivery in progress
+	inflightSeq int64
+	droppedBy   map[string]int64 // per-target gave-up deliveries
 	stopped     bool
 	wg          sync.WaitGroup
 	stopCh      chan struct{}
@@ -67,6 +72,8 @@ func NewPump(queue *Queue, apply ApplyFunc, clk clock.Clock) *Pump {
 		MaxAttempts:  5,
 		RetryBackoff: 100 * time.Millisecond,
 		violationNS:  make(map[string]int64),
+		inflight:     make(map[int64]Update),
+		droppedBy:    make(map[string]int64),
 		stopCh:       make(chan struct{}),
 	}
 }
@@ -105,35 +112,48 @@ func (p *Pump) Drain(maxOps int) int {
 	p.unparkReady()
 	n := 0
 	for n < maxOps {
-		u, ok := p.queue.Pop()
+		u, id, ok := p.popTracked()
 		if !ok {
 			return n
 		}
-		p.deliver(u)
+		p.deliver(u, id)
 		n++
 	}
 	return n
 }
 
+// popTracked pops the next update while registering it as in flight,
+// atomically with respect to Rebind: under p.mu every pending update
+// is in exactly one of queue, parked, or inflight, so a flip-time
+// Rebind scan can never miss one mid-transition.
+func (p *Pump) popTracked() (Update, int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u, ok := p.queue.Pop()
+	if !ok {
+		return Update{}, 0, false
+	}
+	p.inflightSeq++
+	p.inflight[p.inflightSeq] = u
+	return u, p.inflightSeq, true
+}
+
 // unparkReady moves parked retries whose backoff has elapsed back into
-// the queue.
+// the queue. The queue push happens under p.mu so the update is never
+// invisible to a concurrent Rebind scan.
 func (p *Pump) unparkReady() {
 	now := p.clk.Now()
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	var still []parkedUpdate
-	var ready []Update
 	for _, pu := range p.parked {
 		if pu.retryAt.After(now) {
 			still = append(still, pu)
 		} else {
-			ready = append(ready, pu.u)
+			p.queue.Push(pu.u)
 		}
 	}
 	p.parked = still
-	p.mu.Unlock()
-	for _, u := range ready {
-		p.queue.Push(u)
-	}
 }
 
 // Run starts workers background goroutines that drain the queue until
@@ -150,7 +170,7 @@ func (p *Pump) Run(workers int) {
 				default:
 				}
 				p.unparkReady()
-				u, ok := p.queue.Pop()
+				u, id, ok := p.popTracked()
 				if !ok {
 					select {
 					case <-p.stopCh:
@@ -159,7 +179,7 @@ func (p *Pump) Run(workers int) {
 					}
 					continue
 				}
-				p.deliver(u)
+				p.deliver(u, id)
 			}
 		}()
 	}
@@ -176,13 +196,21 @@ func (p *Pump) Stop() {
 	p.wg.Wait()
 }
 
-func (p *Pump) deliver(u Update) {
+// deliver attempts one update; id is its inflight-registry token from
+// popTracked. The post-delivery bookkeeping (deregister, park, drop)
+// happens under p.mu in one step, so the update transitions atomically
+// between the states a Rebind scan observes.
+func (p *Pump) deliver(u Update, id int64) {
 	u.Attempts++
 	err := p.apply(u.Namespace, u.Target, []record.Record{u.Rec})
 	if err != nil {
 		p.failures.Add(1)
+		p.mu.Lock()
+		delete(p.inflight, id)
 		if u.Attempts >= p.MaxAttempts {
 			p.dropped.Add(1)
+			p.droppedBy[u.Target]++
+			p.mu.Unlock()
 			p.tracker.done(u.Namespace, u.Target, u.EnqueuedAt)
 			return
 		}
@@ -190,19 +218,97 @@ func (p *Pump) deliver(u Update) {
 		// cannot monopolise the queue head and starve deliverable
 		// updates.
 		backoff := p.RetryBackoff * time.Duration(u.Attempts)
-		p.mu.Lock()
 		p.parked = append(p.parked, parkedUpdate{u: u, retryAt: p.clk.Now().Add(backoff)})
 		p.mu.Unlock()
 		return
 	}
 	p.delivered.Add(1)
+	p.mu.Lock()
+	delete(p.inflight, id)
 	if p.clk.Now().After(u.Deadline) {
 		p.violations.Add(1)
-		p.mu.Lock()
 		p.violationNS[u.Namespace]++
-		p.mu.Unlock()
 	}
+	p.mu.Unlock()
 	p.tracker.done(u.Namespace, u.Target, u.EnqueuedAt)
+}
+
+// DroppedTo reports how many deliveries to node the pump has given up
+// on (MaxAttempts exhausted). The repair manager samples this at a
+// node's down transition and compares on return: an unchanged counter
+// means every update that accumulated while the node was away is still
+// queued and will converge, so the replica can rejoin as-is; a higher
+// counter means it is irrecoverably stale and must be demoted and
+// re-replicated through the migration protocol.
+func (p *Pump) DroppedTo(node string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.droppedBy[node]
+}
+
+// Rebind clones every pending update for a key in [start, end) of the
+// namespace to each of the added replicas. The migration manager calls
+// this (through the coordinator's OnFlip hook) after flipping routing
+// and before lifting the donor's write fence: anything the fenced
+// drain could not have shipped — updates still queued, parked, or in
+// flight at the coordinator — is duplicated to the replicas that just
+// caught up, so a range's new members can never permanently miss a
+// write that was acknowledged before the handoff. Duplicate deliveries
+// are harmless (applies are last-write-wins by version).
+func (p *Pump) Rebind(namespace string, start, end []byte, added []string) int {
+	if len(added) == 0 {
+		return 0
+	}
+	inRange := func(u Update) bool {
+		if u.Namespace != namespace {
+			return false
+		}
+		if start != nil && bytes.Compare(u.Rec.Key, start) < 0 {
+			return false
+		}
+		if end != nil && bytes.Compare(u.Rec.Key, end) >= 0 {
+			return false
+		}
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var matches []Update
+	seen := make(map[string]bool) // key \x00 version — dedupe multi-target enqueues
+	collect := func(u Update) {
+		if !inRange(u) {
+			return
+		}
+		k := string(u.Rec.Key) + "\x00" + strconv.FormatUint(u.Rec.Version, 36)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		matches = append(matches, u)
+	}
+	p.queue.ForEach(collect)
+	for _, pu := range p.parked {
+		collect(pu.u)
+	}
+	for _, u := range p.inflight {
+		collect(u)
+	}
+	n := 0
+	for _, u := range matches {
+		for _, target := range added {
+			if u.Target == target {
+				continue
+			}
+			clone := u
+			clone.Target = target
+			clone.Attempts = 0
+			p.queue.Push(clone)
+			p.tracker.pending(clone.Namespace, target, clone.EnqueuedAt)
+			p.enqueued.Add(1)
+			n++
+		}
+	}
+	return n
 }
 
 // AtRisk counts undelivered updates — queued or parked awaiting a
@@ -234,10 +340,10 @@ func (p *Pump) ViolationsFor(namespace string) int64 {
 }
 
 // Stats returns a snapshot of pump counters. Pending includes parked
-// retries.
+// retries and deliveries in flight.
 func (p *Pump) Stats() Stats {
 	p.mu.Lock()
-	parked := len(p.parked)
+	parked := len(p.parked) + len(p.inflight)
 	p.mu.Unlock()
 	return Stats{
 		Enqueued:   p.enqueued.Load(),

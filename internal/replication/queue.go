@@ -116,6 +116,18 @@ func (q *Queue) Overdue(now time.Time) int {
 	return q.AtRisk(now, 0)
 }
 
+// ForEach visits every pending update under the queue lock (heap
+// order, not priority order). fn must not call back into the queue.
+// The pump's flip-time Rebind uses this to clone in-range updates to
+// replicas a migration just added.
+func (q *Queue) ForEach(fn func(Update)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, it := range q.h {
+		fn(it.u)
+	}
+}
+
 type queued struct {
 	u          Update
 	seq        int64

@@ -373,3 +373,124 @@ func TestPumpAtRiskIncludesParked(t *testing.T) {
 		t.Fatalf("pump AtRisk(1s) = %d, want 0", got)
 	}
 }
+
+// TestRebindClonesPendingToAddedReplicas: a flip-time Rebind must
+// duplicate every pending in-range update — queued or parked — to the
+// replicas a migration just added, deduplicating multi-target
+// enqueues, and leave out-of-range updates alone.
+func TestRebindClonesPendingToAddedReplicas(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	var mu sync.Mutex
+	delivered := map[string][]string{} // target -> keys
+	failing := map[string]bool{}
+	apply := func(ns, node string, recs []record.Record) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing[node] {
+			return errors.New("down")
+		}
+		for _, r := range recs {
+			delivered[node] = append(delivered[node], string(r.Key))
+		}
+		return nil
+	}
+	p := NewPump(NewQueue(ByDeadline), apply, vc)
+
+	rec := func(key string, ver uint64) record.Record {
+		return record.Record{Key: []byte(key), Value: []byte("v"), Version: ver}
+	}
+	// Multi-target enqueue of the same record: must clone once, not
+	// once per original target.
+	p.Enqueue("ns", rec("b", 1), []string{"n1", "n2"}, time.Minute)
+	// Out of [a, c) range: not cloned.
+	p.Enqueue("ns", rec("x", 2), []string{"n1"}, time.Minute)
+	// Wrong namespace: not cloned.
+	p.Enqueue("other", rec("b", 3), []string{"n1"}, time.Minute)
+	// Parked update (delivery fails once): still visible to Rebind.
+	mu.Lock()
+	failing["n2"] = true
+	mu.Unlock()
+	p.Enqueue("ns", rec("a", 4), []string{"n2"}, time.Minute)
+	p.Drain(10) // delivers the others; parks a/4 for n2
+	mu.Lock()
+	failing["n2"] = false
+	mu.Unlock()
+
+	if n := p.Rebind("ns", []byte("a"), []byte("c"), []string{"n3"}); n != 2 {
+		t.Fatalf("Rebind cloned %d updates, want 2 (b/1 deduped + parked a/4)", n)
+	}
+	vc.Advance(time.Second) // backoff elapses
+	p.Drain(10)
+	mu.Lock()
+	defer mu.Unlock()
+	got := map[string]bool{}
+	for _, k := range delivered["n3"] {
+		got[k] = true
+	}
+	if len(delivered["n3"]) != 2 || !got["a"] || !got["b"] {
+		t.Fatalf("n3 deliveries = %v, want exactly {a, b}", delivered["n3"])
+	}
+	if p.Stats().Pending != 0 {
+		t.Fatalf("pending = %d after drain", p.Stats().Pending)
+	}
+}
+
+// TestRebindSeesInflightUpdates: an update popped and mid-delivery
+// during the Rebind scan is still cloned — the pump registers it as in
+// flight before releasing the queue.
+func TestRebindSeesInflightUpdates(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	delivered := map[string]int{}
+	apply := func(ns, node string, recs []record.Record) error {
+		if node == "n1" {
+			close(entered)
+			<-release
+		}
+		mu.Lock()
+		delivered[node]++
+		mu.Unlock()
+		return nil
+	}
+	p := NewPump(NewQueue(ByDeadline), apply, vc)
+	p.Enqueue("ns", record.Record{Key: []byte("k"), Version: 1}, []string{"n1"}, time.Minute)
+	done := make(chan struct{})
+	go func() {
+		p.Drain(1)
+		close(done)
+	}()
+	<-entered // the update is in flight, the queue is empty
+	if n := p.Rebind("ns", nil, nil, []string{"n3"}); n != 1 {
+		t.Fatalf("Rebind cloned %d, want the in-flight update", n)
+	}
+	close(release)
+	<-done
+	p.Drain(1)
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered["n3"] != 1 {
+		t.Fatalf("n3 deliveries = %d", delivered["n3"])
+	}
+}
+
+// TestDroppedToCountsAbandonedDeliveries: the per-target drop counter
+// is the repair manager's staleness criterion for returned nodes.
+func TestDroppedToCountsAbandonedDeliveries(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	apply := func(ns, node string, recs []record.Record) error { return errors.New("down") }
+	p := NewPump(NewQueue(ByDeadline), apply, vc)
+	p.MaxAttempts = 1
+	p.Enqueue("ns", record.Record{Key: []byte("k"), Version: 1}, []string{"n1", "n2"}, time.Minute)
+	p.Drain(10)
+	if got := p.DroppedTo("n1"); got != 1 {
+		t.Fatalf("DroppedTo(n1) = %d", got)
+	}
+	if got := p.DroppedTo("n2"); got != 1 {
+		t.Fatalf("DroppedTo(n2) = %d", got)
+	}
+	if got := p.DroppedTo("n3"); got != 0 {
+		t.Fatalf("DroppedTo(n3) = %d", got)
+	}
+}

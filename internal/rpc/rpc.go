@@ -49,6 +49,12 @@ const (
 	MethodRangeSnapshot = "rangesnap"
 	MethodRangeDelta    = "rangedelta"
 	MethodRangeFence    = "rangefence"
+
+	// MethodRepairs is served by a coordinator's admin handler (not by
+	// storage nodes): it reports the self-healing repair subsystem's
+	// counters and in-flight jobs for operator tooling (scads-ctl
+	// repairs).
+	MethodRepairs = "repairs"
 )
 
 // Request is the single request envelope for all methods. Unused
@@ -176,6 +182,44 @@ const (
 	FenceRetryLimit = 400
 	FenceRetryPause = time.Millisecond
 )
+
+// DownRetryPause and DownRetryBudget are the shared policy for writers
+// whose target node is unreachable or marked down: re-read the
+// partition map and retry, so a write stalls through a crash-failover
+// window (failure detection plus the repair manager's primary flip)
+// instead of failing. The budget is a wall-clock bound, not an attempt
+// count — over TCP a single attempt against a half-dead node can burn
+// a full dial timeout, so attempt-counting alone would stretch the
+// stall to minutes. The 4s budget deliberately covers the repair
+// loop's *default* detection window (3s heartbeat timeout + one 500ms
+// sweep) with margin, so an out-of-the-box cluster keeps the "writes
+// stall through failover, never fail" contract; tune both together if
+// you lengthen the heartbeat timeout.
+const (
+	DownRetryPause  = 5 * time.Millisecond
+	DownRetryBudget = 4 * time.Second
+)
+
+// IsUnreachable reports whether err means the target node could not be
+// reached at all (crash, partition, refused connection, connection
+// torn down mid-request), across error wrapping and across the wire
+// boundary (errors arrive re-materialised from strings). The transport
+// layer is responsible for wrapping its own failures in ErrUnreachable
+// (TCPTransport wraps dial, send, and receive errors); the substring
+// checks are deliberately narrow so a node-side semantic error whose
+// message happens to mention I/O is never mistaken for a dead node.
+func IsUnreachable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrUnreachable) {
+		return true
+	}
+	s := err.Error()
+	return strings.Contains(s, "node unreachable") ||
+		strings.Contains(s, "connection refused") ||
+		strings.Contains(s, "connection reset")
+}
 
 // IsSnapshotGap reports whether err is a delta-baseline gap, across
 // the wire boundary.

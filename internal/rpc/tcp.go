@@ -146,9 +146,15 @@ func (t *TCPTransport) Call(addr string, req Request) (Response, error) {
 
 	c.id++
 	req.ID = c.id
+	// Send/receive failures are transport-level by definition — the
+	// connection died or timed out mid-request — so they wrap
+	// ErrUnreachable and writers enter the shared down-retry loop
+	// (safe: applies are idempotent under last-write-wins versions).
+	// Semantic errors from a node that answered travel in
+	// Response.Err and are never classified as unreachable.
 	if err := c.enc.Encode(&req); err != nil {
 		c.conn.Close()
-		return Response{}, fmt.Errorf("rpc: send: %w", err)
+		return Response{}, fmt.Errorf("%w: send: %v", ErrUnreachable, err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
@@ -156,7 +162,7 @@ func (t *TCPTransport) Call(addr string, req Request) (Response, error) {
 		if errors.Is(err, io.EOF) {
 			return Response{}, ErrUnreachable
 		}
-		return Response{}, fmt.Errorf("rpc: receive: %w", err)
+		return Response{}, fmt.Errorf("%w: receive: %v", ErrUnreachable, err)
 	}
 	if resp.ID != req.ID {
 		c.conn.Close()

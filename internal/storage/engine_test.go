@@ -558,3 +558,41 @@ func TestQuickCrashRecoveryDurability(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMaxVersionTracksFreshness: MaxVersion rises with the highest
+// accepted record version — including externally versioned applies —
+// and ignores stale records the LWW check rejects. It is the failover
+// freshness probe, so the contract matters: a replica that accepted a
+// newer write must always rank above one that did not.
+func TestMaxVersionTracksFreshness(t *testing.T) {
+	e := openTest(t, "")
+	defer e.Close()
+	ns, err := e.Namespace("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.MaxVersion(); got != 0 {
+		t.Fatalf("fresh namespace MaxVersion = %d", got)
+	}
+	if err := ns.Apply(record.Record{Key: []byte("a"), Value: []byte("v"), Version: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.MaxVersion(); got != 500 {
+		t.Fatalf("MaxVersion = %d, want 500", got)
+	}
+	// A superseded (stale) apply is rejected and must not move the
+	// watermark backwards or forwards.
+	if err := ns.Apply(record.Record{Key: []byte("a"), Value: []byte("old"), Version: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.MaxVersion(); got != 500 {
+		t.Fatalf("MaxVersion after stale apply = %d, want 500", got)
+	}
+	// A newer record on a different key raises it; tombstones count.
+	if err := ns.Apply(record.Record{Key: []byte("b"), Version: 900, Tombstone: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.MaxVersion(); got != 900 {
+		t.Fatalf("MaxVersion after tombstone = %d, want 900", got)
+	}
+}

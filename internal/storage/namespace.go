@@ -39,6 +39,14 @@ type Namespace struct {
 	applyFloor uint64 // highest seq no longer retained; log covers (floor, seq]
 	applyLog   []applyEntry
 
+	// maxVersion is the highest record version accepted this process
+	// lifetime — a globally comparable freshness signal (versions are
+	// coordinator HLC stamps), probed by the repair manager to rank
+	// surviving replicas during primary failover. Not persisted: a
+	// restarted node reports a conservative value until it takes
+	// writes again.
+	maxVersion uint64
+
 	// excluded records pending range truncations per SSTable: reads
 	// treat matching records as absent until the next compaction
 	// rewrites the tables without them (see TruncateRange).
@@ -153,6 +161,9 @@ func (ns *Namespace) ApplyBatch(recs []record.Record) error {
 		ns.mem.Put(rec)
 		ns.applySeq++
 		ns.applyLog = append(ns.applyLog, applyEntry{seq: ns.applySeq, key: rec.Key})
+		if rec.Version > ns.maxVersion {
+			ns.maxVersion = rec.Version
+		}
 		if cache != nil {
 			cache.Invalidate(ns.name, rec.Key)
 		}
@@ -281,6 +292,18 @@ func (ns *Namespace) ApplyWatermark() (epoch, seq uint64) {
 	ns.mu.RLock()
 	defer ns.mu.RUnlock()
 	return ns.applyEpoch, ns.applySeq
+}
+
+// MaxVersion returns the highest record version accepted this process
+// lifetime. Record versions are coordinator HLC stamps, so the value
+// is comparable across nodes: during primary failover the repair
+// manager probes each surviving replica's MaxVersion and promotes the
+// freshest. A freshly restarted node reports 0 (conservative: it ranks
+// last) until it accepts a write.
+func (ns *Namespace) MaxVersion() uint64 {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return ns.maxVersion
 }
 
 // ScanSince returns the current record (tombstones included) of every

@@ -37,6 +37,7 @@ import (
 	"scads/internal/partition"
 	"scads/internal/planner"
 	"scads/internal/query"
+	"scads/internal/repair"
 	"scads/internal/replication"
 	"scads/internal/row"
 	"scads/internal/rpc"
@@ -84,6 +85,12 @@ type Config struct {
 	// concurrently (default 4). Spreads and decommissions queue their
 	// per-range migrations against this bound.
 	MigrationParallelism int
+	// Repair tunes the self-healing crash-recovery loop (failure
+	// detector, primary failover, replication-factor repair). The loop
+	// runs whenever StartBackground is active unless Repair.Disabled;
+	// RepairNow drives one sweep synchronously for deterministic tests
+	// and operator tooling.
+	Repair repair.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +129,7 @@ type Cluster struct {
 	pump       *replication.Pump
 	batcher    *rpc.Batcher // nil when batching disabled
 	migrations *migration.Manager
+	repairs    *repair.Manager
 
 	merges     *consistency.MergeRegistry
 	serializer *consistency.Serializer
@@ -193,6 +201,37 @@ func Open(cfg Config) (*Cluster, error) {
 	c.migrations.Resolver = c.router.Map
 	queue := replication.NewQueue(cfg.ReplicationOrder)
 	c.pump = replication.NewPump(queue, c.router.Apply, cfg.Clock)
+	// Flip-time rebind: while the donor's fence is still held, clone
+	// any replication update the fenced drain provably could not have
+	// shipped (still queued/parked/in-flight at this coordinator) to
+	// the replicas the flip added. Without this, a write acknowledged
+	// before a migration could permanently miss the range's new
+	// members — and surface as data loss after a later failover onto
+	// one of them.
+	c.migrations.OnFlip = func(ns string, start, end []byte, old, target []string) {
+		var added []string
+		for _, id := range target {
+			found := false
+			for _, o := range old {
+				if o == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				added = append(added, id)
+			}
+		}
+		if len(added) > 0 {
+			c.pump.Rebind(ns, start, end, added)
+		}
+	}
+	// The self-healing loop: failure detection driving
+	// Directory.ExpireStale, primary failover, and RF repair through
+	// the migration manager. Runs under StartBackground; Sweep/
+	// RepairNow drives it deterministically.
+	c.repairs = repair.NewManager(cfg.Repair, cfg.Clock, cfg.Directory, transport,
+		c.router, c.migrations, c.pump, cfg.ReplicationFactor)
 	return c, nil
 }
 
@@ -227,6 +266,9 @@ func (c *Cluster) StartBackground(replicationWorkers int) {
 		replicationWorkers = 2
 	}
 	c.pump.Run(replicationWorkers)
+	if !c.cfg.Repair.Disabled {
+		c.repairs.Run()
+	}
 	c.bgDone.Add(1)
 	go func() {
 		defer c.bgDone.Done()
@@ -258,6 +300,7 @@ func (c *Cluster) StopBackground() {
 	close(c.bgStop)
 	c.bgStop = nil
 	c.bgMu.Unlock()
+	c.repairs.Stop()
 	c.bgDone.Wait()
 }
 
@@ -277,6 +320,20 @@ func (c *Cluster) Migrations() *migration.Manager { return c.migrations }
 
 // MigrationStats returns a snapshot of range-migration counters.
 func (c *Cluster) MigrationStats() migration.Stats { return c.migrations.Stats() }
+
+// Repairs exposes the self-healing repair manager (phase events,
+// tuning, deterministic sweeps in tests).
+func (c *Cluster) Repairs() *repair.Manager { return c.repairs }
+
+// RepairStats returns a snapshot of crash-recovery counters: observed
+// membership transitions, primary failovers, demotions of stale
+// returned replicas, and RF-repair job outcomes.
+func (c *Cluster) RepairStats() repair.Stats { return c.repairs.Stats() }
+
+// RepairNow runs one synchronous failure-detection + failover + repair
+// sweep (re-replication jobs it schedules still run asynchronously;
+// Repairs().Quiesce waits for those).
+func (c *Cluster) RepairNow() { c.repairs.Sweep() }
 
 // Monitor exposes the SLA monitor.
 func (c *Cluster) Monitor() *sla.Monitor { return c.monitor }
@@ -369,6 +426,7 @@ type Stats struct {
 	SLA         sla.Summary
 	Batching    rpc.BatcherStats // request coalescing (zero when disabled)
 	Migration   migration.Stats  // online range-migration activity
+	Repair      repair.Stats     // self-healing crash-recovery activity
 }
 
 // Stats returns a snapshot.
@@ -378,6 +436,7 @@ func (c *Cluster) Stats() Stats {
 		Maintenance: c.maint.Len(),
 		SLA:         c.monitor.Summary(),
 		Migration:   c.migrations.Stats(),
+		Repair:      c.repairs.Stats(),
 	}
 	if c.batcher != nil {
 		s.Batching = c.batcher.Stats()

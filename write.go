@@ -147,7 +147,7 @@ func (c *Cluster) insertBatch(table string, rows []row.Row) error {
 				recs[i] = u.rec
 			}
 			if err := c.router.Apply(ns, node, recs); err != nil {
-				if !rpc.IsFenced(err) {
+				if !rpc.IsFenced(err) && !partition.IsUnavailable(err) {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -155,9 +155,10 @@ func (c *Cluster) insertBatch(table string, rows []row.Row) error {
 					errMu.Unlock()
 					return
 				}
-				// The group hit a range mid-handoff: fall back to
-				// per-record routing, which re-reads the map and waits
-				// out the fence. Replicas are re-captured from the
+				// The group hit a range mid-handoff or a crashed
+				// primary: fall back to per-record routing, which
+				// re-reads the map and waits out the fence or the
+				// failover. Replicas are re-captured from the
 				// post-flip ranges so replication follows the writes.
 				for i := range ups {
 					rng, err := c.applyToPrimary(ns, m, ups[i].rec.Key, []record.Record{ups[i].rec})
@@ -173,9 +174,7 @@ func (c *Cluster) insertBatch(table string, rows []row.Row) error {
 				}
 			}
 			for _, u := range ups {
-				if len(u.replicas) > 1 {
-					c.pump.Enqueue(ns, u.rec, u.replicas[1:], bound)
-				}
+				c.enqueueReplication(ns, m, u.rec.Key, u.rec, partition.Range{Replicas: u.replicas}, bound)
 				c.maint.push(maintTask{
 					table:    t.Name,
 					oldRow:   u.oldRow,
@@ -352,25 +351,75 @@ func (c *Cluster) mergeRows(mergeName string, old, new row.Row) (row.Row, error)
 }
 
 // applyToPrimary delivers pre-versioned records to the primary of
-// key's range, re-reading the partition map and retrying (per the
-// shared rpc.FenceRetry policy) when the primary is write-fenced for
-// migration handoff. It returns the range that accepted the write, so
-// callers enqueue replication to the replica set that is actually
-// serving it.
+// key's range, re-reading the partition map and retrying when the
+// primary is write-fenced for migration handoff (shared rpc.FenceRetry
+// policy) or unreachable/down (shared rpc.DownRetry policy — the
+// repair manager's failover flip re-routes the retry to the promoted
+// replica). It returns the range that accepted the write, so callers
+// enqueue replication to the replica set that is actually serving it.
 func (c *Cluster) applyToPrimary(ns string, m *partition.Map, key []byte, recs []record.Record) (partition.Range, error) {
-	for attempt := 0; ; attempt++ {
+	// Fence retries are counted separately from the wall-clock down
+	// budget: a write that waited out a crash failover must still get
+	// its full fence allowance when the promoted primary is briefly
+	// fenced by the ensuing RF-repair handoff.
+	downDeadline := time.Now().Add(rpc.DownRetryBudget)
+	fenceAttempts := 0
+	for {
 		rng := m.Lookup(key)
 		err := c.router.Apply(ns, rng.Replicas[0], recs)
 		if err == nil {
 			return rng, nil
 		}
-		if !rpc.IsFenced(err) || attempt >= rpc.FenceRetryLimit {
+		switch {
+		case rpc.IsFenced(err) && fenceAttempts < rpc.FenceRetryLimit:
+			// The fence lifts (or routing flips away from it) shortly;
+			// real sleep rather than the virtual clock, since the fence
+			// is held by a concurrent migration goroutine, not by time.
+			fenceAttempts++
+			time.Sleep(rpc.FenceRetryPause)
+		case partition.IsUnavailable(err) && time.Now().Before(downDeadline):
+			// The primary crashed; wait out failure detection plus the
+			// failover flip (wall-clock budget: one TCP attempt can
+			// burn a whole dial timeout). Real sleep for the same
+			// reason: recovery is driven by the repair goroutine, not
+			// by clock time.
+			time.Sleep(rpc.DownRetryPause)
+		default:
 			return rng, err
 		}
-		// The fence lifts (or routing flips away from it) shortly;
-		// real sleep rather than the virtual clock, since the fence is
-		// held by a concurrent migration goroutine, not by time.
-		time.Sleep(rpc.FenceRetryPause)
+	}
+}
+
+// enqueueReplication schedules rec for delivery to the secondaries of
+// the range that acknowledged it, then re-reads the partition map and
+// also covers any member a racing reconfiguration added in between. A
+// migration's flip-time Rebind clones only updates that are already
+// queued, so an update enqueued just after a flip — against the
+// pre-flip replica set it captured before the apply — would otherwise
+// permanently miss the range's new members; the post-enqueue re-read
+// closes that window from the other side (duplicates are harmless:
+// applies are last-write-wins by version, and a delivery to a node
+// that lost the range bounces off its residual fence).
+func (c *Cluster) enqueueReplication(ns string, m *partition.Map, key []byte, rec record.Record, acked partition.Range, bound time.Duration) {
+	if len(acked.Replicas) > 1 {
+		c.pump.Enqueue(ns, rec, acked.Replicas[1:], bound)
+	}
+	cur := m.Lookup(key)
+	var added []string
+	for _, id := range cur.Replicas {
+		seen := false
+		for _, old := range acked.Replicas {
+			if old == id {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			added = append(added, id)
+		}
+	}
+	if len(added) > 0 {
+		c.pump.Enqueue(ns, rec, added, bound)
 	}
 }
 
@@ -401,9 +450,7 @@ func (c *Cluster) applyWrite(t *query.TableDef, key []byte, oldRow, newRow row.R
 		return err
 	}
 	bound := c.stalenessBound(t.Name)
-	if len(rng.Replicas) > 1 {
-		c.pump.Enqueue(ns, rec, rng.Replicas[1:], bound)
-	}
+	c.enqueueReplication(ns, m, key, rec, rng, bound)
 
 	// Asynchronous index maintenance (§3.2): enqueue the base change;
 	// DrainMaintenance (or the background pump) computes and applies
@@ -479,9 +526,7 @@ func (c *Cluster) applyIndexMutation(ns string, key []byte, val row.Row) error {
 	if err != nil {
 		return err
 	}
-	if len(rng.Replicas) > 1 {
-		c.pump.Enqueue(ns, rec, rng.Replicas[1:], c.cfg.DefaultStaleness)
-	}
+	c.enqueueReplication(ns, m, key, rec, rng, c.cfg.DefaultStaleness)
 	return nil
 }
 
