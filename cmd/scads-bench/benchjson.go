@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BenchMetric is one gated measurement of an experiment run. In a
+// committed baseline file, Direction and Tolerance are the regression
+// policy: "higher" means bigger is better and a run fails when its
+// value drops below baseline*(1-tolerance); "lower" means smaller is
+// better and a run fails when its value exceeds baseline*(1+tolerance).
+// A zero-valued lower-is-better baseline with zero tolerance is a hard
+// gate: any non-zero run value fails (the lost-updates / scan-errors
+// invariants).
+type BenchMetric struct {
+	Value     float64 `json:"value"`
+	Direction string  `json:"direction,omitempty"`
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// BenchSummary is the machine-readable result of one experiment,
+// written as BENCH_<exp>.json next to the human-readable series.
+type BenchSummary struct {
+	Experiment string                 `json:"experiment"`
+	Metrics    map[string]BenchMetric `json:"metrics"`
+}
+
+// benchJSONDir receives BENCH_<exp>.json summaries when the
+// -bench-json flag is set; empty disables emission.
+var benchJSONDir string
+
+// writeBenchSummary persists an experiment's gated metric values. Run
+// summaries carry values only — direction and tolerance live solely
+// in the committed baselines, so refreshing a baseline from a run
+// file can never silently loosen the policy. A write failure is
+// fatal: a CI run that silently skips the summary would also silently
+// skip the regression gate.
+func writeBenchSummary(exp string, values map[string]float64) {
+	if benchJSONDir == "" {
+		return
+	}
+	if err := os.MkdirAll(benchJSONDir, 0o755); err != nil {
+		log.Fatalf("scads-bench: %v", err)
+	}
+	metrics := make(map[string]BenchMetric, len(values))
+	for name, v := range values {
+		metrics[name] = BenchMetric{Value: v}
+	}
+	b, err := json.MarshalIndent(BenchSummary{Experiment: exp, Metrics: metrics}, "", "  ")
+	if err != nil {
+		log.Fatalf("scads-bench: %v", err)
+	}
+	path := filepath.Join(benchJSONDir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		log.Fatalf("scads-bench: %v", err)
+	}
+	log.Printf("%s: wrote %s", exp, path)
+}
+
+func readSummary(path string) (*BenchSummary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s BenchSummary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compareBenchmarks diffs every BENCH_*.json summary in runDir against
+// the committed baseline of the same name, applying each baseline
+// metric's direction and tolerance. It prints a verdict table and
+// returns how many metrics regressed; metrics present in a run but
+// absent from its baseline are informational only, while a baseline
+// metric missing from the run counts as a regression (a gate that
+// stopped being measured is a gate that stopped gating).
+func compareBenchmarks(runDir, baselineDir string) int {
+	runs, err := filepath.Glob(filepath.Join(runDir, "BENCH_*.json"))
+	if err != nil || len(runs) == 0 {
+		log.Fatalf("scads-bench: no BENCH_*.json summaries under %s", runDir)
+	}
+	sort.Strings(runs)
+	regressions := 0
+	for _, runPath := range runs {
+		run, err := readSummary(runPath)
+		if err != nil {
+			log.Fatalf("scads-bench: %v", err)
+		}
+		basePath := filepath.Join(baselineDir, filepath.Base(runPath))
+		base, err := readSummary(basePath)
+		if os.IsNotExist(err) {
+			fmt.Printf("%s: no baseline at %s (skipping; commit one to gate it)\n", run.Experiment, basePath)
+			continue
+		}
+		if err != nil {
+			log.Fatalf("scads-bench: %v", err)
+		}
+		fmt.Printf("%s (baseline %s):\n", run.Experiment, basePath)
+		names := make([]string, 0, len(base.Metrics))
+		for name := range base.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bm := base.Metrics[name]
+			rm, ok := run.Metrics[name]
+			if !ok {
+				fmt.Printf("  %-34s %14s   REGRESSION (metric missing from run)\n", name, "-")
+				regressions++
+				continue
+			}
+			ok, bound := withinTolerance(bm, rm.Value)
+			verdict := "ok"
+			if !ok {
+				verdict = fmt.Sprintf("REGRESSION (%s bound %g)", bm.Direction, bound)
+				regressions++
+			}
+			fmt.Printf("  %-34s %14g   baseline %g  %s\n", name, rm.Value, bm.Value, verdict)
+		}
+	}
+	return regressions
+}
+
+// withinTolerance applies a baseline metric's policy to a run value,
+// returning the verdict and the bound that was enforced.
+func withinTolerance(base BenchMetric, got float64) (bool, float64) {
+	switch base.Direction {
+	case "lower":
+		bound := base.Value * (1 + base.Tolerance)
+		return got <= bound, bound
+	default: // "higher" (and unset, the conservative reading)
+		bound := base.Value * (1 - base.Tolerance)
+		return got >= bound, bound
+	}
+}

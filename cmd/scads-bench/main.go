@@ -47,12 +47,25 @@ var experiments = []struct {
 	{"e11", "Workload-driven repartitioning: hot-range split & move", runE11},
 	{"e12", "Writes during migration: lossless online range handoff", runE12},
 	{"e13", "Crash recovery: failure detector, failover, RF repair under load", runE13},
+	{"e14", "Scan pipeline: parallel scatter-gather vs sequential; scans under migration + crash", runE14},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e13, e4a..e4e) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e14, e4a..e4e) or 'all'")
 	csvDir := flag.String("csv", "", "directory for per-experiment output files plus index.csv")
+	jsonDir := flag.String("bench-json", "", "directory for machine-readable BENCH_<exp>.json summaries")
+	compare := flag.String("compare", "", "compare BENCH_*.json summaries in this directory against committed baselines and exit non-zero on regression")
+	baselines := flag.String("baselines", "cmd/scads-bench/baselines", "baseline directory for -compare")
 	flag.Parse()
+	benchJSONDir = *jsonDir
+
+	if *compare != "" {
+		if n := compareBenchmarks(*compare, *baselines); n > 0 {
+			log.Fatalf("scads-bench: %d metric(s) regressed against committed baselines", n)
+		}
+		fmt.Println("all benchmark metrics within tolerance of committed baselines")
+		return
+	}
 
 	var index *os.File
 	if *csvDir != "" {

@@ -153,6 +153,20 @@ func runE12() {
 	}
 
 	st := lc.MigrationStats()
+	var p50Pause time.Duration
+	if len(pauses) > 0 {
+		sorted := append([]time.Duration(nil), pauses...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		p50Pause = sorted[len(sorted)/2]
+	}
+	writeBenchSummary("e12", map[string]float64{
+		"acked_writes":       float64(acked),
+		"lost_updates":       float64(lost),
+		"corrupted_updates":  float64(wrong),
+		"resurrected_dels":   float64(resurrected),
+		"migrations":         float64(migrations),
+		"fence_pause_p50_us": float64(p50Pause.Microseconds()),
+	})
 	fmt.Printf("%d writers x %d ops against 4 ranges; %d online migrations in %v\n\n",
 		writers, opsPerWriter, migrations, elapsed.Truncate(time.Millisecond))
 	fmt.Printf("  %-34s %12d\n", "acknowledged writes+deletes", acked)

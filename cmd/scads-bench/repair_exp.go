@@ -218,6 +218,16 @@ func runE13() {
 	detect := detectedAt.Sub(crashedAt)
 	failover := failoverAt.Sub(crashedAt)
 	evMu.Unlock()
+	writeBenchSummary("e13", map[string]float64{
+		"acked_writes":      float64(acked.Load()),
+		"lost_updates":      float64(lost),
+		"corrupted_updates": float64(wrong),
+		"resurrected_dels":  float64(resurrected),
+		"failovers":         float64(st.Failovers),
+		"rf_repairs_done":   float64(st.RepairsDone),
+		"detect_ms":         float64(detect.Milliseconds()),
+		"write_unavail_ms":  float64(time.Duration(windowNs.Load()).Milliseconds()),
+	})
 	fmt.Printf("%d writers under sustained load; primary %s killed and resurrected; RF=2 over 4 nodes\n\n",
 		writers, victimID)
 	fmt.Printf("  %-34s %12d\n", "acknowledged writes+deletes", acked.Load())

@@ -27,10 +27,10 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7070", "listen address")
-		dataDir  = flag.String("data", "", "data directory (empty = in-memory)")
-		nodeID   = flag.String("id", "", "node ID (default: derived from address)")
-		numID    = flag.Uint("numeric-id", 1, "numeric node ID mixed into record versions (16 bits)")
+		addr       = flag.String("addr", ":7070", "listen address")
+		dataDir    = flag.String("data", "", "data directory (empty = in-memory)")
+		nodeID     = flag.String("id", "", "node ID (default: derived from address)")
+		numID      = flag.Uint("numeric-id", 1, "numeric node ID mixed into record versions (16 bits)")
 		memLimit   = flag.Int64("memtable-bytes", 4<<20, "memtable flush threshold")
 		cacheBytes = flag.Int64("cache-bytes", 0, "read-cache capacity (0 = default 32 MiB, negative disables)")
 		syncWrites = flag.Bool("sync-writes", false, "fsync (group-committed) before acknowledging each write")

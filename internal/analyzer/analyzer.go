@@ -81,8 +81,16 @@ type Result struct {
 	// EqPreds are the equality conjuncts, in WHERE order; they become
 	// the index key prefix.
 	EqPreds []query.Predicate
-	// RangePred is the at-most-one inequality conjunct.
+	// RangePred is the at-most-one inequality conjunct folded into the
+	// contiguous key range.
 	RangePred *query.Predicate
+	// ResidualPreds are inequality conjuncts the key range cannot
+	// express. They are pushed down to storage nodes and evaluated
+	// against each visited row, so accepting them requires the
+	// equality prefix to bound the visited row count by declared
+	// cardinality — the scan stays scale-independent even though the
+	// filters are applied after the range lookup.
+	ResidualPreds []query.Predicate
 	// OrderCols is the validated ORDER BY list.
 	OrderCols []query.OrderCol
 
@@ -138,12 +146,24 @@ func analyzeSingle(s *query.Schema, q *query.QueryDef, cfg Config) (*Result, err
 	if err := splitPredicates(q, q.From.Name(), res); err != nil {
 		return nil, err
 	}
+	// When ORDER BY is declared, only an inequality on the first order
+	// column can be the contiguous key range; any other inequality is
+	// demoted to a residual filter so the index still serves the order
+	// directly.
+	if res.RangePred != nil && len(q.OrderBy) > 0 && q.OrderBy[0].Col.Column != res.RangePred.Col.Column {
+		demoted := *res.RangePred
+		res.RangePred = nil
+		res.ResidualPreds = append([]query.Predicate{demoted}, res.ResidualPreds...)
+	}
+	if err := checkResiduals(q, driving, res, cfg); err != nil {
+		return nil, err
+	}
 	if err := checkOrderBy(q, q.From.Name(), res); err != nil {
 		return nil, err
 	}
 
 	eqCols := predCols(res.EqPreds)
-	if driving.IsPrimaryKey(eqCols) && res.RangePred == nil && len(res.OrderCols) == 0 {
+	if driving.IsPrimaryKey(eqCols) && res.RangePred == nil && len(res.ResidualPreds) == 0 && len(res.OrderCols) == 0 {
 		res.Shape = ShapePKLookup
 		res.Fanout = 1
 		res.UpdateWork = 0 // the base row is the index
@@ -157,6 +177,34 @@ func analyzeSingle(s *query.Schema, q *query.QueryDef, cfg Config) (*Result, err
 			ErrUnbounded, q.Name, res.UpdateWork, cfg.MaxUpdateWork)
 	}
 	return res, nil
+}
+
+// checkResiduals validates pushed-down filter conjuncts: every column
+// must exist on the driving table, and the equality prefix must bound
+// the rows a node visits (declared cardinality, or a full primary key)
+// — a residual filter rejects rows *after* they are visited, so LIMIT
+// alone no longer caps the scan work.
+func checkResiduals(q *query.QueryDef, driving *query.TableDef, res *Result, cfg Config) error {
+	if len(res.ResidualPreds) == 0 {
+		return nil
+	}
+	for _, p := range res.ResidualPreds {
+		if _, ok := driving.Column(p.Col.Column); !ok {
+			return fmt.Errorf("%w: query %s: residual predicate %s references unknown column %s.%s",
+				ErrUnbounded, q.Name, p, driving.Name, p.Col.Column)
+		}
+	}
+	bound := fanoutBound(driving, predCols(res.EqPreds), 0)
+	if bound == 0 {
+		return fmt.Errorf("%w: query %s: residual filter needs the equality prefix to bound the scan — "+
+			"declare a CARDINALITY for %s (LIMIT caps returned rows, not rows a filtered scan must visit)",
+			ErrUnbounded, q.Name, driving.Name)
+	}
+	if bound > cfg.MaxLimit {
+		return fmt.Errorf("%w: query %s: residual filter may visit %d rows, exceeding the %d-row scan bound",
+			ErrUnbounded, q.Name, bound, cfg.MaxLimit)
+	}
+	return nil
 }
 
 func analyzeJoin(s *query.Schema, q *query.QueryDef, cfg Config) (*Result, error) {
@@ -198,6 +246,10 @@ func analyzeJoin(s *query.Schema, q *query.QueryDef, cfg Config) (*Result, error
 	// with those columns).
 	if err := splitPredicates(q, q.From.Name(), res); err != nil {
 		return nil, err
+	}
+	if len(res.ResidualPreds) > 0 {
+		return nil, fmt.Errorf("%w: query %s: multiple range predicates (%s, %s) cannot form one contiguous key range over a join view",
+			ErrUnbounded, q.Name, *res.RangePred, res.ResidualPreds[0])
 	}
 	if len(res.EqPreds) == 0 {
 		return nil, fmt.Errorf("%w: query %s: a join view needs at least one equality predicate on %s to bound the scan",
@@ -264,8 +316,13 @@ func splitPredicates(q *query.QueryDef, tableName string, res *Result) error {
 			continue
 		}
 		if res.RangePred != nil {
-			return fmt.Errorf("%w: query %s: multiple range predicates (%s, %s) cannot form one contiguous key range",
-				ErrUnbounded, q.Name, *res.RangePred, p)
+			// Only one inequality can shape the contiguous key range;
+			// the rest become residual filters pushed down to storage
+			// (checkResiduals decides whether that stays bounded — join
+			// views reject them outright).
+			pred := p
+			res.ResidualPreds = append(res.ResidualPreds, pred)
+			continue
 		}
 		pred := p
 		res.RangePred = &pred
@@ -281,6 +338,12 @@ func splitPredicates(q *query.QueryDef, tableName string, res *Result) error {
 	if res.RangePred != nil && seen[res.RangePred.Col.Column] {
 		return fmt.Errorf("%w: query %s: column %s has both equality and range predicates",
 			ErrUnbounded, q.Name, res.RangePred.Col)
+	}
+	for _, p := range res.ResidualPreds {
+		if seen[p.Col.Column] {
+			return fmt.Errorf("%w: query %s: column %s has both equality and range predicates",
+				ErrUnbounded, q.Name, p.Col)
+		}
 	}
 	return nil
 }

@@ -263,18 +263,29 @@ QUERY recent SELECT * FROM msgs WHERE channel = ?c AND ts > ?since ORDER BY ts D
 		t.Fatalf("RangePred = %+v", res.RangePred)
 	}
 
-	// range + conflicting ORDER BY: rejected.
-	if _, err := analyzeOne(t, base+`
-QUERY bad SELECT * FROM msgs WHERE channel = ?c AND ts > ?since ORDER BY author LIMIT 50
-`, "bad"); !errors.Is(err, ErrUnbounded) {
-		t.Fatalf("conflicting order accepted: %v", err)
+	// range + conflicting ORDER BY: the inequality cannot shape the key
+	// range, so it is demoted to a residual filter pushed down to
+	// storage — bounded here by the channel cardinality.
+	res, err = analyzeOne(t, base+`
+QUERY demoted SELECT * FROM msgs WHERE channel = ?c AND ts > ?since ORDER BY author LIMIT 50
+`, "demoted")
+	if err != nil {
+		t.Fatalf("demotable inequality rejected: %v", err)
+	}
+	if res.RangePred != nil {
+		t.Fatalf("RangePred = %+v, want demotion to residual", res.RangePred)
+	}
+	if len(res.ResidualPreds) != 1 || res.ResidualPreds[0].Col.Column != "ts" {
+		t.Fatalf("ResidualPreds = %+v", res.ResidualPreds)
 	}
 
-	// two range predicates: rejected.
+	// two range predicates with nothing bounding the visited rows (no
+	// equality prefix): still rejected — a residual filter would have
+	// to visit an unbounded span.
 	if _, err := analyzeOne(t, base+`
 QUERY bad2 SELECT * FROM msgs WHERE ts > ?a AND channel < ?b LIMIT 50
 `, "bad2"); !errors.Is(err, ErrUnbounded) {
-		t.Fatalf("two ranges accepted: %v", err)
+		t.Fatalf("two unbounded ranges accepted: %v", err)
 	}
 
 	// equality after range: rejected (cannot form a contiguous range).
@@ -393,5 +404,65 @@ func BenchmarkAnalyzeSocialSchema(b *testing.B) {
 		if _, err := Analyze(s, Config{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestResidualPredicates(t *testing.T) {
+	base := `
+ENTITY msgs (
+    channel string,
+    ts int,
+    score int,
+    PRIMARY KEY (channel, ts),
+    CARDINALITY channel 10000
+)
+`
+	// Two inequalities with a cardinality-bounded equality prefix: the
+	// first shapes the key range, the second becomes a residual filter.
+	res, err := analyzeOne(t, base+`
+QUERY hot SELECT * FROM msgs WHERE channel = ?c AND ts > ?since AND score >= ?s LIMIT 50
+`, "hot")
+	if err != nil {
+		t.Fatalf("bounded residual rejected: %v", err)
+	}
+	if res.RangePred == nil || res.RangePred.Col.Column != "ts" {
+		t.Fatalf("RangePred = %+v", res.RangePred)
+	}
+	if len(res.ResidualPreds) != 1 || res.ResidualPreds[0].Col.Column != "score" {
+		t.Fatalf("ResidualPreds = %+v", res.ResidualPreds)
+	}
+
+	// A column with both equality and inequality conjuncts stays
+	// rejected.
+	if _, err := analyzeOne(t, base+`
+QUERY both SELECT * FROM msgs WHERE channel = ?c AND channel > ?d AND ts > ?a LIMIT 50
+`, "both"); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("eq+range on one column accepted: %v", err)
+	}
+}
+
+func TestResidualRejectedOnJoinViews(t *testing.T) {
+	src := `
+ENTITY users (
+    id string PRIMARY KEY,
+    name string,
+    birthday int
+)
+ENTITY friendships (
+    f1 string,
+    f2 string,
+    since int,
+    weight int,
+    PRIMARY KEY (f1, f2),
+    CARDINALITY f1 5000,
+    CARDINALITY f2 5000
+)
+QUERY q
+SELECT p.* FROM friendships f JOIN users p ON f.f2 = p.id
+WHERE f.f1 = ?u AND f.since > ?a AND f.weight > ?b LIMIT 50
+`
+	s := query.MustParse(src)
+	if _, err := AnalyzeQuery(s, s.Queries["q"], Config{}); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("join view with residual accepted: %v", err)
 	}
 }

@@ -16,8 +16,10 @@ import (
 // that regains a range has its fence lifted by the migration manager
 // before the snapshot copy begins.
 //
-// Fences gate client and replication writes (put, delete, apply) only;
-// reads, snapshots, deltas and droprange cleanup pass through.
+// Fences gate client and replication writes (put, delete, apply) and
+// range scans overlapping a fenced span (a fenced loser may already be
+// mid-truncation, so a scan served there could silently miss data);
+// point reads, snapshots, deltas and droprange cleanup pass through.
 type fenceSet struct {
 	mu   sync.RWMutex
 	byNS map[string][]fenceRange
@@ -123,6 +125,22 @@ func (fs *fenceSet) covers(ns string, key []byte) bool {
 	defer fs.mu.RUnlock()
 	for _, f := range fs.byNS[ns] {
 		if f.contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// intersects reports whether any fence of the namespace overlaps
+// [start, end) (nil bounds are infinite). Range scans check this: a
+// fence means the span is mid-handoff (or already lost and about to be
+// truncated), so a scan must bounce and re-route off the fresh
+// partition map rather than risk reading a partially torn-down range.
+func (fs *fenceSet) intersects(ns string, start, end []byte) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	for _, f := range fs.byNS[ns] {
+		if f.overlaps(start, end) {
 			return true
 		}
 	}

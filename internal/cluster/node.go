@@ -6,7 +6,9 @@ package cluster
 import (
 	"sync/atomic"
 
+	"scads/internal/keycodec"
 	"scads/internal/record"
+	"scads/internal/row"
 	"scads/internal/rpc"
 	"scads/internal/storage"
 )
@@ -129,26 +131,100 @@ func (n *Node) del(req rpc.Request) rpc.Response {
 	return rpc.Response{Found: true, Version: ver}
 }
 
+// scanRawCap bounds how many stored records one scan request may visit
+// regardless of how selective its pushed-down filters are — scale
+// independence means a node never serves an unbounded scan. A request
+// stopped by either cap reports More plus a Resume cursor so the
+// coordinator can page on.
+const scanRawCap = 10000
+
 func (n *Node) scan(req rpc.Request) rpc.Response {
 	n.reads.Add(1)
+	if n.fences.intersects(req.Namespace, req.Start, req.End) {
+		// The span is mid-migration handoff — or this node already lost
+		// it and teardown may have begun truncating. Serving the scan
+		// could silently return a partial range; bounce instead so the
+		// coordinator re-reads the partition map and retries against
+		// the current holder.
+		return rpc.Response{Err: rpc.ErrString(rpc.ErrFenced)}
+	}
 	ns, errResp, ok := n.namespace(req.Namespace)
 	if !ok {
 		return errResp
 	}
 	limit := req.Limit
-	if limit <= 0 || limit > 10000 {
-		// Scale independence: a node never serves an unbounded scan.
-		limit = 10000
+	if limit <= 0 || limit > scanRawCap {
+		limit = scanRawCap
 	}
-	var recs []record.Record
+	var (
+		recs     []record.Record
+		visited  int
+		resume   []byte
+		xformErr error
+	)
 	err := ns.ScanLive(req.Start, req.End, func(r record.Record) bool {
-		recs = append(recs, r.Clone())
-		return len(recs) < limit
+		if len(recs) >= limit || visited >= scanRawCap {
+			// This record proves data remains beyond the page, so More
+			// is exact: it is set only when a continuation will find
+			// something, and the record itself is the resume point.
+			resume = append([]byte(nil), r.Key...)
+			return false
+		}
+		visited++
+		out, match, err := scanTransform(r, req.Projection, req.Preds)
+		if err != nil {
+			xformErr = err
+			return false
+		}
+		if match {
+			recs = append(recs, out)
+		}
+		return true
 	})
+	if err == nil {
+		err = xformErr
+	}
 	if err != nil {
 		return rpc.Response{Err: rpc.ErrString(err)}
 	}
-	return rpc.Response{Found: true, Records: recs}
+	return rpc.Response{Found: true, Records: recs, More: resume != nil, Resume: resume}
+}
+
+// scanTransform applies the pushed-down filter conjuncts and projection
+// to one live record. Filters compare keycodec encodings (byte order
+// equals value order); a row lacking a filtered column never matches.
+// With a projection, the returned record carries the narrowed row
+// re-encoded under the original version; without one the stored value
+// passes through untouched.
+func scanTransform(r record.Record, projection []string, preds []rpc.ScanPred) (record.Record, bool, error) {
+	if len(projection) == 0 && len(preds) == 0 {
+		return r.Clone(), true, nil
+	}
+	decoded, err := row.Decode(r.Value)
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	for _, p := range preds {
+		v, ok := decoded[p.Column]
+		if !ok {
+			return record.Record{}, false, nil
+		}
+		enc, err := keycodec.Append(nil, v)
+		if err != nil {
+			return record.Record{}, false, err
+		}
+		if !p.Match(enc) {
+			return record.Record{}, false, nil
+		}
+	}
+	if len(projection) == 0 {
+		return r.Clone(), true, nil
+	}
+	val, err := row.Encode(row.Project(decoded, projection))
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	return record.Record{Key: append([]byte(nil), r.Key...), Value: val, Version: r.Version}, true, nil
 }
 
 func (n *Node) apply(req rpc.Request) rpc.Response {

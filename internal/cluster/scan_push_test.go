@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"scads/internal/keycodec"
+	"scads/internal/row"
+	"scads/internal/rpc"
+)
+
+// seedRows stores n encoded rows under ordered keys and returns the
+// keys. Row i is {id: "u<i>", name: "name-<i>", age: i}.
+func seedRows(t *testing.T, n *Node, ns string, count int) [][]byte {
+	t.Helper()
+	keys := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		key := keycodec.MustEncode(fmt.Sprintf("u%03d", i))
+		keys[i] = key
+		val, err := row.Encode(row.Row{"id": fmt.Sprintf("u%03d", i), "name": fmt.Sprintf("name-%03d", i), "age": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := n.Serve(rpc.Request{Method: rpc.MethodPut, Namespace: ns, Key: key, Value: val})
+		if resp.Error() != nil {
+			t.Fatal(resp.Error())
+		}
+	}
+	return keys
+}
+
+func TestNodeScanProjectionPushdown(t *testing.T) {
+	n := newTestNode(t, "n1")
+	seedRows(t, n, "tbl", 10)
+
+	resp := n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Limit: 100, Projection: []string{"id", "age"}})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if len(resp.Records) != 10 {
+		t.Fatalf("scan returned %d records", len(resp.Records))
+	}
+	for i, rec := range resp.Records {
+		r, err := row.Decode(rec.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r) != 2 || r["id"] != fmt.Sprintf("u%03d", i) || r["age"] != int64(i) {
+			t.Fatalf("projected row %d = %v", i, r)
+		}
+		if _, ok := r["name"]; ok {
+			t.Fatalf("projection leaked dropped column: %v", r)
+		}
+	}
+}
+
+func TestNodeScanPredicatePushdown(t *testing.T) {
+	n := newTestNode(t, "n1")
+	seedRows(t, n, "tbl", 20)
+
+	ge, err := keycodec.Append(nil, int64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := keycodec.Append(nil, int64(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Limit: 100, Preds: []rpc.ScanPred{
+		{Column: "age", Op: rpc.PredGe, Value: ge},
+		{Column: "age", Op: rpc.PredLt, Value: lt},
+	}})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if len(resp.Records) != 4 { // ages 5,6,7,8
+		t.Fatalf("filtered scan returned %d records, want 4", len(resp.Records))
+	}
+	for i, rec := range resp.Records {
+		r, err := row.Decode(rec.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r["age"] != int64(5+i) {
+			t.Fatalf("filtered row %d age = %v", i, r["age"])
+		}
+	}
+
+	// A filter on a missing column matches nothing rather than erroring.
+	resp = n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Limit: 100, Preds: []rpc.ScanPred{
+		{Column: "ghost", Op: rpc.PredGe, Value: ge},
+	}})
+	if resp.Error() != nil || len(resp.Records) != 0 {
+		t.Fatalf("missing-column filter: %v / %d records", resp.Error(), len(resp.Records))
+	}
+}
+
+func TestNodeScanFilteredRowsDoNotCountAgainstLimit(t *testing.T) {
+	n := newTestNode(t, "n1")
+	seedRows(t, n, "tbl", 20)
+
+	ge, err := keycodec.Append(nil, int64(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Limit 5 with a filter skipping the first 10 rows: the node must
+	// return 5 matching rows, not stop after visiting 5.
+	resp := n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Limit: 5, Preds: []rpc.ScanPred{
+		{Column: "age", Op: rpc.PredGe, Value: ge},
+	}})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if len(resp.Records) != 5 {
+		t.Fatalf("filtered limited scan returned %d records, want 5", len(resp.Records))
+	}
+	r, _ := row.Decode(resp.Records[0].Value)
+	if r["age"] != int64(10) {
+		t.Fatalf("first matching row age = %v, want 10", r["age"])
+	}
+	if !resp.More {
+		t.Fatal("limit-stopped scan did not report More")
+	}
+}
+
+func TestNodeScanResumeCursor(t *testing.T) {
+	n := newTestNode(t, "n1")
+	keys := seedRows(t, n, "tbl", 10)
+
+	var got [][]byte
+	start := []byte(nil)
+	pages := 0
+	for {
+		resp := n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Start: start, Limit: 3})
+		if resp.Error() != nil {
+			t.Fatal(resp.Error())
+		}
+		for _, rec := range resp.Records {
+			got = append(got, rec.Key)
+		}
+		pages++
+		if !resp.More {
+			break
+		}
+		start = resp.Resume
+	}
+	if len(got) != 10 || pages != 4 {
+		t.Fatalf("paged scan: %d keys over %d pages", len(got), pages)
+	}
+	for i, k := range got {
+		if string(k) != string(keys[i]) {
+			t.Fatalf("page order broken at %d", i)
+		}
+	}
+
+	// An exact stop at the end bound must not claim More.
+	resp := n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Start: keys[0], End: keys[3], Limit: 3})
+	if resp.Error() != nil || len(resp.Records) != 3 {
+		t.Fatalf("bounded scan: %v / %d records", resp.Error(), len(resp.Records))
+	}
+	if resp.More {
+		t.Fatal("scan stopping exactly at End reported More")
+	}
+}
+
+func TestNodeScanBouncesOffFence(t *testing.T) {
+	n := newTestNode(t, "n1")
+	keys := seedRows(t, n, "tbl", 10)
+
+	// Fence [keys[3], keys[6]): scans overlapping it bounce, scans
+	// outside it pass.
+	resp := n.Serve(rpc.Request{Method: rpc.MethodRangeFence, Namespace: "tbl", Start: keys[3], End: keys[6], Fence: true})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	resp = n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Limit: 100})
+	if !rpc.IsFenced(resp.Error()) {
+		t.Fatalf("scan across fence = %v, want fenced", resp.Error())
+	}
+	resp = n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Start: keys[6], Limit: 100})
+	if resp.Error() != nil || len(resp.Records) != 4 {
+		t.Fatalf("scan outside fence: %v / %d records", resp.Error(), len(resp.Records))
+	}
+	// Lifting the fence reopens the span.
+	resp = n.Serve(rpc.Request{Method: rpc.MethodRangeFence, Namespace: "tbl", Start: keys[3], End: keys[6], Fence: false})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	resp = n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "tbl", Limit: 100})
+	if resp.Error() != nil || len(resp.Records) != 10 {
+		t.Fatalf("scan after unfence: %v / %d records", resp.Error(), len(resp.Records))
+	}
+}

@@ -78,7 +78,7 @@ type Stats struct {
 	FencePauses     int64
 	FenceNanos      int64 // total time ranges spent write-fenced
 	CleanupRetries  int64
-	CleanupPending  int   // nodes still awaiting range teardown
+	CleanupPending  int // nodes still awaiting range teardown
 }
 
 // Manager drives online range migrations with bounded parallelism.

@@ -47,7 +47,8 @@ type Router struct {
 	mu   sync.RWMutex
 	maps map[string]*Map
 
-	rr atomic.Uint64 // round-robin counter for ReadAny
+	rr      atomic.Uint64 // round-robin counter for ReadAny
+	scanPar atomic.Int64  // scatter-gather fan-out bound (0 = default)
 }
 
 // NewRouter returns a Router resolving node addresses through dir and
@@ -340,50 +341,21 @@ func (r *Router) Apply(namespace, nodeID string, recs []record.Record) error {
 	return resp.Error()
 }
 
-// Scan performs a bounded range read across however many partitions
-// [start, end) spans, in key order, up to limit records. The analyzer
-// guarantees bounded plans, so the partition fan-out is a small
-// constant.
-func (r *Router) Scan(namespace string, start, end []byte, limit int, policy ReadPolicy) ([]record.Record, error) {
-	if limit <= 0 {
-		return nil, errors.New("partition: scan requires a positive limit (scale independence)")
+// SetScanParallelism bounds how many per-range sub-scans one scan fans
+// out concurrently (see ScanOpts). n <= 0 restores the default;
+// n == 1 makes every scan sequential.
+func (r *Router) SetScanParallelism(n int) {
+	if n <= 0 {
+		n = DefaultScanParallelism
 	}
-	m, err := r.mapFor(namespace)
-	if err != nil {
-		return nil, err
-	}
-	var out []record.Record
-	for _, rng := range m.Overlapping(start, end) {
-		if len(out) >= limit {
-			break
-		}
-		s, e := maxKey(start, rng.Start), minKey(end, rng.End)
-		recs, err := r.scanRange(namespace, rng, s, e, limit-len(out), policy)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, recs...)
-	}
-	return out, nil
+	r.scanPar.Store(int64(n))
 }
 
-func (r *Router) scanRange(namespace string, rng Range, start, end []byte, limit int, policy ReadPolicy) ([]record.Record, error) {
-	req := rpc.Request{Method: rpc.MethodScan, Namespace: namespace, Start: start, End: end, Limit: limit}
-	for _, id := range r.replicaOrder(rng.Replicas, policy) {
-		addr, ok := r.addrOf(id)
-		if !ok {
-			continue
-		}
-		resp, err := r.transport.Call(addr, req)
-		if err != nil {
-			continue
-		}
-		if e := resp.Error(); e != nil {
-			return nil, e
-		}
-		return resp.Records, nil
+func (r *Router) scanParallelism() int {
+	if n := r.scanPar.Load(); n > 0 {
+		return int(n)
 	}
-	return nil, ErrNoReplicaAvailable
+	return DefaultScanParallelism
 }
 
 // replicaOrder returns the replica IDs in the order reads should try

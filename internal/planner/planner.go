@@ -126,8 +126,23 @@ type Plan struct {
 	Limit int
 	// Project applies to the stored row at read time (base accesses
 	// store the full base row; index accesses store the pre-projected
-	// output row, so Project is empty for them).
+	// output row, so Project is empty for them — unless residual
+	// filter columns widened the stored row, in which case Project
+	// narrows it back to the declared output).
 	Project []ProjectCol
+	// Residual holds the inequality conjuncts the key range cannot
+	// express. The executor resolves them (ComputeFilters) and pushes
+	// them down to storage nodes, which evaluate each visited row
+	// before it crosses the wire.
+	Residual []ResidualFilter
+}
+
+// ResidualFilter is one pushed-down filter conjunct: column, operator,
+// and the binding supplying the comparison literal at execution time.
+type ResidualFilter struct {
+	Column string
+	Op     query.CompareOp
+	Bind   Binding
 }
 
 // Output groups everything compilation produces.
@@ -254,6 +269,16 @@ func compileSingleTable(res *analyzer.Result) (*Plan, []*IndexDef, error) {
 		Table:     t,
 		KeyCols:   def.KeyCols,
 		Limit:     q.Limit,
+		Residual:  residualFilters(res),
+	}
+	// Node-side residual evaluation needs the filtered columns present
+	// in the stored entry: widen the stored projection and narrow back
+	// to the declared output at read time.
+	if extra := residualColsMissing(def.Project, plan.Residual); len(extra) > 0 {
+		plan.Project = def.Project
+		for _, col := range extra {
+			def.Project = append(def.Project, ProjectCol{Source: eff, Column: col})
+		}
 	}
 	var err error
 	plan.EqBindings, plan.Range, err = bindKey(res, plan.KeyCols)
@@ -469,7 +494,46 @@ func tryBaseScan(res *analyzer.Result) (*Plan, bool) {
 		Range:      rng,
 		Limit:      q.Limit,
 		Project:    projectFor(q, eff, t),
+		Residual:   residualFilters(res),
 	}, true
+}
+
+// residualFilters compiles the analyzer's residual conjuncts into the
+// plan's executable filter list.
+func residualFilters(res *analyzer.Result) []ResidualFilter {
+	if len(res.ResidualPreds) == 0 {
+		return nil
+	}
+	out := make([]ResidualFilter, len(res.ResidualPreds))
+	for i, p := range res.ResidualPreds {
+		out[i] = ResidualFilter{Column: p.Col.Column, Op: p.Op, Bind: bindingOf(p)}
+	}
+	return out
+}
+
+// residualColsMissing lists filter columns absent from a stored
+// projection (they must be widened in for node-side evaluation).
+func residualColsMissing(project []ProjectCol, residual []ResidualFilter) []string {
+	var out []string
+	for _, rf := range residual {
+		present := false
+		for _, pc := range project {
+			if pc.Column == rf.Column {
+				present = true
+				break
+			}
+		}
+		for _, c := range out {
+			if c == rf.Column {
+				present = true
+				break
+			}
+		}
+		if !present {
+			out = append(out, rf.Column)
+		}
+	}
+	return out
 }
 
 func predsByColumn(preds []query.Predicate) map[string]query.Predicate {
@@ -718,6 +782,37 @@ func ComputeBounds(p *Plan, params map[string]any) (start, end []byte, err error
 	default:
 		return nil, nil, fmt.Errorf("planner: query %s: unexpected range op %v", p.Query, op)
 	}
+}
+
+// Filter is one resolved pushdown predicate: the named column compared
+// against the keycodec encoding of the literal. Byte order equals
+// value order, so storage nodes evaluate it with one bytes.Compare
+// against the encoded row value.
+type Filter struct {
+	Column string
+	Op     query.CompareOp
+	Value  []byte
+}
+
+// ComputeFilters resolves a plan's residual filters against the
+// caller's parameters.
+func ComputeFilters(p *Plan, params map[string]any) ([]Filter, error) {
+	if len(p.Residual) == 0 {
+		return nil, nil
+	}
+	out := make([]Filter, len(p.Residual))
+	for i, rf := range p.Residual {
+		v, err := resolveBinding(rf.Bind, params)
+		if err != nil {
+			return nil, fmt.Errorf("planner: query %s: %w", p.Query, err)
+		}
+		enc, err := keycodec.Append(nil, row.Normalize(v))
+		if err != nil {
+			return nil, fmt.Errorf("planner: query %s: filter on %s: %w", p.Query, rf.Column, err)
+		}
+		out[i] = Filter{Column: rf.Column, Op: rf.Op, Value: enc}
+	}
+	return out, nil
 }
 
 func resolveBinding(b Binding, params map[string]any) (any, error) {

@@ -463,3 +463,104 @@ func BenchmarkComputeBounds(b *testing.B) {
 		}
 	}
 }
+
+const residualSchema = `
+ENTITY posts (
+    author string,
+    ts int,
+    score int,
+    PRIMARY KEY (author, ts),
+    CARDINALITY author 1000
+)
+QUERY hot
+SELECT author, ts FROM posts WHERE author = ?a AND ts >= ?since AND score >= ?minscore LIMIT 10
+QUERY topRecent
+SELECT author, ts FROM posts WHERE author = ?a AND score >= ?minscore ORDER BY ts DESC LIMIT 5
+`
+
+func compileResidual(t testing.TB) *Output {
+	t.Helper()
+	s := query.MustParse(residualSchema)
+	results, err := analyzer.Analyze(s, analyzer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Compile(s, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestResidualFilterCompiled(t *testing.T) {
+	out := compileResidual(t)
+
+	// "hot": ts folds into the key range (base-table scan), score is a
+	// residual filter; base rows carry every column, so no widening and
+	// the declared projection stands.
+	hot := out.Plans["hot"]
+	if hot == nil || hot.Access != AccessTableScan {
+		t.Fatalf("hot plan = %+v", hot)
+	}
+	if len(hot.Residual) != 1 || hot.Residual[0].Column != "score" || hot.Residual[0].Op != query.OpGe {
+		t.Fatalf("hot residual = %+v", hot.Residual)
+	}
+	if hot.Range == nil || hot.Range.Bind.Param != "since" {
+		t.Fatalf("hot range = %+v", hot.Range)
+	}
+
+	// "topRecent": the score inequality conflicts with ORDER BY ts and
+	// is demoted to a residual; the index projection is widened to
+	// store score for node-side evaluation, and the plan narrows back
+	// to the declared output.
+	top := out.Plans["topRecent"]
+	if top == nil || top.Access != AccessIndexScan {
+		t.Fatalf("topRecent plan = %+v", top)
+	}
+	if len(top.Residual) != 1 || top.Residual[0].Column != "score" {
+		t.Fatalf("topRecent residual = %+v", top.Residual)
+	}
+	stored := map[string]bool{}
+	for _, pc := range top.Index.Project {
+		stored[pc.Column] = true
+	}
+	if !stored["score"] {
+		t.Fatalf("index projection not widened with filter column: %+v", top.Index.Project)
+	}
+	if len(top.Project) != 2 {
+		t.Fatalf("plan projection should narrow back to declared output, got %+v", top.Project)
+	}
+	for _, pc := range top.Project {
+		if pc.Column == "score" {
+			t.Fatalf("declared output gained the filter column: %+v", top.Project)
+		}
+	}
+}
+
+func TestComputeFiltersEncodesComparably(t *testing.T) {
+	out := compileResidual(t)
+	hot := out.Plans["hot"]
+
+	filters, err := ComputeFilters(hot, map[string]any{"a": "ann", "since": int64(3), "minscore": 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filters) != 1 || filters[0].Column != "score" || filters[0].Op != query.OpGe {
+		t.Fatalf("filters = %+v", filters)
+	}
+	// The encoded literal must compare correctly against encoded row
+	// values: 16 < 17 <= 17 < 18 in byte order.
+	for val, want := range map[int64]int{16: -1, 17: 0, 18: 1} {
+		enc, err := row.EncodeKey(row.Row{"score": val}, []string{"score"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bytes.Compare(enc, filters[0].Value); got != want {
+			t.Fatalf("compare(enc(%d), filter) = %d, want %d", val, got, want)
+		}
+	}
+
+	if _, err := ComputeFilters(hot, map[string]any{"a": "ann", "since": int64(3)}); err == nil {
+		t.Fatal("missing filter parameter accepted")
+	}
+}

@@ -20,6 +20,7 @@
 package rpc
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -71,6 +72,15 @@ type Request struct {
 	End   []byte
 	Limit int
 
+	// Projection and Preds are MethodScan pushdown: when Projection is
+	// non-empty the node decodes each matching row, narrows it to the
+	// named columns, and returns the re-encoded projection instead of
+	// the full base row; Preds are conjunctive filters evaluated
+	// node-side, so non-matching rows never cross the wire and do not
+	// count against Limit.
+	Projection []string
+	Preds      []ScanPred
+
 	// Records carries pre-versioned writes for MethodApply.
 	Records []record.Record
 
@@ -109,6 +119,14 @@ type Response struct {
 
 	// Fenced reports the node's installed fence count (MethodStats).
 	Fenced int
+
+	// More and Resume are the MethodScan continuation cursor: More is
+	// set when the node stopped before exhausting [Start, End) — the
+	// per-request limit filled, or the raw-visit cap was hit while
+	// filters were rejecting rows — and Resume is the key the caller
+	// should restart from to continue exactly where this page ended.
+	More   bool
+	Resume []byte
 
 	// Batch carries the sub-responses of a MethodBatch envelope,
 	// positionally matching Request.Batch.
@@ -230,6 +248,51 @@ func IsSnapshotGap(err error) bool {
 // Unimplemented is a convenience response for unknown methods.
 func Unimplemented(req Request) Response {
 	return Response{ID: req.ID, Err: fmt.Sprintf("rpc: unknown method %q", req.Method)}
+}
+
+// ScanPredOp enumerates the comparison operators a pushed-down scan
+// filter supports.
+type ScanPredOp int
+
+// Supported pushdown comparison operators.
+const (
+	PredEq ScanPredOp = iota
+	PredLt
+	PredLe
+	PredGt
+	PredGe
+)
+
+// ScanPred is one conjunct of a pushed-down scan filter: the named row
+// column, compared against Value. Value holds the keycodec encoding of
+// the literal, and the node compares it against the keycodec encoding
+// of the row's column — byte order equals value order, so one
+// bytes.Compare implements every operator for every column type
+// without the wire format knowing about row value types at all.
+type ScanPred struct {
+	Column string
+	Op     ScanPredOp
+	Value  []byte
+}
+
+// Match reports whether a keycodec-encoded column value satisfies the
+// predicate.
+func (p ScanPred) Match(encoded []byte) bool {
+	c := bytes.Compare(encoded, p.Value)
+	switch p.Op {
+	case PredEq:
+		return c == 0
+	case PredLt:
+		return c < 0
+	case PredLe:
+		return c <= 0
+	case PredGt:
+		return c > 0
+	case PredGe:
+		return c >= 0
+	default:
+		return false
+	}
 }
 
 // ServeBatch dispatches each sub-request of a MethodBatch envelope

@@ -1,13 +1,16 @@
 package scads
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
 	"scads/internal/consistency"
 	"scads/internal/partition"
 	"scads/internal/planner"
+	"scads/internal/query"
 	"scads/internal/row"
+	"scads/internal/rpc"
 	"scads/internal/session"
 )
 
@@ -261,11 +264,11 @@ func (c *Cluster) query(name string, params map[string]any) ([]row.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m, ok := c.router.Map(plan.Namespace); ok {
-		c.loads.Record(plan.Namespace, m.Lookup(startKey).Start, startKey)
-	}
 
 	if plan.Access == planner.AccessPKGet {
+		if m, ok := c.router.Map(plan.Namespace); ok {
+			c.loads.Record(plan.Namespace, m.Lookup(startKey).Start, startKey)
+		}
 		val, _, found, err := c.router.Get(plan.Namespace, startKey, partition.ReadAny)
 		if err != nil || !found {
 			return nil, err
@@ -277,7 +280,38 @@ func (c *Cluster) query(name string, params map[string]any) ([]row.Row, error) {
 		return []row.Row{projectRow(r, plan.Project)}, nil
 	}
 
-	recs, err := c.router.Scan(plan.Namespace, startKey, endKey, plan.Limit, partition.ReadAny)
+	// A scan's load lands on every range it overlaps, not just the
+	// first — otherwise a hot multi-range scan is invisible to the
+	// balancer on all but its leading range and the planner never
+	// splits or spreads the tail.
+	if m, ok := c.router.Map(plan.Namespace); ok {
+		for _, rng := range m.Overlapping(startKey, endKey) {
+			k := startKey
+			if rng.Start != nil && (k == nil || bytes.Compare(rng.Start, k) > 0) {
+				k = rng.Start
+			}
+			c.loads.Record(plan.Namespace, rng.Start, k)
+		}
+	}
+
+	// Scatter-gather scan with pushdown: residual filters and (when the
+	// plan narrows stored rows) the projection travel with the request,
+	// so storage nodes return pre-filtered, pre-projected rows instead
+	// of the coordinator decoding every base row.
+	opts := partition.ScanOptions{Limit: plan.Limit, Policy: partition.ReadAny}
+	filters, err := planner.ComputeFilters(plan, norm)
+	if err != nil {
+		return nil, err
+	}
+	opts.Preds = scanPreds(filters)
+	if len(plan.Project) > 0 {
+		cols := make([]string, len(plan.Project))
+		for i, pc := range plan.Project {
+			cols[i] = pc.Column
+		}
+		opts.Projection = cols
+	}
+	recs, err := c.router.ScanOpts(plan.Namespace, startKey, endKey, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -287,12 +321,39 @@ func (c *Cluster) query(name string, params map[string]any) ([]row.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if plan.Access == planner.AccessTableScan {
+		if len(plan.Project) > 0 {
 			r = projectRow(r, plan.Project)
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// scanPreds converts resolved planner filters into wire predicates.
+func scanPreds(filters []planner.Filter) []rpc.ScanPred {
+	if len(filters) == 0 {
+		return nil
+	}
+	out := make([]rpc.ScanPred, len(filters))
+	for i, f := range filters {
+		out[i] = rpc.ScanPred{Column: f.Column, Op: predOp(f.Op), Value: f.Value}
+	}
+	return out
+}
+
+func predOp(op query.CompareOp) rpc.ScanPredOp {
+	switch op {
+	case query.OpLt:
+		return rpc.PredLt
+	case query.OpLe:
+		return rpc.PredLe
+	case query.OpGt:
+		return rpc.PredGt
+	case query.OpGe:
+		return rpc.PredGe
+	default:
+		return rpc.PredEq
+	}
 }
 
 // projectRow narrows a stored base row to the plan's projection (index

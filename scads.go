@@ -85,6 +85,12 @@ type Config struct {
 	// concurrently (default 4). Spreads and decommissions queue their
 	// per-range migrations against this bound.
 	MigrationParallelism int
+	// ScanParallelism bounds how many per-range sub-scans one query
+	// fans out concurrently in the scatter-gather scan pipeline
+	// (default partition.DefaultScanParallelism). 1 makes scans visit
+	// overlapping ranges sequentially — the ablation baseline the
+	// scan benchmark compares against.
+	ScanParallelism int
 	// Repair tunes the self-healing crash-recovery loop (failure
 	// detector, primary failover, replication-factor repair). The loop
 	// runs whenever StartBackground is active unless Repair.Disabled;
@@ -191,6 +197,9 @@ func Open(cfg Config) (*Cluster, error) {
 		specs:      make(map[string]consistency.Spec),
 		maint:      newMaintQueue(),
 		loads:      balancer.NewTracker(),
+	}
+	if cfg.ScanParallelism > 0 {
+		c.router.SetScanParallelism(cfg.ScanParallelism)
 	}
 	// Online range migrations share the (possibly batching) transport
 	// with the router; MigrationParallelism bounds how many ranges move
