@@ -1,0 +1,316 @@
+package main
+
+// runE15 is the RPC wire experiment: it measures what replacing the
+// reflection-based gob lockstep protocol with the binary multiplexed
+// transport buys on the coordinator↔node wire, over real TCP sockets.
+//
+// The gob lockstep baseline survives only here (and in the rpc
+// package's comparison benchmark) as the measured thing-being-replaced;
+// nothing outside this experiment speaks it anymore.
+//
+// Two measurements, both gated:
+//
+//   - pipelining: a single connection under a simulated 2ms RTT is
+//     driven first in strict request/response lockstep over gob (the
+//     old transport's behavior), then with K concurrent callers
+//     multiplexed onto one pipelined binary connection. Lockstep
+//     throughput is ceilinged at 1/RTT per connection no matter how
+//     fast the codec is; the multiplexed connection overlaps the RTT
+//     across every in-flight call. The run aborts unless pipelined
+//     throughput is >= 2x lockstep on the same single connection.
+//
+//   - allocations: the same apply-shaped payload is round-tripped
+//     sequentially over both protocols with no simulated delay, and
+//     total heap allocations (client + in-process server) per call are
+//     compared via runtime.MemStats.Mallocs. The run aborts unless the
+//     binary wire allocates at least 50% less per round trip than gob.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"log"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"scads/internal/record"
+	"scads/internal/rpc"
+)
+
+const (
+	e15RTT        = 2 * time.Millisecond
+	e15Pipelines  = 64 // concurrent callers sharing the one pipelined conn
+	e15Window     = 1500 * time.Millisecond
+	e15AllocCalls = 20000
+)
+
+// e15Handler is a tiny KV node-alike: it answers the apply-shaped
+// payload the experiment round-trips, optionally charging a simulated
+// network round-trip before serving (the delay stands in for RTT, so
+// lockstep pays it per call while pipelining overlaps it).
+type e15Handler struct {
+	delay time.Duration
+	mu    sync.Mutex
+	kv    map[string][]byte
+}
+
+func newE15Handler(delay time.Duration) *e15Handler {
+	return &e15Handler{delay: delay, kv: make(map[string][]byte)}
+}
+
+func (h *e15Handler) Serve(req rpc.Request) rpc.Response {
+	if h.delay > 0 {
+		time.Sleep(h.delay)
+	}
+	switch req.Method {
+	case rpc.MethodApply:
+		h.mu.Lock()
+		for _, r := range req.Records {
+			// Retaining r.Value without a clone is safe on both
+			// protocols: gob allocates fresh values per message, and
+			// binary-wire request decode detaches every byte field
+			// into a per-request arena the handler owns.
+			h.kv[string(r.Key)] = r.Value
+		}
+		h.mu.Unlock()
+		return rpc.Response{Found: true}
+	case rpc.MethodGet:
+		h.mu.Lock()
+		v, ok := h.kv[string(req.Key)]
+		h.mu.Unlock()
+		return rpc.Response{Found: ok, Value: v}
+	default:
+		return rpc.Response{Found: true}
+	}
+}
+
+// e15Payload is the apply-shaped request both protocols carry: two
+// versioned records, the group-commit batch shape PR 1 made hot.
+func e15Payload() rpc.Request {
+	return rpc.Request{
+		Method:    rpc.MethodApply,
+		Namespace: "users",
+		Records: []record.Record{
+			{Key: []byte("user:000000000001"), Value: bytes.Repeat([]byte("v"), 128), Version: 1},
+			{Key: []byte("user:000000000002"), Value: bytes.Repeat([]byte("w"), 128), Version: 2},
+		},
+	}
+}
+
+// --- gob lockstep baseline (reconstruction of the removed transport) --
+
+func serveGobLockstep(ln net.Listener, h rpc.Handler) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var req rpc.Request
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				resp := h.Serve(req)
+				resp.ID = req.ID
+				if err := enc.Encode(&resp); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+type gobLockstepClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	id   uint64
+}
+
+func dialGobLockstep(addr string) (*gobLockstepClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &gobLockstepClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (c *gobLockstepClient) call(req rpc.Request) (rpc.Response, error) {
+	c.id++
+	req.ID = c.id
+	if err := c.enc.Encode(&req); err != nil {
+		return rpc.Response{}, err
+	}
+	var resp rpc.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return rpc.Response{}, err
+	}
+	return resp, nil
+}
+
+// measureLockstep drives strict request/response lockstep on one gob
+// connection for the window and returns ops/sec.
+func measureLockstep(addr string) float64 {
+	c, err := dialGobLockstep(addr)
+	must(err)
+	defer c.conn.Close()
+	req := e15Payload()
+	ops := 0
+	start := time.Now()
+	for time.Since(start) < e15Window {
+		if _, err := c.call(req); err != nil {
+			log.Fatalf("e15: lockstep call: %v", err)
+		}
+		ops++
+	}
+	return float64(ops) / time.Since(start).Seconds()
+}
+
+// measurePipelined drives K concurrent callers through one transport —
+// and therefore one multiplexed TCP connection — for the window and
+// returns aggregate ops/sec.
+func measurePipelined(addr string) float64 {
+	tr := rpc.NewTCPTransport()
+	defer tr.Close()
+	req := e15Payload()
+
+	// Prime the connection so the window measures steady state.
+	if _, err := tr.Call(addr, req); err != nil {
+		log.Fatalf("e15: pipelined prime: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	start := time.Now()
+	for i := 0; i < e15Pipelines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := 0
+			for time.Since(start) < e15Window {
+				if _, err := tr.Call(addr, req); err != nil {
+					log.Fatalf("e15: pipelined call: %v", err)
+				}
+				ops++
+			}
+			mu.Lock()
+			total += ops
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return float64(total) / time.Since(start).Seconds()
+}
+
+// measureAllocs returns heap allocations per call for fn run
+// e15AllocCalls times, counting both sides of the in-process pair.
+func measureAllocs(calls int, fn func()) float64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < calls; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(calls)
+}
+
+func runE15() {
+	// --- throughput under RTT: lockstep vs pipelined, one conn each ---
+	delayed := newE15Handler(e15RTT)
+
+	gobLn, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	defer gobLn.Close()
+	go serveGobLockstep(gobLn, delayed)
+
+	binSrv := rpc.NewServer(delayed)
+	binAddr, err := binSrv.Listen("127.0.0.1:0")
+	must(err)
+	defer binSrv.Close()
+
+	lockstepOps := measureLockstep(gobLn.Addr().String())
+	pipelinedOps := measurePipelined(binAddr)
+	speedup := pipelinedOps / lockstepOps
+
+	fmt.Printf("single-connection throughput under %v simulated RTT (%d-record apply payload):\n", e15RTT, len(e15Payload().Records))
+	fmt.Printf("  gob lockstep        %10.0f ops/s   (ceiling ~%0.f: one RTT per call)\n", lockstepOps, 1/e15RTT.Seconds())
+	fmt.Printf("  binary pipelined    %10.0f ops/s   (%d callers multiplexed on one conn)\n", pipelinedOps, e15Pipelines)
+	fmt.Printf("  speedup             %10.1fx\n\n", speedup)
+
+	// --- allocations per round trip: gob vs binary, no delay ----------
+	fast := newE15Handler(0)
+
+	gobLn2, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	defer gobLn2.Close()
+	go serveGobLockstep(gobLn2, fast)
+	gc, err := dialGobLockstep(gobLn2.Addr().String())
+	must(err)
+	defer gc.conn.Close()
+
+	binSrv2 := rpc.NewServer(fast)
+	binAddr2, err := binSrv2.Listen("127.0.0.1:0")
+	must(err)
+	defer binSrv2.Close()
+	tr := rpc.NewTCPTransport()
+	defer tr.Close()
+
+	req := e15Payload()
+	// Warm both paths (gob stream type dictionary, pooled buffers,
+	// storage maps) so steady state is what gets measured.
+	for i := 0; i < 100; i++ {
+		if _, err := gc.call(req); err != nil {
+			log.Fatalf("e15: gob warmup: %v", err)
+		}
+		if _, err := tr.Call(binAddr2, req); err != nil {
+			log.Fatalf("e15: binary warmup: %v", err)
+		}
+	}
+	gobAllocs := measureAllocs(e15AllocCalls, func() {
+		if _, err := gc.call(req); err != nil {
+			log.Fatalf("e15: gob alloc run: %v", err)
+		}
+	})
+	binAllocs := measureAllocs(e15AllocCalls, func() {
+		if _, err := tr.Call(binAddr2, req); err != nil {
+			log.Fatalf("e15: binary alloc run: %v", err)
+		}
+	})
+	allocDrop := 1 - binAllocs/gobAllocs
+
+	fmt.Printf("heap allocations per round trip (client+server in-process, %d calls):\n", e15AllocCalls)
+	fmt.Printf("  gob                 %10.1f allocs/op\n", gobAllocs)
+	fmt.Printf("  binary              %10.1f allocs/op\n", binAllocs)
+	fmt.Printf("  reduction           %10.0f%%\n", allocDrop*100)
+
+	writeBenchSummary("e15", map[string]float64{
+		"lockstep_ops_per_sec":    lockstepOps,
+		"pipelined_ops_per_sec":   pipelinedOps,
+		"pipelined_vs_lockstep_x": speedup,
+		"gob_allocs_per_op":       gobAllocs,
+		"binary_allocs_per_op":    binAllocs,
+		"alloc_drop_ratio":        allocDrop,
+	})
+
+	// Hard gates: the acceptance criteria of the wire replacement.
+	if speedup < 2 {
+		log.Fatalf("e15: FAIL: pipelined throughput %.0f ops/s is only %.2fx lockstep %.0f ops/s (gate: >=2x)",
+			pipelinedOps, speedup, lockstepOps)
+	}
+	if allocDrop < 0.5 {
+		log.Fatalf("e15: FAIL: binary wire allocs/op %.1f vs gob %.1f is only a %.0f%% reduction (gate: >=50%%)",
+			binAllocs, gobAllocs, allocDrop*100)
+	}
+	fmt.Printf("\ngates passed: pipelined >= 2x lockstep on one connection; allocs/op reduced >= 50%% vs gob\n")
+}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof debug endpoint
 	"strings"
 	"time"
 
@@ -47,16 +49,26 @@ WHERE f.f1 = ?user ORDER BY p.birthday LIMIT 50
 
 func main() {
 	var (
-		nodes    = flag.String("nodes", "127.0.0.1:7070", "comma-separated storage node addresses")
-		users    = flag.Int("users", 1000, "seed users")
-		friends  = flag.Int("friends", 10, "average friends per user")
-		rate     = flag.Float64("rate", 200, "target requests/second")
-		duration = flag.Duration("duration", 30*time.Second, "run length")
-		rf       = flag.Int("rf", 1, "replication factor")
-		writes   = flag.Bool("write-heavy", false, "use the write-heavy (spike) mix")
-		seed     = flag.Int64("seed", 42, "workload seed")
+		nodes     = flag.String("nodes", "127.0.0.1:7070", "comma-separated storage node addresses")
+		users     = flag.Int("users", 1000, "seed users")
+		friends   = flag.Int("friends", 10, "average friends per user")
+		rate      = flag.Float64("rate", 200, "target requests/second")
+		duration  = flag.Duration("duration", 30*time.Second, "run length")
+		rf        = flag.Int("rf", 1, "replication factor")
+		writes    = flag.Bool("write-heavy", false, "use the write-heavy (spike) mix")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("scads-loadgen: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("scads-loadgen: pprof: %v", err)
+			}
+		}()
+	}
 
 	clk := clock.NewReal()
 	dir := cluster.NewDirectory(clk)

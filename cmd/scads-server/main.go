@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof debug endpoint
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,8 +36,18 @@ func main() {
 		memLimit   = flag.Int64("memtable-bytes", 4<<20, "memtable flush threshold")
 		cacheBytes = flag.Int64("cache-bytes", 0, "read-cache capacity (0 = default 32 MiB, negative disables)")
 		syncWrites = flag.Bool("sync-writes", false, "fsync (group-committed) before acknowledging each write")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("scads-server: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("scads-server: pprof: %v", err)
+			}
+		}()
+	}
 
 	id := *nodeID
 	if id == "" {

@@ -242,3 +242,102 @@ func TestStatusString(t *testing.T) {
 		t.Fatal("unknown status has empty string")
 	}
 }
+
+// seedBigValues installs count records of valSize bytes each, totalling
+// comfortably past pageByteBudget, via the apply path.
+func seedBigValues(t testing.TB, n *Node, count, valSize int) {
+	t.Helper()
+	recs := make([]record.Record, count)
+	for i := range recs {
+		recs[i] = record.Record{
+			Key:     []byte(fmt.Sprintf("big%04d", i)),
+			Value:   bytes.Repeat([]byte{byte('a' + i%26)}, valSize),
+			Version: uint64(i + 1),
+		}
+	}
+	resp := n.Serve(rpc.Request{Method: rpc.MethodApply, Namespace: "blobs", Records: recs})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+}
+
+// TestNodeScanByteBudgetPages: record-count limits alone would let a
+// scan of large values assemble a response past the wire frame cap;
+// the byte budget must cut pages short with the exact More/Resume
+// contract, and paging must still visit every record exactly once.
+func TestNodeScanByteBudgetPages(t *testing.T) {
+	n := newTestNode(t, "n1")
+	const count, valSize = 30, 256 << 10 // ~7.5 MiB total, budget 4 MiB
+	seedBigValues(t, n, count, valSize)
+
+	var got []string
+	pages := 0
+	start := []byte(nil)
+	for {
+		resp := n.Serve(rpc.Request{Method: rpc.MethodScan, Namespace: "blobs", Start: start, Limit: count + 10})
+		if resp.Error() != nil {
+			t.Fatal(resp.Error())
+		}
+		pages++
+		for _, r := range resp.Records {
+			got = append(got, string(r.Key))
+			if len(r.Value) != valSize {
+				t.Fatalf("record %q value truncated to %d", r.Key, len(r.Value))
+			}
+		}
+		if !resp.More {
+			break
+		}
+		if resp.Resume == nil {
+			t.Fatal("More without Resume")
+		}
+		start = resp.Resume
+	}
+	if pages < 2 {
+		t.Fatalf("scan of %d MiB served in %d page(s); byte budget did not page", count*valSize>>20, pages)
+	}
+	if len(got) != count {
+		t.Fatalf("paged scan returned %d records, want %d", len(got), count)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("paged scan out of order at %d: %q >= %q", i, got[i-1], got[i])
+		}
+	}
+}
+
+// TestNodeRangeSnapshotByteBudgetPages: a snapshot page cut short by
+// the byte budget must flag More so the migration manager keeps
+// paging instead of declaring the snapshot complete (which would
+// silently lose the tail of the range).
+func TestNodeRangeSnapshotByteBudgetPages(t *testing.T) {
+	n := newTestNode(t, "n1")
+	const count, valSize = 30, 256 << 10
+	seedBigValues(t, n, count, valSize)
+
+	total := 0
+	pages := 0
+	cur := []byte(nil)
+	for {
+		resp := n.Serve(rpc.Request{Method: rpc.MethodRangeSnapshot, Namespace: "blobs", Start: cur, Limit: count + 10})
+		if resp.Error() != nil {
+			t.Fatal(resp.Error())
+		}
+		pages++
+		total += len(resp.Records)
+		if len(resp.Records) < count+10 && !resp.More {
+			break
+		}
+		if len(resp.Records) == 0 {
+			t.Fatal("More set on empty page")
+		}
+		last := resp.Records[len(resp.Records)-1].Key
+		cur = append(append([]byte(nil), last...), 0x00)
+	}
+	if pages < 2 {
+		t.Fatalf("snapshot served in %d page(s); byte budget did not page", pages)
+	}
+	if total != count {
+		t.Fatalf("paged snapshot returned %d records, want %d", total, count)
+	}
+}

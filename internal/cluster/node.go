@@ -138,6 +138,16 @@ func (n *Node) del(req rpc.Request) rpc.Response {
 // coordinator can page on.
 const scanRawCap = 10000
 
+// pageByteBudget bounds the encoded payload of one scan or snapshot
+// page. Record-count limits alone let 10000 large values assemble a
+// response past the wire's frame cap (which would surface as a
+// semantic too-big error, not data); stopping at a byte budget turns
+// big-value ranges into more, smaller pages through the exact same
+// More/Resume (scan) and More (snapshot) continuation contracts.
+// One record larger than the budget still travels alone — the budget
+// is checked between records, so progress is always made.
+const pageByteBudget = 4 << 20
+
 func (n *Node) scan(req rpc.Request) rpc.Response {
 	n.reads.Add(1)
 	if n.fences.intersects(req.Namespace, req.Start, req.End) {
@@ -159,11 +169,12 @@ func (n *Node) scan(req rpc.Request) rpc.Response {
 	var (
 		recs     []record.Record
 		visited  int
+		bytes    int
 		resume   []byte
 		xformErr error
 	)
 	err := ns.ScanLive(req.Start, req.End, func(r record.Record) bool {
-		if len(recs) >= limit || visited >= scanRawCap {
+		if len(recs) >= limit || visited >= scanRawCap || bytes >= pageByteBudget {
 			// This record proves data remains beyond the page, so More
 			// is exact: it is set only when a continuation will find
 			// something, and the record itself is the resume point.
@@ -178,6 +189,7 @@ func (n *Node) scan(req rpc.Request) rpc.Response {
 		}
 		if match {
 			recs = append(recs, out)
+			bytes += out.MarshaledSize()
 		}
 		return true
 	})
@@ -289,9 +301,20 @@ func (n *Node) rangeSnapshot(req rpc.Request) rpc.Response {
 	if limit == 0 || limit > 10000 {
 		limit = 10000
 	}
+	// More reports a page cut short by the count limit or the byte
+	// budget; the migration manager keeps paging (from the last key)
+	// until a page arrives with More unset, so a short-by-bytes page
+	// can never be mistaken for the end of the range.
+	bytes := 0
 	err := ns.ScanAll(req.Start, req.End, func(r record.Record) bool {
-		resp.Records = append(resp.Records, r.Clone())
-		return len(resp.Records) < limit
+		if len(resp.Records) >= limit || bytes >= pageByteBudget {
+			resp.More = true
+			return false
+		}
+		c := r.Clone()
+		resp.Records = append(resp.Records, c)
+		bytes += c.MarshaledSize()
+		return true
 	})
 	if err != nil {
 		return rpc.Response{Err: rpc.ErrString(err)}
@@ -313,7 +336,7 @@ func (n *Node) rangeDelta(req rpc.Request) rpc.Response {
 	if limit <= 0 || limit > 10000 {
 		limit = 10000
 	}
-	recs, wm, ok2, err := ns.ScanSince(req.Epoch, req.Since, req.Start, req.End, limit)
+	recs, wm, more, ok2, err := ns.ScanSince(req.Epoch, req.Since, req.Start, req.End, limit)
 	if err != nil {
 		return rpc.Response{Err: rpc.ErrString(err)}
 	}
@@ -324,7 +347,10 @@ func (n *Node) rangeDelta(req rpc.Request) rpc.Response {
 	for i, r := range recs {
 		out[i] = r.Clone()
 	}
-	return rpc.Response{Found: true, Records: out, Epoch: req.Epoch, Watermark: wm}
+	// More is the delta continuation contract: retained log entries
+	// remain beyond the returned watermark (the page hit its count
+	// limit or byte budget), so the caller must page again.
+	return rpc.Response{Found: true, Records: out, Epoch: req.Epoch, Watermark: wm, More: more}
 }
 
 // rangeFence installs (req.Fence) or lifts a write fence over

@@ -459,6 +459,12 @@ func (m *Manager) snapshot(namespace string, rng partition.Range, donorAddr stri
 			Method: rpc.MethodRangeSnapshot, Namespace: namespace,
 			Start: cur, End: rng.End, Limit: page,
 		})
+		if err == nil {
+			// A semantic error travels in resp.Err (storage failure,
+			// frame-overflow substitute): it must fail the phase, not
+			// read as a clean terminal page.
+			err = resp.Error()
+		}
 		if err != nil {
 			return 0, 0, fmt.Errorf("migration: snapshot %s %s: %w", namespace, rng, err)
 		}
@@ -472,7 +478,11 @@ func (m *Manager) snapshot(namespace string, rng partition.Range, donorAddr stri
 			}
 			m.snapshotRecords.Add(int64(len(resp.Records)))
 		}
-		if len(resp.Records) < page {
+		// A page short of the count limit still continues when the node
+		// flags More (it stopped at its byte budget, not the end of the
+		// range); an empty page is always terminal — no key to advance
+		// from means no progress is possible.
+		if len(resp.Records) == 0 || (len(resp.Records) < page && !resp.More) {
 			return epoch, watermark, nil
 		}
 		last := resp.Records[len(resp.Records)-1].Key
@@ -493,6 +503,13 @@ func (m *Manager) deltaOnce(namespace string, rng partition.Range, donorAddr str
 			Method: rpc.MethodRangeDelta, Namespace: namespace,
 			Start: rng.Start, End: rng.End, Since: wm, Epoch: epoch, Limit: page,
 		})
+		if err == nil {
+			// ErrSnapshotGap (and any other semantic failure) arrives
+			// in resp.Err — materialise it so the caller's resnapshot
+			// branch actually fires instead of mistaking the gap for a
+			// converged delta.
+			err = resp.Error()
+		}
 		if err != nil {
 			return total, wm, err
 		}
@@ -504,7 +521,15 @@ func (m *Manager) deltaOnce(namespace string, rng partition.Range, donorAddr str
 		}
 		total += len(resp.Records)
 		wm = resp.Watermark
-		if len(resp.Records) < page {
+		// Page exactly while the node reports retained log entries
+		// beyond the watermark. A short page alone is not terminal (it
+		// may have stopped at the byte budget — stopping there in the
+		// fenced final drain would leave applied writes behind on the
+		// donor), and raw watermark progress is not a termination
+		// signal either: writes to *other* ranges of the namespace
+		// advance it every round, which would spin this loop — with
+		// the fence up — for as long as the namespace takes traffic.
+		if !resp.More {
 			m.deltaRoundsRun.Add(1)
 			return total, wm, nil
 		}

@@ -3,6 +3,7 @@ package migration
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"scads/internal/clock"
 	"scads/internal/cluster"
@@ -399,5 +400,190 @@ func TestPageSizeClampedToNodeLimit(t *testing.T) {
 	}
 	if got := h.liveCount("b"); got != n {
 		t.Fatalf("snapshot truncated: target has %d records, want %d", got, n)
+	}
+}
+
+// seedBig installs n records of valSize bytes each on node, so the
+// range totals well past the node-side 4 MiB page byte budgets.
+func (h *harness) seedBig(node string, n, valSize int) {
+	h.t.Helper()
+	ns, err := h.nodes[node].Engine().Namespace(testNS)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := ns.Put(key(i), val); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+// TestMoveRangeBigValuesPagesByBytes: a range whose records are large
+// forces the donor's snapshot (and any delta) pages to stop at the
+// byte budget. The manager must keep paging on resp.More — mistaking
+// a short-by-bytes page for the end of the range would truncate the
+// copy and then tear down the donor.
+func TestMoveRangeBigValuesPagesByBytes(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	const count, valSize = 30, 256 << 10 // ~7.5 MiB, budget 4 MiB
+	h.seedBig("a", count, valSize)
+
+	if err := h.mgr.MoveRange(h.pm, testNS, []byte{}, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.liveCount("b"); got != count {
+		t.Fatalf("target has %d live records, want %d (byte-budget paging lost the tail)", got, count)
+	}
+	ns, err := h.nodes["b"].Engine().Namespace(testNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.ScanLive(nil, nil, func(r record.Record) bool {
+		if len(r.Value) != valSize {
+			t.Fatalf("record %q value %d bytes, want %d", r.Key, len(r.Value), valSize)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// interceptor wraps a node's handler, letting a test rewrite the
+// response of selected methods.
+type interceptor struct {
+	next rpc.Handler
+	hook func(req rpc.Request, resp rpc.Response) rpc.Response
+}
+
+func (i *interceptor) Serve(req rpc.Request) rpc.Response {
+	resp := i.next.Serve(req)
+	if req.Method == rpc.MethodBatch {
+		for j := range resp.Batch {
+			resp.Batch[j] = i.hook(req.Batch[j], resp.Batch[j])
+		}
+		return resp
+	}
+	return i.hook(req, resp)
+}
+
+// TestDeltaSnapshotGapTriggersResnapshot: a donor whose delta log aged
+// out answers MethodRangeDelta with ErrSnapshotGap *in resp.Err*. The
+// manager must materialise that wire error and restart from a fresh
+// snapshot — not mistake the empty errored page for a converged delta.
+func TestDeltaSnapshotGapTriggersResnapshot(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	h.seed("a", 50)
+
+	gaps := 0
+	h.transport.Register("local://a", &interceptor{
+		next: h.nodes["a"],
+		hook: func(req rpc.Request, resp rpc.Response) rpc.Response {
+			if req.Method == rpc.MethodRangeDelta && gaps == 0 {
+				gaps++
+				return rpc.Response{ID: req.ID, Err: rpc.ErrString(rpc.ErrSnapshotGap)}
+			}
+			return resp
+		},
+	})
+
+	if err := h.mgr.MoveRange(h.pm, testNS, []byte{}, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if gaps != 1 {
+		t.Fatalf("gap hook fired %d times, want 1", gaps)
+	}
+	if got := h.liveCount("b"); got != 50 {
+		t.Fatalf("target has %d live records after resnapshot, want 50", got)
+	}
+	if st := h.mgr.Stats(); st.Resnapshots != 1 {
+		t.Fatalf("stats = %+v, want Resnapshots=1", st)
+	}
+}
+
+// TestSnapshotErrorFailsMigration: a semantic error in a snapshot page
+// response must abort the migration — before this check, an errored
+// page decoded as empty and terminal, and the flip+teardown proceeded
+// with a truncated copy.
+func TestSnapshotErrorFailsMigration(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	h.seed("a", 50)
+
+	h.transport.Register("local://a", &interceptor{
+		next: h.nodes["a"],
+		hook: func(req rpc.Request, resp rpc.Response) rpc.Response {
+			if req.Method == rpc.MethodRangeSnapshot && req.Limit >= 0 {
+				return rpc.Response{ID: req.ID, Err: "storage: scan failed"}
+			}
+			return resp
+		},
+	})
+
+	err := h.mgr.MoveRange(h.pm, testNS, []byte{}, []string{"b"})
+	if err == nil {
+		t.Fatal("migration succeeded over an erroring snapshot")
+	}
+	rng := h.pm.Lookup([]byte{})
+	if len(rng.Replicas) != 1 || rng.Replicas[0] != "a" {
+		t.Fatalf("map flipped despite failed snapshot: %v", rng.Replicas)
+	}
+	if got := h.liveCount("a"); got != 50 {
+		t.Fatalf("donor lost records on failed migration: %d", got)
+	}
+}
+
+// TestMoveRangeTerminatesUnderOtherRangeChurn: after a split, moving
+// one range while the donor's *other* range of the same namespace
+// takes continuous writes. Those writes advance the namespace delta
+// watermark on every page, so any termination rule based on watermark
+// progress (or on short pages alone, with byte-capped pages in play)
+// would spin the delta loop — with the fence up — until the churn
+// stops. The manager must page exactly while the node reports More.
+func TestMoveRangeTerminatesUnderOtherRangeChurn(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	h.seed("a", 40)
+	if err := h.pm.Split(key(20)); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	churned := make(chan struct{})
+	go func() {
+		defer close(churned)
+		ns, err := h.nodes["a"].Engine().Namespace(testNS)
+		if err != nil {
+			return
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Writes stay in [user0000, user0020) — the range NOT
+			// being moved — but share the namespace apply log.
+			ns.Put(key(i%20), []byte("churn")) //nolint:errcheck
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- h.mgr.MoveRange(h.pm, testNS, key(20), []string{"b"}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("MoveRange still running after 30s under other-range churn (delta loop livelock)")
+	}
+	close(stop)
+	<-churned
+
+	rng := h.pm.Lookup(key(20))
+	if len(rng.Replicas) != 1 || rng.Replicas[0] != "b" {
+		t.Fatalf("map not flipped: %v", rng.Replicas)
 	}
 }

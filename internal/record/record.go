@@ -128,6 +128,78 @@ func DecodeBinary(b []byte) (Record, []byte, error) {
 	return r, rest, nil
 }
 
+// MarshalTo appends the unframed wire encoding of r to dst and
+// returns the extended slice:
+//
+//	flags byte | version uvarint | keyLen uvarint | key |
+//	valLen uvarint | value
+//
+// It is the allocation-free codec the RPC layer uses for the records a
+// request or response carries: no CRC (TCP already checksums the
+// stream and the frame length bounds the read) and no per-record
+// allocation. The WAL and SSTables keep the CRC-framed AppendBinary,
+// where torn writes and bit rot are real.
+func (r Record) MarshalTo(dst []byte) []byte {
+	var flags byte
+	if r.Tombstone {
+		flags |= flagTombstone
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, r.Version)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
+	return append(dst, r.Value...)
+}
+
+// Unmarshal decodes one MarshalTo-encoded record from b, returning the
+// remaining bytes. Key and Value alias b — callers that retain the
+// record beyond the buffer's lifetime must Clone it. Every length is
+// validated against the bytes present before use, so truncated or
+// corrupt input returns ErrCorrupt and never panics or over-allocates.
+func (r *Record) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("record: empty wire record: %w", ErrCorrupt)
+	}
+	r.Tombstone = b[0]&flagTombstone != 0
+	b = b[1:]
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("record: bad version varint: %w", ErrCorrupt)
+	}
+	r.Version = v
+	b = b[n:]
+	klen, n := binary.Uvarint(b)
+	if n <= 0 || klen > uint64(len(b)-n) {
+		return nil, fmt.Errorf("record: bad key length: %w", ErrCorrupt)
+	}
+	b = b[n:]
+	if klen > 0 {
+		r.Key = b[:klen:klen]
+	} else {
+		r.Key = nil
+	}
+	b = b[klen:]
+	vlen, n := binary.Uvarint(b)
+	if n <= 0 || vlen > uint64(len(b)-n) {
+		return nil, fmt.Errorf("record: bad value length: %w", ErrCorrupt)
+	}
+	b = b[n:]
+	if vlen > 0 {
+		r.Value = b[:vlen:vlen]
+	} else {
+		r.Value = nil
+	}
+	return b[vlen:], nil
+}
+
+// MarshaledSize returns the number of bytes MarshalTo will emit for r.
+func (r Record) MarshaledSize() int {
+	return 1 + uvarintLen(r.Version) +
+		uvarintLen(uint64(len(r.Key))) + len(r.Key) +
+		uvarintLen(uint64(len(r.Value))) + len(r.Value)
+}
+
 // EncodedSize returns the number of bytes AppendBinary will emit for r.
 func (r Record) EncodedSize() int {
 	payload := 1 + 8 +

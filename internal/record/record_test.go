@@ -2,6 +2,8 @@ package record
 
 import (
 	"bytes"
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -148,5 +150,143 @@ func BenchmarkDecodeBinary(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, _ = DecodeBinary(enc)
+	}
+}
+
+// --- wire codec (MarshalTo / Unmarshal) -----------------------------
+
+func TestMarshalToRoundTrip(t *testing.T) {
+	cases := []Record{
+		{},
+		{Key: []byte("k"), Value: []byte("v"), Version: 1},
+		{Key: []byte("key2"), Version: 42, Tombstone: true},
+		{Key: bytes.Repeat([]byte{0xAB}, 300), Value: bytes.Repeat([]byte{0xCD}, 5000), Version: 1 << 60},
+	}
+	for i, r := range cases {
+		enc := r.MarshalTo(nil)
+		if len(enc) != r.MarshaledSize() {
+			t.Errorf("case %d: MarshaledSize = %d, encoded %d bytes", i, r.MarshaledSize(), len(enc))
+		}
+		var got Record
+		rest, err := got.Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("case %d: %d leftover bytes", i, len(rest))
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, r)
+		}
+	}
+}
+
+// TestMarshalToConcatenation: records marshal back-to-back and
+// unmarshal sequentially, as on the wire.
+func TestMarshalToConcatenation(t *testing.T) {
+	var buf []byte
+	var want []Record
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		r := Record{Version: rng.Uint64(), Tombstone: rng.Intn(2) == 0}
+		if n := rng.Intn(20); n > 0 {
+			r.Key = make([]byte, n)
+			rng.Read(r.Key)
+		}
+		if n := rng.Intn(200); n > 0 {
+			r.Value = make([]byte, n)
+			rng.Read(r.Value)
+		}
+		buf = r.MarshalTo(buf)
+		want = append(want, r)
+	}
+	rest := buf
+	for i, w := range want {
+		var got Record
+		var err error
+		rest, err = got.Unmarshal(rest)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(w, got) {
+			t.Fatalf("record %d: %+v != %+v", i, got, w)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d leftover bytes", len(rest))
+	}
+}
+
+// TestUnmarshalTruncated: every prefix of a valid encoding errors.
+func TestUnmarshalTruncated(t *testing.T) {
+	r := Record{Key: []byte("some-key"), Value: bytes.Repeat([]byte("v"), 64), Version: 1 << 33}
+	enc := r.MarshalTo(nil)
+	for n := 0; n < len(enc); n++ {
+		var got Record
+		if _, err := got.Unmarshal(enc[:n]); err == nil {
+			t.Fatalf("truncated record at %d/%d unmarshalled", n, len(enc))
+		}
+	}
+}
+
+// TestUnmarshalOversizedClaims: corrupt lengths claiming more bytes
+// than present must error without allocating.
+func TestUnmarshalOversizedClaims(t *testing.T) {
+	// flags + version + keyLen claiming 2^40.
+	b := []byte{0, 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f}
+	var r Record
+	if _, err := r.Unmarshal(b); err == nil {
+		t.Fatal("absurd key length unmarshalled")
+	}
+	// Overlong varint for version.
+	b2 := append([]byte{0}, bytes.Repeat([]byte{0x80}, 11)...)
+	if _, err := r.Unmarshal(b2); err == nil {
+		t.Fatal("overlong version varint unmarshalled")
+	}
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Record{Key: []byte("k"), Value: []byte("v"), Version: 9}.MarshalTo(nil))
+	f.Add(Record{Tombstone: true}.MarshalTo(nil))
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var r Record
+		rest, err := r.Unmarshal(b)
+		if err != nil {
+			return
+		}
+		consumed := len(b) - len(rest)
+		again := r.MarshalTo(nil)
+		var r2 Record
+		if _, err := r2.Unmarshal(again); err != nil {
+			t.Fatalf("re-decode of re-encoded record failed: %v", err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("re-encode not stable: %+v != %+v", r2, r)
+		}
+		if r.MarshaledSize() != consumed && r.MarshaledSize() != len(again) {
+			t.Fatalf("MarshaledSize %d inconsistent (consumed %d, re-encoded %d)", r.MarshaledSize(), consumed, len(again))
+		}
+	})
+}
+
+func BenchmarkMarshalTo(b *testing.B) {
+	r := Record{Key: []byte("user:000000000001"), Value: bytes.Repeat([]byte("v"), 128), Version: 1 << 40}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = r.MarshalTo(buf[:0])
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	enc := Record{Key: []byte("user:000000000001"), Value: bytes.Repeat([]byte("v"), 128), Version: 1 << 40}.MarshalTo(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var r Record
+		if _, err := r.Unmarshal(enc); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -6,9 +6,10 @@
 package row
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -120,47 +121,183 @@ func Normalize(v any) any {
 	}
 }
 
-func init() {
-	gob.Register(time.Time{})
-}
+// ErrCorrupt is returned when an encoded row fails to decode.
+var ErrCorrupt = errors.New("row: corrupt encoding")
 
-// Encode serializes r. Column order is canonicalised so equal rows
-// encode identically.
-func Encode(r Row) ([]byte, error) {
+// Value type tags of the binary row codec. Booleans encode their value
+// into the tag itself.
+const (
+	valString byte = 0x01
+	valInt    byte = 0x02
+	valFloat  byte = 0x03
+	valFalse  byte = 0x04
+	valTrue   byte = 0x05
+	valTime   byte = 0x06
+)
+
+// AppendEncode appends the binary encoding of r to dst and returns
+// the extended slice:
+//
+//	columnCount uvarint
+//	per column, in sorted name order:
+//	  nameLen uvarint | name | tag byte | value
+//
+// where value is: uvarint length + bytes (string), zigzag varint
+// (int), 8-byte little-endian IEEE-754 bits (float), nothing (bool —
+// the tag carries it), or zigzag unix seconds + uvarint nanoseconds
+// (time). Column order is canonicalised so equal rows encode
+// identically, which the durability and contention layers rely on for
+// byte-equality comparisons.
+//
+// Time codec contract: a time column stores the INSTANT only — the
+// zone offset is not encoded, and Decode materialises the instant in
+// UTC. Two encodings of the same instant in different zones are
+// byte-identical (a feature for the equality uses above), and
+// comparisons must use time.Time.Equal (as row.Equal does), never ==.
+func AppendEncode(dst []byte, r Row) ([]byte, error) {
 	names := make([]string, 0, len(r))
 	for k := range r {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	flat := make([]any, 0, len(r)*2)
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
 	for _, n := range names {
-		flat = append(flat, n, r[n])
+		dst = binary.AppendUvarint(dst, uint64(len(n)))
+		dst = append(dst, n...)
+		switch v := r[n].(type) {
+		case string:
+			dst = append(dst, valString)
+			dst = binary.AppendUvarint(dst, uint64(len(v)))
+			dst = append(dst, v...)
+		case int64:
+			dst = append(dst, valInt)
+			dst = appendZigzag(dst, v)
+		case float64:
+			dst = append(dst, valFloat)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		case bool:
+			if v {
+				dst = append(dst, valTrue)
+			} else {
+				dst = append(dst, valFalse)
+			}
+		case time.Time:
+			dst = append(dst, valTime)
+			dst = appendZigzag(dst, v.Unix())
+			dst = binary.AppendUvarint(dst, uint64(v.Nanosecond()))
+		default:
+			return nil, fmt.Errorf("row: encode: column %q has unsupported type %T", n, r[n])
+		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
-		return nil, fmt.Errorf("row: encode: %w", err)
-	}
-	return buf.Bytes(), nil
+	return dst, nil
 }
 
-// Decode deserializes a row produced by Encode.
-func Decode(b []byte) (Row, error) {
-	var flat []any
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&flat); err != nil {
-		return nil, fmt.Errorf("row: decode: %w", err)
-	}
-	if len(flat)%2 != 0 {
-		return nil, fmt.Errorf("row: decode: odd element count %d", len(flat))
-	}
-	r := make(Row, len(flat)/2)
-	for i := 0; i < len(flat); i += 2 {
-		name, ok := flat[i].(string)
-		if !ok {
-			return nil, fmt.Errorf("row: decode: non-string column name %v", flat[i])
+// Encode serializes r. Column order is canonicalised so equal rows
+// encode identically.
+func Encode(r Row) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, encodedSizeHint(r)), r)
+}
+
+func encodedSizeHint(r Row) int {
+	n := 2
+	for k, v := range r {
+		n += len(k) + 12
+		if s, ok := v.(string); ok {
+			n += len(s)
 		}
-		r[name] = flat[i+1]
+	}
+	return n
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v)<<1^uint64(v>>63))
+}
+
+// Decode deserializes a row produced by Encode. Every length and
+// count is validated against the bytes present before use, so corrupt
+// or truncated input returns ErrCorrupt rather than panicking or
+// over-allocating.
+func Decode(b []byte) (Row, error) {
+	count, n := binary.Uvarint(b)
+	// A column costs at least two bytes (name length + type tag), so a
+	// count past remaining/2 is corrupt; the map size hint is capped so
+	// a hostile count cannot drive a huge allocation either way.
+	if n <= 0 || count > uint64(len(b)-n)/2 {
+		return nil, fmt.Errorf("row: decode: bad column count: %w", ErrCorrupt)
+	}
+	b = b[n:]
+	hint := count
+	if hint > 4096 {
+		hint = 4096
+	}
+	r := make(Row, hint)
+	for i := uint64(0); i < count; i++ {
+		nameLen, n := binary.Uvarint(b)
+		if n <= 0 || nameLen > uint64(len(b)-n) {
+			return nil, fmt.Errorf("row: decode: bad column name length: %w", ErrCorrupt)
+		}
+		b = b[n:]
+		name := string(b[:nameLen])
+		b = b[nameLen:]
+		if len(b) == 0 {
+			return nil, fmt.Errorf("row: decode: missing value tag for %q: %w", name, ErrCorrupt)
+		}
+		tag := b[0]
+		b = b[1:]
+		switch tag {
+		case valString:
+			slen, n := binary.Uvarint(b)
+			if n <= 0 || slen > uint64(len(b)-n) {
+				return nil, fmt.Errorf("row: decode: bad string length for %q: %w", name, ErrCorrupt)
+			}
+			b = b[n:]
+			r[name] = string(b[:slen])
+			b = b[slen:]
+		case valInt:
+			v, n, err := readZigzag(b)
+			if err != nil {
+				return nil, fmt.Errorf("row: decode: bad int for %q: %w", name, err)
+			}
+			b = b[n:]
+			r[name] = v
+		case valFloat:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("row: decode: short float for %q: %w", name, ErrCorrupt)
+			}
+			r[name] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+		case valFalse:
+			r[name] = false
+		case valTrue:
+			r[name] = true
+		case valTime:
+			sec, n, err := readZigzag(b)
+			if err != nil {
+				return nil, fmt.Errorf("row: decode: bad time seconds for %q: %w", name, err)
+			}
+			b = b[n:]
+			nsec, n2 := binary.Uvarint(b)
+			if n2 <= 0 || nsec > 999999999 {
+				return nil, fmt.Errorf("row: decode: bad time nanoseconds for %q: %w", name, ErrCorrupt)
+			}
+			b = b[n2:]
+			r[name] = time.Unix(sec, int64(nsec)).UTC()
+		default:
+			return nil, fmt.Errorf("row: decode: unknown value tag 0x%02x for %q: %w", tag, name, ErrCorrupt)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("row: decode: %d trailing bytes: %w", len(b), ErrCorrupt)
 	}
 	return r, nil
+}
+
+func readZigzag(b []byte) (int64, int, error) {
+	u, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, ErrCorrupt
+	}
+	return int64(u>>1) ^ -int64(u&1), n, nil
 }
 
 // EncodeKey builds an order-preserving key from the named columns of r.

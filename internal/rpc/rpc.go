@@ -1,6 +1,8 @@
-// Package rpc implements the SCADS wire protocol: a binary-framed,
-// gob-encoded request/response protocol over TCP, plus an in-process
-// transport with injectable latency used by the cluster simulator.
+// Package rpc implements the SCADS wire protocol: length-prefixed
+// binary frames carrying hand-rolled, zero-reflection request/response
+// encodings over a pipelined multiplexed TCP transport (see wire.go
+// for the frame layout), plus an in-process transport with injectable
+// latency used by the cluster simulator.
 //
 // The protocol is deliberately small — the paper's storage interface is
 // point get/put/delete, bounded range scan, and the replication apply
@@ -59,8 +61,12 @@ const (
 )
 
 // Request is the single request envelope for all methods. Unused
-// fields stay at their zero values; gob encodes them compactly.
+// fields stay at their zero values; the wire codec encodes a zero
+// field as a single byte.
 type Request struct {
+	// ID is the transport-assigned correlation ID. Callers leave it
+	// zero; transports stamp their own per-connection IDs on the wire
+	// without mutating the caller's value.
 	ID        uint64
 	Method    string
 	Namespace string

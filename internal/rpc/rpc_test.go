@@ -116,11 +116,8 @@ func TestTCPConnectionReuse(t *testing.T) {
 			t.Fatalf("call %d: %v", i, err)
 		}
 	}
-	tr.mu.Lock()
-	pooled := len(tr.pools[addr])
-	tr.mu.Unlock()
-	if pooled != 1 {
-		t.Fatalf("pool size = %d, want 1 (sequential calls reuse one conn)", pooled)
+	if n := tr.numConns(); n != 1 {
+		t.Fatalf("live conns = %d, want 1 (sequential calls reuse one multiplexed conn)", n)
 	}
 }
 

@@ -1,18 +1,36 @@
 package rpc
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Server serves a Handler over TCP. One goroutine per connection;
-// requests on a connection are handled sequentially (clients pool
-// connections for parallelism, matching the simple 2009-era design).
+// maxConnHandlers bounds concurrently dispatched handlers per server
+// connection. When the bound is hit the connection's read loop blocks,
+// which backpressures the peer through TCP instead of queueing
+// unbounded work.
+const maxConnHandlers = 256
+
+// serverWriteTimeout bounds one response write. It exists for the
+// half-open case — a client host that vanished without FIN/RST would
+// otherwise block handler goroutines in conn.Write forever once the
+// kernel send buffer fills, pinning up to maxConnHandlers goroutines
+// (plus the read loop) per dead connection until Server.Close. It is
+// deliberately generous: a live-but-slow client hitting it merely
+// loses the connection and redials.
+const serverWriteTimeout = 2 * time.Minute
+
+// Server serves a Handler over TCP. Frames are dispatched to
+// concurrent handler goroutines as they arrive, so a connection with
+// many pipelined requests in flight — the normal state under the
+// multiplexed TCPTransport — is serviced in parallel and one slow
+// scan never head-of-line-blocks the calls behind it. Responses are
+// written as handlers complete, in completion order; the correlation
+// ID ties each one back to its request.
 type Server struct {
 	handler Handler
 
@@ -20,7 +38,10 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
-	wg       sync.WaitGroup
+	// wg tracks the accept loop and every serveConn; each serveConn
+	// joins its own handler goroutines before exiting, so Close
+	// returns only after all in-flight handlers have finished.
+	wg sync.WaitGroup
 }
 
 // NewServer returns a Server dispatching to handler.
@@ -71,28 +92,58 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var handlers sync.WaitGroup
 	defer func() {
+		// Join in-flight handlers before releasing the connection so
+		// Server.Close never races handler completion: when wg.Wait
+		// returns, no handler goroutine is left running.
+		handlers.Wait()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+
+	var wmu sync.Mutex // serialises response frames onto the socket
+	sem := make(chan struct{}, maxConnHandlers)
+	var scratch []byte // reusable: request decode detaches every retained byte
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		payload, err := readFrameInto(conn, &scratch)
+		if err != nil {
 			return // EOF or broken peer
 		}
-		resp := s.handler.Serve(req)
-		resp.ID = req.ID
-		if err := enc.Encode(&resp); err != nil {
+		req, err := decodeRequest(payload)
+		if err != nil {
+			// A desynchronised or hostile byte stream cannot be
+			// recovered; drop the connection.
 			return
 		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				handlers.Done()
+			}()
+			resp := s.handler.Serve(req)
+			resp.ID = req.ID
+			bp := encodeResponseFrame(&resp)
+			wmu.Lock()
+			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+			_, werr := conn.Write(*bp)
+			wmu.Unlock()
+			putFrameBuf(bp)
+			if werr != nil {
+				// Unblock the read loop; remaining handlers drain
+				// against the closed socket.
+				conn.Close()
+			}
+		}()
 	}
 }
 
-// Close stops the listener and closes all connections.
+// Close stops the listener, closes all connections, and waits for
+// every in-flight handler to return.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -111,65 +162,86 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// TCPTransport is a Transport over real sockets with a per-address
-// connection pool.
+// errBrokenConn classifies a call failure as connection-level — the
+// multiplexed connection died under the call (send failure, peer
+// reset, EOF mid-stream) as opposed to a per-call timeout on a live
+// connection. Connection-level failures on a previously healthy
+// pooled connection trigger one transparent redial before the peer is
+// classified unreachable: a node that merely restarted between calls
+// must not surface as a spurious ErrUnreachable and burn the caller's
+// down-retry budget.
+var errBrokenConn = errors.New("rpc: connection broken")
+
+// TCPTransport is a Transport over real sockets: one multiplexed
+// connection per address, with pipelined calls correlated by
+// transport-internal IDs. A single writer goroutine serialises frames
+// onto the socket and a single reader goroutine dispatches response
+// frames to the waiting callers, so any number of calls can be in
+// flight on one connection at once and responses may return in any
+// order. Per-call deadlines are enforced at the caller; a broken
+// connection fails every in-flight call with ErrUnreachable and the
+// next call redials.
 type TCPTransport struct {
-	// Timeout bounds each call (dial + write + read). Default 5s.
+	// Timeout bounds each call (dial + send + server processing +
+	// receive). Default 5s.
 	Timeout time.Duration
-	// PoolSize bounds idle connections kept per address. Default 4.
-	PoolSize int
 
-	mu    sync.Mutex
-	pools map[string][]*tcpConn
-}
-
-type tcpConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	id   uint64
+	mu     sync.Mutex
+	conns  map[string]*muxConn
+	closed bool
 }
 
 // NewTCPTransport returns a ready transport.
 func NewTCPTransport() *TCPTransport {
-	return &TCPTransport{Timeout: 5 * time.Second, PoolSize: 4, pools: make(map[string][]*tcpConn)}
+	return &TCPTransport{Timeout: 5 * time.Second, conns: make(map[string]*muxConn)}
 }
 
-// Call implements Transport.
-func (t *TCPTransport) Call(addr string, req Request) (Response, error) {
-	c, err := t.acquire(addr)
-	if err != nil {
-		return Response{}, fmt.Errorf("%w: %v", ErrUnreachable, err)
-	}
-	deadline := time.Now().Add(t.timeout())
-	c.conn.SetDeadline(deadline)
+// callResult is what a waiting caller receives: the matched response
+// or the call's terminal error.
+type callResult struct {
+	resp Response
+	err  error
+}
 
-	c.id++
-	req.ID = c.id
-	// Send/receive failures are transport-level by definition — the
-	// connection died or timed out mid-request — so they wrap
-	// ErrUnreachable and writers enter the shared down-retry loop
-	// (safe: applies are idempotent under last-write-wins versions).
-	// Semantic errors from a node that answered travel in
-	// Response.Err and are never classified as unreachable.
-	if err := c.enc.Encode(&req); err != nil {
-		c.conn.Close()
-		return Response{}, fmt.Errorf("%w: send: %v", ErrUnreachable, err)
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.conn.Close()
-		if errors.Is(err, io.EOF) {
-			return Response{}, ErrUnreachable
-		}
-		return Response{}, fmt.Errorf("%w: receive: %v", ErrUnreachable, err)
-	}
-	if resp.ID != req.ID {
-		c.conn.Close()
-		return Response{}, errors.New("rpc: response ID mismatch")
-	}
-	t.release(addr, c)
-	return resp, nil
+// resultChanPool recycles the buffered channels calls wait on. A
+// channel is returned to the pool only after its exactly-one result
+// has been received, so a pooled channel is always empty.
+var resultChanPool = sync.Pool{
+	New: func() any { return make(chan callResult, 1) },
+}
+
+// pendingCall is one in-flight call: where to deliver its result and
+// when it expires.
+type pendingCall struct {
+	ch       chan callResult
+	deadline time.Time
+}
+
+// muxConn is one multiplexed connection: correlation state, a write
+// queue drained by the writer goroutine, the reader goroutine matching
+// response frames to pending calls, and a deadline sweeper enforcing
+// per-call timeouts (one ticker per connection instead of one timer
+// per call keeps the per-call allocation count down).
+//
+// Delivery invariant: every registered pendingCall receives exactly
+// one callResult, sent by whichever of the reader (response arrived),
+// the sweeper (deadline passed), or fail (connection died) removes it
+// from the pending map under pmu. Callers therefore block on a single
+// receive, and the channel is safely poolable afterwards.
+type muxConn struct {
+	t    *TCPTransport
+	addr string
+	conn net.Conn
+
+	nextID atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]pendingCall
+	broken  bool
+	err     error // terminal error; set under pmu before closed is closed
+
+	writeCh chan *[]byte
+	closed  chan struct{}
 }
 
 func (t *TCPTransport) timeout() time.Duration {
@@ -179,48 +251,295 @@ func (t *TCPTransport) timeout() time.Duration {
 	return 5 * time.Second
 }
 
-func (t *TCPTransport) acquire(addr string) (*tcpConn, error) {
+// Call implements Transport. The request's ID field is ignored and
+// never mutated: correlation IDs are transport-internal, assigned per
+// attempt on the connection that carries it.
+func (t *TCPTransport) Call(addr string, req Request) (Response, error) {
+	c, fresh, err := t.getConn(addr)
+	if err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	resp, err := c.do(&req, t.timeout())
+	if err == nil || fresh || !errors.Is(err, errBrokenConn) {
+		return resp, err
+	}
+	// The pooled connection was stale (typical cause: the node
+	// restarted since the last call, silently invalidating the
+	// socket). Redial once and retry transparently — safe because a
+	// request that died with its connection was either never processed
+	// or is idempotent under last-write-wins versions — before letting
+	// the failure classify the peer as unreachable.
+	c2, err2 := t.dial(addr)
+	if err2 != nil {
+		return Response{}, fmt.Errorf("%w: redial: %v", ErrUnreachable, err2)
+	}
+	return c2.do(&req, t.timeout())
+}
+
+// getConn returns the live multiplexed connection for addr, dialing
+// one if needed. fresh reports that this call dialed it (a failure on
+// a fresh connection is a genuinely unreachable peer, not a stale
+// socket).
+func (t *TCPTransport) getConn(addr string) (c *muxConn, fresh bool, err error) {
 	t.mu.Lock()
-	pool := t.pools[addr]
-	if n := len(pool); n > 0 {
-		c := pool[n-1]
-		t.pools[addr] = pool[:n-1]
+	if c := t.conns[addr]; c != nil && !c.isBroken() {
 		t.mu.Unlock()
-		return c, nil
+		return c, false, nil
 	}
 	t.mu.Unlock()
+	c, err = t.dial(addr)
+	return c, true, err
+}
 
+func (t *TCPTransport) dial(addr string) (*muxConn, error) {
 	conn, err := net.DialTimeout("tcp", addr, t.timeout())
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &muxConn{
+		t:       t,
+		addr:    addr,
+		conn:    conn,
+		pending: make(map[uint64]pendingCall),
+		writeCh: make(chan *[]byte, 256),
+		closed:  make(chan struct{}),
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("rpc: transport closed")
+	}
+	if existing := t.conns[addr]; existing != nil && !existing.isBroken() {
+		// Lost a dial race; use the winner.
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[addr] = c
+	t.mu.Unlock()
+	go c.readLoop()
+	go c.writeLoop(t.timeout())
+	go c.sweepLoop(sweepInterval(t.timeout()))
+	return c, nil
 }
 
-func (t *TCPTransport) release(addr string, c *tcpConn) {
-	c.conn.SetDeadline(time.Time{})
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	size := t.PoolSize
-	if size <= 0 {
-		size = 4
+// sweepInterval picks the deadline-sweep period for a call timeout:
+// fine enough that short timeouts stay meaningful, coarse enough to
+// cost nothing.
+func sweepInterval(timeout time.Duration) time.Duration {
+	iv := timeout / 8
+	if iv < 10*time.Millisecond {
+		return 10 * time.Millisecond
 	}
-	if len(t.pools[addr]) < size {
-		t.pools[addr] = append(t.pools[addr], c)
+	if iv > 250*time.Millisecond {
+		return 250 * time.Millisecond
+	}
+	return iv
+}
+
+// do runs one call on this connection: register a correlation ID,
+// enqueue the encoded frame, await the single result the delivery
+// invariant guarantees.
+func (c *muxConn) do(req *Request, timeout time.Duration) (Response, error) {
+	id := c.nextID.Add(1)
+	ch := resultChanPool.Get().(chan callResult)
+	c.pmu.Lock()
+	if c.broken {
+		err := c.err
+		c.pmu.Unlock()
+		resultChanPool.Put(ch)
+		return Response{}, err
+	}
+	c.pending[id] = pendingCall{ch: ch, deadline: time.Now().Add(timeout)}
+	c.pmu.Unlock()
+
+	wireReq := *req
+	wireReq.ID = id
+	bp, err := encodeRequestFrame(&wireReq)
+	if err != nil {
+		// Semantic failure (payload too big for the wire): resolve our
+		// own pending entry if nothing else already has.
+		c.pmu.Lock()
+		_, mine := c.pending[id]
+		if mine {
+			delete(c.pending, id)
+		}
+		c.pmu.Unlock()
+		if !mine {
+			// fail() raced us and delivered; drain so the channel is
+			// empty before pooling.
+			<-ch
+		}
+		resultChanPool.Put(ch)
+		return Response{}, err
+	}
+
+	select {
+	case c.writeCh <- bp:
+	case <-c.closed:
+		// fail() already delivered (or is delivering) this call's
+		// result; fall through to the receive.
+		putFrameBuf(bp)
+	case res := <-ch:
+		// The write queue stayed full past this call's deadline (peer
+		// backpressure) and the sweeper delivered the timeout while we
+		// were still parked on the enqueue — without this arm the call
+		// would overstay its Timeout for as long as the queue is full.
+		putFrameBuf(bp)
+		resultChanPool.Put(ch)
+		return res.resp, res.err
+	}
+	// The sweeper bounds this wait: if the response never arrives the
+	// call's deadline expires and the sweeper delivers the timeout.
+	res := <-ch
+	resultChanPool.Put(ch)
+	return res.resp, res.err
+}
+
+func (c *muxConn) isBroken() bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.broken
+}
+
+// fail tears the connection down once: records the terminal error,
+// delivers it to every in-flight call, closes the socket, and removes
+// the connection from the transport's pool so the next call redials.
+func (c *muxConn) fail(cause error) {
+	c.pmu.Lock()
+	if c.broken {
+		c.pmu.Unlock()
 		return
 	}
+	c.broken = true
+	c.err = fmt.Errorf("%w: %w: %v", ErrUnreachable, errBrokenConn, cause)
+	err := c.err
+	pend := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+	for _, pc := range pend {
+		pc.ch <- callResult{err: err}
+	}
+	close(c.closed)
 	c.conn.Close()
+	c.t.remove(c.addr, c)
 }
 
-// Close closes every pooled connection.
-func (t *TCPTransport) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, pool := range t.pools {
-		for _, c := range pool {
-			c.conn.Close()
+// sweepLoop enforces per-call deadlines: expired calls are removed
+// from the pending map and handed their timeout. A timed-out call on
+// a live connection is abandoned — if its response arrives later the
+// reader drops it — but the connection stays up for the calls still
+// in flight; the timeout error is unreachable-classified (the shared
+// retry contract) but not errBrokenConn, so it never triggers the
+// stale-conn redial.
+func (c *muxConn) sweepLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			var expired []pendingCall
+			c.pmu.Lock()
+			for id, pc := range c.pending {
+				if now.After(pc.deadline) {
+					delete(c.pending, id)
+					expired = append(expired, pc)
+				}
+			}
+			c.pmu.Unlock()
+			for _, pc := range expired {
+				pc.ch <- callResult{err: fmt.Errorf("%w: call timed out", ErrUnreachable)}
+			}
+		case <-c.closed:
+			return
 		}
 	}
-	t.pools = make(map[string][]*tcpConn)
+}
+
+func (t *TCPTransport) remove(addr string, c *muxConn) {
+	t.mu.Lock()
+	if t.conns[addr] == c {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+}
+
+// writeLoop is the connection's single writer: it drains the frame
+// queue onto the socket. The write deadline is deliberately a
+// multiple of the call timeout: a peer whose read loop is briefly
+// saturated (maxConnHandlers slow handlers — the server's intended
+// TCP backpressure) stalls writes without being dead, and tearing the
+// shared multiplexed connection down would spuriously fail every
+// in-flight call on it. Only a stall long past any call's deadline is
+// treated as a wedged socket.
+func (c *muxConn) writeLoop(timeout time.Duration) {
+	for {
+		select {
+		case bp := <-c.writeCh:
+			c.conn.SetWriteDeadline(time.Now().Add(4 * timeout))
+			_, err := c.conn.Write(*bp)
+			putFrameBuf(bp)
+			if err != nil {
+				c.fail(fmt.Errorf("send: %v", err))
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// readLoop is the connection's single reader: it decodes response
+// frames and hands each to the caller registered under its
+// correlation ID. Responses without a waiter (the caller timed out)
+// are dropped.
+func (c *muxConn) readLoop() {
+	for {
+		payload, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("receive: %v", err))
+			return
+		}
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.pmu.Lock()
+		pc, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.pmu.Unlock()
+		if ok {
+			pc.ch <- callResult{resp: resp}
+		}
+	}
+}
+
+// numConns reports live pooled connections (test hook).
+func (t *TCPTransport) numConns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
+}
+
+// Close tears down every pooled connection, failing their in-flight
+// calls, and rejects future dials.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conns := make([]*muxConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.fail(errors.New("transport closed"))
+	}
 	return nil
 }

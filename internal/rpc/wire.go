@@ -1,0 +1,715 @@
+package rpc
+
+// The SCADS binary wire format. Every message is one length-prefixed
+// frame:
+//
+//	frameLen uint32 little-endian | version byte | message
+//
+// where frameLen covers everything after the 4-byte prefix. Requests
+// and responses are encoded with hand-rolled, zero-reflection
+// append-style encoders: fixed field order, uvarint lengths and
+// counts, zigzag varints for signed integers, little-endian for the
+// float-free fixed-width fields. Unused fields cost one zero byte
+// each, so the envelope-style Request/Response structs stay cheap even
+// though most fields are empty on any given method.
+//
+// Decoders never trust a length or count before checking it against
+// the bytes actually present, so a truncated or corrupted frame (or a
+// hostile one claiming a multi-gigabyte payload) errors out without
+// over-allocating and without panicking; batch nesting is depth-capped
+// the same way.
+//
+// Memory ownership is deliberately asymmetric between the two
+// directions:
+//
+//   - Requests (decoded by the server) are DETACHED: every byte field
+//     is copied into one per-request arena sized from the frame, so
+//     handlers — and the storage engine behind them, which retains
+//     applied records in the memtable and apply log — own what they
+//     keep, and the server can reuse a single per-connection read
+//     buffer across frames. Cost: one arena allocation per request,
+//     regardless of how many records it carries.
+//
+//   - Responses (decoded by the client) ALIAS their frame buffer (one
+//     exactly-sized allocation per frame, never pooled), so a scan
+//     page of N records costs O(1) allocations. Coordinator-side
+//     consumers are transient: anything retained beyond the call is
+//     copied at a higher layer (rows decode into fresh maps,
+//     migration re-encodes records onward, caches clone).
+//
+// Encoding buffers are pooled: an encoded frame is built — length
+// prefix included — in a single reusable buffer and handed to the
+// socket in one write. Oversized buffers are dropped instead of
+// pooled so one huge frame cannot pin its capacity forever.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"scads/internal/record"
+)
+
+const (
+	// wireVersion is the first byte of every frame; bump on any
+	// incompatible layout change so mismatched peers fail fast with a
+	// clear error instead of a garbled decode.
+	wireVersion = 1
+
+	// maxFrameSize bounds one frame: a corrupt or hostile length
+	// prefix does not get to allocate gigabytes, and both encode
+	// paths enforce the same bound (a response that would overflow it
+	// is replaced by an error response; an oversized request fails
+	// the call with a semantic error, not ErrUnreachable). Node-side
+	// page byte budgets (cluster.Node scan/snapshot, storage
+	// ScanSince deltas) keep real pages an order of magnitude below
+	// this.
+	maxFrameSize = 64 << 20
+
+	// maxPooledFrame bounds what goes back into framePool: buffers
+	// that grew past it are left for the GC so one giant frame does
+	// not permanently inflate the pool.
+	maxPooledFrame = 1 << 20
+
+	// maxBatchDepth bounds MethodBatch nesting so a hostile frame
+	// cannot recurse the decoder into stack exhaustion. Real traffic
+	// nests exactly one envelope deep.
+	maxBatchDepth = 4
+)
+
+// errCorruptFrame is the decode-failure class: the peer spoke the
+// right framing but the message inside did not parse. It is
+// deliberately distinct from ErrUnreachable — a peer that answers
+// garbage is broken, not down — but the transport still tears the
+// connection down, because a desynchronised byte stream cannot be
+// re-synchronised.
+var errCorruptFrame = errors.New("rpc: corrupt wire frame")
+
+// Response flag bits.
+const (
+	respFlagFound byte = 1 << 0
+	respFlagMore  byte = 1 << 1
+)
+
+// Method codes keep the hot field to one byte. Code 0 escapes to an
+// inline string for methods the table does not know (forward
+// compatibility for coordinator-served admin methods).
+var methodCodes = map[string]byte{
+	MethodPing:          1,
+	MethodGet:           2,
+	MethodPut:           3,
+	MethodDelete:        4,
+	MethodScan:          5,
+	MethodApply:         6,
+	MethodDropRange:     7,
+	MethodStats:         8,
+	MethodBatch:         9,
+	MethodRangeSnapshot: 10,
+	MethodRangeDelta:    11,
+	MethodRangeFence:    12,
+	MethodRepairs:       13,
+}
+
+var methodNames = [...]string{
+	1:  MethodPing,
+	2:  MethodGet,
+	3:  MethodPut,
+	4:  MethodDelete,
+	5:  MethodScan,
+	6:  MethodApply,
+	7:  MethodDropRange,
+	8:  MethodStats,
+	9:  MethodBatch,
+	10: MethodRangeSnapshot,
+	11: MethodRangeDelta,
+	12: MethodRangeFence,
+	13: MethodRepairs,
+}
+
+// framePool recycles encode buffers, so steady-state encoding
+// allocates nothing; buffers that ballooned past maxPooledFrame are
+// not returned.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) > maxPooledFrame {
+		return
+	}
+	framePool.Put(b)
+}
+
+// appendBlob appends a uvarint length followed by the bytes.
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// appendStr appends a uvarint length followed by the string bytes.
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendVarint appends a zigzag-encoded signed integer.
+func appendVarint(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v)<<1^uint64(v>>63))
+}
+
+// wireReader walks a frame buffer. Every accessor validates lengths
+// against the bytes remaining before touching them. With a non-nil
+// arena, byte fields are copied into it (detached from b); otherwise
+// they alias b. The arena is pre-sized to the frame, and the total
+// copied can never exceed the frame, so it never reallocates.
+type wireReader struct {
+	b     []byte
+	arena []byte
+}
+
+// detach copies v into the arena when one is set; otherwise returns v
+// (an alias of the frame) unchanged.
+func (r *wireReader) detach(v []byte) []byte {
+	if r.arena == nil || v == nil {
+		return v
+	}
+	start := len(r.arena)
+	r.arena = append(r.arena, v...)
+	return r.arena[start:len(r.arena):len(r.arena)]
+}
+
+func (r *wireReader) len() int { return len(r.b) }
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", errCorruptFrame)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *wireReader) varint() (int64, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (r *wireReader) byteVal() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, fmt.Errorf("%w: truncated", errCorruptFrame)
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+// rawBlob returns the next length-prefixed byte field as an alias of
+// the frame buffer. Zero length decodes as nil.
+func (r *wireReader) rawBlob() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("%w: blob length %d exceeds %d remaining", errCorruptFrame, n, len(r.b))
+	}
+	out := r.b[:n:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+// blob is rawBlob under the reader's ownership mode: detached into
+// the arena when one is set, aliasing otherwise.
+func (r *wireReader) blob() ([]byte, error) {
+	b, err := r.rawBlob()
+	if err != nil {
+		return nil, err
+	}
+	return r.detach(b), nil
+}
+
+// str converts straight from the frame alias — the string conversion
+// is itself the copy, so it never goes through the arena.
+func (r *wireReader) str() (string, error) {
+	b, err := r.rawBlob()
+	return string(b), err
+}
+
+// Minimum encoded size per element type: what each costs on the wire
+// when every field is zero. count() rejects any claimed count that
+// could not fit in the remaining bytes at these densities, and decode
+// grows slices incrementally (capped initial capacity), so a hostile
+// count inside a valid-length frame can neither trigger a huge
+// up-front allocation nor grow memory faster than the attacker
+// supplies actual parseable bytes.
+const (
+	minWireString   = 1  // length byte
+	minWirePred     = 3  // column len + op + value len
+	minWireRecord   = 4  // flags + version + key len + value len
+	minWireRequest  = 15 // every fixed field at its zero encoding
+	minWireResponse = 13
+)
+
+// maxPrealloc caps the capacity hint decode passes to make for
+// count-prefixed slices; anything larger grows by append as elements
+// actually parse.
+const maxPrealloc = 1 << 12
+
+func preallocHint(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
+// count reads an element count for elements of at least minElem
+// encoded bytes, rejecting counts that could not possibly fit in the
+// remaining bytes.
+func (r *wireReader) count(minElem int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(r.b)/minElem) {
+		return 0, fmt.Errorf("%w: count %d exceeds %d remaining bytes (min element size %d)", errCorruptFrame, n, len(r.b), minElem)
+	}
+	return int(n), nil
+}
+
+// appendRequest appends the wire encoding of req to dst.
+func appendRequest(dst []byte, req *Request) []byte {
+	dst = binary.AppendUvarint(dst, req.ID)
+	if code, ok := methodCodes[req.Method]; ok {
+		dst = append(dst, code)
+	} else {
+		dst = append(dst, 0)
+		dst = appendStr(dst, req.Method)
+	}
+	dst = appendStr(dst, req.Namespace)
+	dst = appendBlob(dst, req.Key)
+	dst = appendBlob(dst, req.Value)
+	dst = appendBlob(dst, req.Start)
+	dst = appendBlob(dst, req.End)
+	dst = appendVarint(dst, int64(req.Limit))
+	dst = binary.AppendUvarint(dst, uint64(len(req.Projection)))
+	for _, s := range req.Projection {
+		dst = appendStr(dst, s)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(req.Preds)))
+	for _, p := range req.Preds {
+		dst = appendStr(dst, p.Column)
+		dst = binary.AppendUvarint(dst, uint64(p.Op))
+		dst = appendBlob(dst, p.Value)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(req.Records)))
+	for _, rec := range req.Records {
+		dst = rec.MarshalTo(dst)
+	}
+	dst = binary.AppendUvarint(dst, req.Since)
+	dst = binary.AppendUvarint(dst, req.Epoch)
+	if req.Fence {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(req.Batch)))
+	for i := range req.Batch {
+		dst = appendRequest(dst, &req.Batch[i])
+	}
+	return dst
+}
+
+func readMethod(r *wireReader) (string, error) {
+	code, err := r.byteVal()
+	if err != nil {
+		return "", err
+	}
+	if code == 0 {
+		return r.str()
+	}
+	if int(code) >= len(methodNames) || methodNames[code] == "" {
+		return "", fmt.Errorf("%w: unknown method code %d", errCorruptFrame, code)
+	}
+	return methodNames[code], nil
+}
+
+func readRequest(r *wireReader, depth int, req *Request) error {
+	if depth > maxBatchDepth {
+		return fmt.Errorf("%w: batch nesting exceeds depth %d", errCorruptFrame, maxBatchDepth)
+	}
+	var err error
+	if req.ID, err = r.uvarint(); err != nil {
+		return err
+	}
+	if req.Method, err = readMethod(r); err != nil {
+		return err
+	}
+	if req.Namespace, err = r.str(); err != nil {
+		return err
+	}
+	if req.Key, err = r.blob(); err != nil {
+		return err
+	}
+	if req.Value, err = r.blob(); err != nil {
+		return err
+	}
+	if req.Start, err = r.blob(); err != nil {
+		return err
+	}
+	if req.End, err = r.blob(); err != nil {
+		return err
+	}
+	limit, err := r.varint()
+	if err != nil {
+		return err
+	}
+	req.Limit = int(limit)
+	n, err := r.count(minWireString)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		req.Projection = make([]string, 0, preallocHint(n))
+		for i := 0; i < n; i++ {
+			s, err := r.str()
+			if err != nil {
+				return err
+			}
+			req.Projection = append(req.Projection, s)
+		}
+	}
+	if n, err = r.count(minWirePred); err != nil {
+		return err
+	}
+	if n > 0 {
+		req.Preds = make([]ScanPred, 0, preallocHint(n))
+		for i := 0; i < n; i++ {
+			var p ScanPred
+			if p.Column, err = r.str(); err != nil {
+				return err
+			}
+			op, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			p.Op = ScanPredOp(op)
+			if p.Value, err = r.blob(); err != nil {
+				return err
+			}
+			req.Preds = append(req.Preds, p)
+		}
+	}
+	if req.Records, err = readRecords(r); err != nil {
+		return err
+	}
+	if req.Since, err = r.uvarint(); err != nil {
+		return err
+	}
+	if req.Epoch, err = r.uvarint(); err != nil {
+		return err
+	}
+	fence, err := r.byteVal()
+	if err != nil {
+		return err
+	}
+	req.Fence = fence != 0
+	if n, err = r.count(minWireRequest); err != nil {
+		return err
+	}
+	if n > 0 {
+		req.Batch = make([]Request, 0, preallocHint(n))
+		for i := 0; i < n; i++ {
+			var sub Request
+			if err := readRequest(r, depth+1, &sub); err != nil {
+				return err
+			}
+			req.Batch = append(req.Batch, sub)
+		}
+	}
+	return nil
+}
+
+func readRecords(r *wireReader) ([]record.Record, error) {
+	n, err := r.count(minWireRecord)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	recs := make([]record.Record, 0, preallocHint(n))
+	for i := 0; i < n; i++ {
+		var rec record.Record
+		rest, err := rec.Unmarshal(r.b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", errCorruptFrame, i, err)
+		}
+		r.b = rest
+		rec.Key = r.detach(rec.Key)
+		rec.Value = r.detach(rec.Value)
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// appendResponse appends the wire encoding of resp to dst.
+func appendResponse(dst []byte, resp *Response) []byte {
+	dst = binary.AppendUvarint(dst, resp.ID)
+	var flags byte
+	if resp.Found {
+		flags |= respFlagFound
+	}
+	if resp.More {
+		flags |= respFlagMore
+	}
+	dst = append(dst, flags)
+	dst = appendStr(dst, resp.Err)
+	dst = appendBlob(dst, resp.Value)
+	dst = binary.AppendUvarint(dst, resp.Version)
+	dst = binary.AppendUvarint(dst, uint64(len(resp.Records)))
+	for _, rec := range resp.Records {
+		dst = rec.MarshalTo(dst)
+	}
+	dst = appendVarint(dst, resp.RecordCount)
+	dst = appendVarint(dst, int64(resp.QueueDepth))
+	dst = binary.AppendUvarint(dst, resp.Watermark)
+	dst = binary.AppendUvarint(dst, resp.Epoch)
+	dst = appendVarint(dst, int64(resp.Fenced))
+	dst = appendBlob(dst, resp.Resume)
+	dst = binary.AppendUvarint(dst, uint64(len(resp.Batch)))
+	for i := range resp.Batch {
+		dst = appendResponse(dst, &resp.Batch[i])
+	}
+	return dst
+}
+
+func readResponse(r *wireReader, depth int, resp *Response) error {
+	if depth > maxBatchDepth {
+		return fmt.Errorf("%w: batch nesting exceeds depth %d", errCorruptFrame, maxBatchDepth)
+	}
+	var err error
+	if resp.ID, err = r.uvarint(); err != nil {
+		return err
+	}
+	flags, err := r.byteVal()
+	if err != nil {
+		return err
+	}
+	resp.Found = flags&respFlagFound != 0
+	resp.More = flags&respFlagMore != 0
+	if resp.Err, err = r.str(); err != nil {
+		return err
+	}
+	if resp.Value, err = r.blob(); err != nil {
+		return err
+	}
+	if resp.Version, err = r.uvarint(); err != nil {
+		return err
+	}
+	if resp.Records, err = readRecords(r); err != nil {
+		return err
+	}
+	if resp.RecordCount, err = r.varint(); err != nil {
+		return err
+	}
+	qd, err := r.varint()
+	if err != nil {
+		return err
+	}
+	resp.QueueDepth = int(qd)
+	if resp.Watermark, err = r.uvarint(); err != nil {
+		return err
+	}
+	if resp.Epoch, err = r.uvarint(); err != nil {
+		return err
+	}
+	fenced, err := r.varint()
+	if err != nil {
+		return err
+	}
+	resp.Fenced = int(fenced)
+	if resp.Resume, err = r.blob(); err != nil {
+		return err
+	}
+	n, err := r.count(minWireResponse)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		resp.Batch = make([]Response, 0, preallocHint(n))
+		for i := 0; i < n; i++ {
+			var sub Response
+			if err := readResponse(r, depth+1, &sub); err != nil {
+				return err
+			}
+			resp.Batch = append(resp.Batch, sub)
+		}
+	}
+	return nil
+}
+
+// checkFramePayload validates the version byte and returns the message
+// bytes.
+func checkFramePayload(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: empty frame", errCorruptFrame)
+	}
+	if b[0] != wireVersion {
+		return nil, fmt.Errorf("%w: wire version %d (want %d)", errCorruptFrame, b[0], wireVersion)
+	}
+	return b[1:], nil
+}
+
+// decodeRequest decodes one frame payload (version byte included)
+// into a Request. Byte fields are detached into a per-request arena
+// (see the package ownership rules above): handlers retain what they
+// like and the caller may reuse b for the next frame.
+func decodeRequest(b []byte) (Request, error) {
+	msg, err := checkFramePayload(b)
+	if err != nil {
+		return Request{}, err
+	}
+	r := wireReader{b: msg, arena: make([]byte, 0, len(msg))}
+	var req Request
+	if err := readRequest(&r, 0, &req); err != nil {
+		return Request{}, err
+	}
+	if r.len() != 0 {
+		return Request{}, fmt.Errorf("%w: %d trailing bytes", errCorruptFrame, r.len())
+	}
+	return req, nil
+}
+
+// decodeResponse decodes one frame payload (version byte included)
+// into a Response. Byte fields alias b.
+func decodeResponse(b []byte) (Response, error) {
+	msg, err := checkFramePayload(b)
+	if err != nil {
+		return Response{}, err
+	}
+	r := wireReader{b: msg}
+	var resp Response
+	if err := readResponse(&r, 0, &resp); err != nil {
+		return Response{}, err
+	}
+	if r.len() != 0 {
+		return Response{}, fmt.Errorf("%w: %d trailing bytes", errCorruptFrame, r.len())
+	}
+	return resp, nil
+}
+
+// errFrameOverflow reports an encoded message that would exceed
+// maxFrameSize. It is a semantic error — the payload is too big, the
+// peer is fine — so it is never classified unreachable and never
+// retried.
+var errFrameOverflow = errors.New("rpc: encoded frame exceeds size limit")
+
+// encodeRequestFrame builds a complete frame (length prefix, version,
+// message) for req in a pooled buffer. The caller must return the
+// buffer with putFrameBuf after the write completes. An encoding past
+// maxFrameSize returns errFrameOverflow — the peer would reject it as
+// corrupt and tear the connection down, so it must not be sent.
+func encodeRequestFrame(req *Request) (*[]byte, error) {
+	return encodeRequestFrameLimit(req, maxFrameSize)
+}
+
+func encodeRequestFrameLimit(req *Request, limit int) (*[]byte, error) {
+	bp := getFrameBuf()
+	b := append((*bp)[:0], 0, 0, 0, 0, wireVersion)
+	b = appendRequest(b, req)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	*bp = b
+	if len(b)-4 > limit {
+		putFrameBuf(bp)
+		return nil, fmt.Errorf("%w (%d bytes)", errFrameOverflow, len(b)-4)
+	}
+	return bp, nil
+}
+
+// encodeResponseFrame is encodeRequestFrame for the reply direction.
+// An overflowing response is replaced by an error response carrying
+// the same correlation ID, so the caller gets a clear semantic error
+// instead of a torn connection and an unreachable misclassification.
+func encodeResponseFrame(resp *Response) *[]byte {
+	return encodeResponseFrameLimit(resp, maxFrameSize)
+}
+
+func encodeResponseFrameLimit(resp *Response, limit int) *[]byte {
+	bp := getFrameBuf()
+	b := append((*bp)[:0], 0, 0, 0, 0, wireVersion)
+	b = appendResponse(b, resp)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	*bp = b
+	if len(b)-4 > limit {
+		errResp := Response{ID: resp.ID, Err: fmt.Sprintf("%v (%d bytes)", errFrameOverflow, len(b)-4)}
+		// Rebuild unconditionally — the substitute is inherently tiny,
+		// so no second size check (which could recurse) is needed.
+		b = append((*bp)[:0], 0, 0, 0, 0, wireVersion)
+		b = appendResponse(b, &errResp)
+		binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+		*bp = b
+	}
+	return bp
+}
+
+// readFrame reads one length-prefixed frame payload from rd. The
+// returned buffer is exactly sized and owned by the caller (decoded
+// responses alias it), so it is never pooled.
+func readFrame(rd io.Reader) ([]byte, error) {
+	n, err := readFrameLen(rd)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rd, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readFrameInto is readFrame against a reusable buffer, for the
+// server side where request decode detaches every retained byte: buf
+// grows to the largest frame the connection has carried and is reused
+// for the next one.
+func readFrameInto(rd io.Reader, buf *[]byte) ([]byte, error) {
+	n, err := readFrameLen(rd)
+	if err != nil {
+		return nil, err
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	if _, err := io.ReadFull(rd, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func readFrameLen(rd io.Reader) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, fmt.Errorf("%w: zero-length frame", errCorruptFrame)
+	}
+	if n > maxFrameSize {
+		return 0, fmt.Errorf("%w: frame length %d exceeds limit %d", errCorruptFrame, n, maxFrameSize)
+	}
+	return int(n), nil
+}

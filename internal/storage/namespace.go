@@ -309,25 +309,30 @@ func (ns *Namespace) MaxVersion() uint64 {
 // ScanSince returns the current record (tombstones included) of every
 // key in [start, end) modified after watermark `since`, up to limit
 // distinct keys, together with the new watermark covering the returned
-// changes. ok=false means the baseline is unusable — wrong epoch (the
-// node restarted) or older than the retained delta log — and the
-// caller must restart from a full snapshot. Records reference internal
-// storage; callers that retain them across writes must Clone.
-func (ns *Namespace) ScanSince(epoch, since uint64, start, end []byte, limit int) (recs []record.Record, watermark uint64, ok bool, err error) {
+// changes. more reports that the page stopped at the count limit or
+// byte budget with retained log entries still beyond the watermark —
+// the caller's only reliable continuation signal: neither a short page
+// (byte budget) nor an advancing watermark (out-of-range entries also
+// advance it) distinguishes "keep paging" from "drained". ok=false
+// means the baseline is unusable — wrong epoch (the node restarted) or
+// older than the retained delta log — and the caller must restart from
+// a full snapshot. Records reference internal storage; callers that
+// retain them across writes must Clone.
+func (ns *Namespace) ScanSince(epoch, since uint64, start, end []byte, limit int) (recs []record.Record, watermark uint64, more, ok bool, err error) {
 	if limit <= 0 {
 		limit = maxApplyLog
 	}
 	ns.mu.RLock()
 	defer ns.mu.RUnlock()
 	if ns.closed {
-		return nil, 0, false, ErrClosed
+		return nil, 0, false, false, ErrClosed
 	}
 	if epoch != ns.applyEpoch || since > ns.applySeq || since < ns.applyFloor {
-		return nil, 0, false, nil
+		return nil, 0, false, false, nil
 	}
 	bounds := keyRange{start: start, end: end}
 	watermark = since
-	var keys [][]byte
+	bytes := 0
 	seen := make(map[string]bool)
 	for _, e := range ns.applyLog {
 		if e.seq <= since {
@@ -339,22 +344,28 @@ func (ns *Namespace) ScanSince(epoch, since uint64, start, end []byte, limit int
 			watermark = e.seq
 			continue
 		}
-		if len(keys) == limit {
-			// Page full: later entries stay beyond the watermark so the
-			// next call picks them up.
+		if len(recs) >= limit || bytes >= scanSinceByteBudget {
+			// Page full (by count or encoded bytes): later entries stay
+			// beyond the watermark so the next call picks them up.
+			// A full page always carries >=1 record, so the watermark
+			// strictly advances and paging always makes progress.
+			more = true
 			break
 		}
 		seen[string(e.key)] = true
-		keys = append(keys, e.key)
+		if rec, found := ns.getLocked(e.key); found {
+			recs = append(recs, rec)
+			bytes += rec.MarshaledSize()
+		}
 		watermark = e.seq
 	}
-	for _, k := range keys {
-		if rec, found := ns.getLocked(k); found {
-			recs = append(recs, rec)
-		}
-	}
-	return recs, watermark, true, nil
+	return recs, watermark, more, true, nil
 }
+
+// scanSinceByteBudget bounds the encoded payload of one delta page,
+// mirroring the scan/snapshot page budgets: a count limit alone would
+// let a page of large values exceed the RPC frame cap.
+const scanSinceByteBudget = 4 << 20
 
 func (ns *Namespace) scan(start, end []byte, fn func(record.Record) bool) error {
 	ns.mu.RLock()
