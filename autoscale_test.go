@@ -1,0 +1,83 @@
+package scads
+
+import (
+	"testing"
+	"time"
+
+	"scads/internal/workload"
+)
+
+// shortElasticScenario compresses the flash-crowd shape into a
+// 150-minute run with a shifting hotspot, so unit tests exercise both
+// scale directions and writer-vs-migration interleaving quickly.
+func shortElasticScenario() ElasticScenario {
+	start := time.Date(2009, 1, 4, 8, 0, 0, 0, time.UTC)
+	return ElasticScenario{
+		Name:     "short-spike",
+		Seed:     42,
+		Start:    start,
+		Duration: 150 * time.Minute,
+		Tick:     time.Minute,
+		Trace: workload.Spike{
+			Baseline:  workload.Constant(500),
+			At:        start.Add(25 * time.Minute),
+			Rise:      10 * time.Minute,
+			Duration:  30 * time.Minute,
+			Magnitude: 4,
+		},
+		Keys:           workload.Hotspot{Users: 120, ShiftPeriod: 20 * time.Minute, Start: start},
+		InitialServers: 3,
+	}
+}
+
+// TestElasticScenarioEndToEnd runs the full loop — trace → per-class
+// SLO telemetry → fleet-model director → real node adds/decommissions
+// — under a concurrent writer, and checks the paper's core claims:
+// capacity follows the surge up and back down, and no acked write is
+// lost or corrupted across any scale event.
+func TestElasticScenarioEndToEnd(t *testing.T) {
+	res, err := RunElasticScenario(shortElasticScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 150 {
+		t.Fatalf("Ticks = %d, want 150", res.Ticks)
+	}
+	if res.ScaleUps == 0 || res.PeakServers <= 3 {
+		t.Fatalf("surge did not scale up: %+v", res)
+	}
+	if res.ScaleDowns == 0 || res.FinalServers >= res.PeakServers {
+		t.Fatalf("decay did not scale down: %+v", res)
+	}
+	if res.AckedWrites < 300 {
+		t.Fatalf("only %d acked writes — the run proved too little", res.AckedWrites)
+	}
+	if res.LostWrites != 0 || res.CorruptReads != 0 {
+		t.Fatalf("lossless migration violated: %d lost, %d corrupt of %d acked",
+			res.LostWrites, res.CorruptReads, res.AckedWrites)
+	}
+	if res.ServerHours <= 0 || res.CostUSD <= 0 {
+		t.Fatalf("accounting empty: %+v", res)
+	}
+}
+
+// TestElasticScenarioDeterministicMetrics runs the same scenario
+// twice: every control-plane metric must match bit for bit — that is
+// what makes the e16 baselines gateable in CI. (Ledger counts are
+// wall-clock dependent and excluded; their zero-ness is checked
+// above.)
+func TestElasticScenarioDeterministicMetrics(t *testing.T) {
+	sc := shortElasticScenario()
+	a, err := RunElasticScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunElasticScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AckedWrites, b.AckedWrites = 0, 0
+	if a != b {
+		t.Fatalf("metrics not deterministic:\n  first  %+v\n  second %+v", a, b)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scads"
+)
+
+// runE16 closes the Figure 2 loop end to end: three workload
+// scenarios (diurnal cycle, flash crowd, hotspot shift) drive the
+// SLO-observing director against a real LocalCluster, every scale
+// action moving data through the lossless migration path while a
+// background writer hammers acked writes. Control-plane metrics
+// (SLO-violation minutes, server-hours, cost) are deterministic —
+// synthetic per-class telemetry on a virtual clock — and gated via
+// the committed BENCH_e16.json baseline; lost/corrupted acked writes
+// are a hard zero on every run.
+func runE16() {
+	scenarios := []scads.ElasticScenario{
+		scads.ElasticDiurnalScenario(),
+		scads.ElasticFlashCrowdScenario(),
+		scads.ElasticHotspotShiftScenario(),
+	}
+	metrics := make(map[string]float64)
+	lost, corrupt := 0, 0
+	fmt.Printf("%-14s %6s %6s %6s %10s %10s %9s %7s %7s %9s\n",
+		"scenario", "ticks", "peak", "final", "viol-min", "srv-hours", "cost-usd", "ups", "downs", "acked")
+	for _, sc := range scenarios {
+		res, err := scads.RunElasticScenario(sc)
+		must(err)
+		fmt.Printf("%-14s %6d %6d %6d %10.1f %10.2f %9.2f %7d %7d %9d\n",
+			res.Name, res.Ticks, res.PeakServers, res.FinalServers,
+			res.SLOViolationMinutes, res.ServerHours, res.CostUSD,
+			res.ScaleUps, res.ScaleDowns, res.AckedWrites)
+		lost += res.LostWrites
+		corrupt += res.CorruptReads
+		metrics[res.Name+"_slo_violation_min"] = res.SLOViolationMinutes
+		metrics[res.Name+"_server_hours"] = res.ServerHours
+		metrics[res.Name+"_cost_usd"] = res.CostUSD
+		metrics[res.Name+"_peak_servers"] = float64(res.PeakServers)
+	}
+	metrics["lost_acked_writes"] = float64(lost)
+	metrics["corrupted_acked_writes"] = float64(corrupt)
+	writeBenchSummary("e16", metrics)
+	fmt.Println()
+	fmt.Printf("  %-34s %12d\n", "lost acked writes", lost)
+	fmt.Printf("  %-34s %12d\n", "corrupted acked writes", corrupt)
+	if lost > 0 || corrupt > 0 {
+		log.Fatalf("e16: scale events lost acked writes (lost=%d corrupt=%d)", lost, corrupt)
+	}
+	fmt.Println("  zero acked writes lost across all scale events")
+}

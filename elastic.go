@@ -22,6 +22,12 @@ func (c *Cluster) Observe(margin time.Duration) director.Observation {
 	atRisk := c.pump.AtRisk(margin)
 	total := c.Contention().Total
 	last := c.lastObservedContention.Swap(total)
+	committed := 0
+	if len(c.router.Namespaces()) > 0 {
+		// Committed data needs at least RF distinct nodes to stay fully
+		// replicated — the floor below which the director may not size.
+		committed = c.cfg.ReplicationFactor
+	}
 	return director.Observation{
 		Rate:              iv.Rate,
 		Latency:           iv.Latency,
@@ -29,6 +35,7 @@ func (c *Cluster) Observe(margin time.Duration) director.Observation {
 		SLAMet:            iv.Met,
 		ReplicationAtRisk: atRisk,
 		Contentions:       int(total - last),
+		CommittedServers:  committed,
 	}
 }
 
@@ -60,6 +67,10 @@ type ElasticActuator struct {
 	// asynchronous work, while the requested nodes are still counted
 	// as booting.
 	testHookBooting func()
+	// testHookReleaseWaiting, when set, runs once per victim when
+	// Release first observes an in-flight repair touching it and
+	// starts waiting for the repair journal to drain.
+	testHookReleaseWaiting func(victim string)
 }
 
 var _ director.Actuator = (*ElasticActuator)(nil)
@@ -137,6 +148,21 @@ func (a *ElasticActuator) Release(n int) {
 		for _, id := range ids[:len(ids)-1-i] {
 			survivors = append(survivors, id)
 		}
+		// A repair job rebuilding one of the victim's ranges may still
+		// be in flight; decommissioning now would race its replacement
+		// choice. Repair jobs always terminate, so wait for the journal
+		// to drain — bounded, so a wedged job cannot block scale-down
+		// forever (the decommission migration itself restores RF).
+		waiting := false
+		for deadline := time.Now().Add(repairDrainTimeout); a.repairsInFlightOn(victim) && time.Now().Before(deadline); {
+			if !waiting {
+				waiting = true
+				if a.testHookReleaseWaiting != nil {
+					a.testHookReleaseWaiting(victim)
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
 		if err := a.lc.DecommissionNode(victim, survivors); err != nil {
 			a.fail(err)
 			return
@@ -144,6 +170,32 @@ func (a *ElasticActuator) Release(n int) {
 		a.lc.Transport.Unregister("local://" + victim)
 		a.lc.Directory().Remove(victim)
 	}
+}
+
+// repairDrainTimeout bounds how long Release waits for in-flight
+// repairs of a victim's ranges before decommissioning anyway.
+const repairDrainTimeout = 30 * time.Second
+
+// repairsInFlightOn reports whether any range replicated on node has a
+// repair job journaled as in flight.
+func (a *ElasticActuator) repairsInFlightOn(node string) bool {
+	c := a.lc.Cluster
+	for _, ns := range c.router.Namespaces() {
+		m, ok := c.router.Map(ns)
+		if !ok {
+			continue
+		}
+		for _, rng := range m.Ranges() {
+			for _, id := range rng.Replicas {
+				if id == node && c.repairs.RangeInFlight(ns, rng.Start) {
+					return true
+				}
+			}
+		}
+	}
+	// The node may also be the *destination* of a repair whose flip has
+	// not landed in the map yet.
+	return c.repairs.InFlightOn(node)
 }
 
 func (a *ElasticActuator) fail(err error) {

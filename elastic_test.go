@@ -3,11 +3,14 @@ package scads
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"scads/internal/clock"
 	"scads/internal/director"
+	"scads/internal/migration"
+	"scads/internal/repair"
 )
 
 func TestElasticActuatorGrowsAndShrinksRealCluster(t *testing.T) {
@@ -145,6 +148,125 @@ func TestBootingPreventsDoubleProvision(t *testing.T) {
 	act.Wait()
 	if act.Running() != 3 || act.Booting() != 0 {
 		t.Fatalf("after settle: running=%d booting=%d, want 3/0", act.Running(), act.Booting())
+	}
+}
+
+// TestReleaseBlockedWhileRepairInFlight pins the decommission/repair
+// interlock: a scale-down may not tear a node out while a repair job
+// is still re-replicating a range onto (or off) it — the repair's flip
+// would land on an unregistered node and strand the range. The repair
+// migration is held at its snapshot phase on a channel, so the
+// ordering is forced, not timed.
+func TestReleaseBlockedWhileRepairInFlight(t *testing.T) {
+	lc, err := NewLocalCluster(3, Config{
+		ReplicationFactor: 2,
+		Repair: repair.Config{
+			SweepInterval:    time.Hour, // manual sweeps only
+			HeartbeatTimeout: 250 * time.Millisecond,
+			ReplaceAfter:     50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.DefineSchema(socialDDL); err != nil {
+		t.Fatal(err)
+	}
+	seedUsers(t, lc.Cluster, 60)
+	if err := lc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.SplitTable("users", "user0020", "user0040"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.SpreadAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the first migration that enters its snapshot phase after
+	// arming — that will be the repair's re-replication.
+	var armed atomic.Bool
+	gate := make(chan struct{})
+	blocked := make(chan struct{}, 1)
+	lc.Migrations().OnPhase = func(ev migration.Event) {
+		if ev.Phase == migration.PhaseSnapshot && armed.CompareAndSwap(true, false) {
+			blocked <- struct{}{}
+			<-gate
+		}
+	}
+
+	// Crash a middle node: every degraded range repairs onto the only
+	// spare — node-003, exactly the node Release will pick as victim.
+	lc.CrashNode("node-002")
+	armed.Store(true)
+	// Sweep until the replacement grace elapses and a re-replication
+	// job reaches its (held) snapshot phase; the deadline only bounds
+	// test failure, the ordering comes from the channel.
+	deadline := time.Now().Add(10 * time.Second)
+	for held := false; !held; {
+		lc.RepairNow()
+		select {
+		case <-blocked:
+			held = true
+		case <-time.After(5 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatalf("repair never scheduled: %+v", lc.RepairStats())
+			}
+		}
+	}
+
+	act := NewElasticActuator(lc)
+	act.OnError = func(err error) { t.Errorf("actuator: %v", err) }
+	waiting := make(chan string, 1)
+	act.testHookReleaseWaiting = func(victim string) { waiting <- victim }
+
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		act.Release(1)
+	}()
+
+	// Release observed the in-flight repair and is waiting — only then
+	// let the repair finish.
+	if victim := <-waiting; victim != "node-003" {
+		t.Errorf("release waited on %q, want node-003", victim)
+	}
+	select {
+	case <-released:
+		t.Fatal("Release completed while the repair was still in flight")
+	default:
+	}
+	close(gate)
+	<-released
+
+	// The repair completed before the decommission: nothing failed, and
+	// every range is routed to live, registered nodes only.
+	if !lc.Repairs().Quiesce(10 * time.Second) {
+		t.Fatal("repairs never drained")
+	}
+	if st := lc.RepairStats(); st.RepairsFailed != 0 {
+		t.Fatalf("repairs failed during scale-down: %+v", st)
+	}
+	if _, ok := lc.Node("node-003"); !ok {
+		t.Fatal("victim node handle missing")
+	}
+	for _, ns := range lc.Router().Namespaces() {
+		m, _ := lc.Router().Map(ns)
+		for _, rng := range m.Ranges() {
+			for _, id := range rng.Replicas {
+				if id == "node-003" {
+					t.Fatalf("range %q still routed to decommissioned node: %v", rng.Start, rng.Replicas)
+				}
+			}
+		}
+	}
+	// Acked data survives the interleaving.
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("user%04d", i)
+		if _, found, err := lc.Get("users", Row{"id": id}); err != nil || !found {
+			t.Fatalf("Get(%s) after repair+decommission: found=%v err=%v", id, found, err)
+		}
 	}
 }
 

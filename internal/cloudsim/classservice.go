@@ -1,0 +1,75 @@
+package cloudsim
+
+import "time"
+
+// ClassServiceModel is the per-class counterpart of ServiceModel: each
+// request class carries its own service demand (server-seconds per
+// op), so a read-heavy and a write-heavy mix at the same aggregate
+// rate load the fleet differently. It is the synthetic telemetry
+// source for autoscaling experiments that track per-class SLOs — the
+// analytic ground truth the fleet model is supposed to recover.
+//
+// The queueing form matches ServiceModel: an M/M/1 server pool where
+// latency = Base + (D̄/ (1-ρ)) with D̄ the mix's mean demand and
+// ρ = Σ rate_c·D_c / servers. Saturated systems return a large finite
+// latency and shed the excess load, mirroring ServiceModel's
+// semantics so experiments can swap one for the other.
+type ClassServiceModel struct {
+	// Demand is the per-op server time in seconds for each class.
+	Demand map[string]float64
+	// Base is the idle service latency added on top of queueing.
+	Base time.Duration
+}
+
+// Utilisation returns ρ for the given aggregate per-class rates spread
+// over n servers.
+func (s ClassServiceModel) Utilisation(classRates map[string]float64, servers int) float64 {
+	if servers <= 0 {
+		return 1
+	}
+	var work float64
+	for c, r := range classRates {
+		work += r * s.Demand[c]
+	}
+	return work / float64(servers)
+}
+
+// Latency returns the SLA-percentile latency for the mix over n
+// servers. Saturated systems (ρ ≥ 0.99) return a large finite value —
+// requests time out rather than wait forever.
+func (s ClassServiceModel) Latency(classRates map[string]float64, servers int) time.Duration {
+	if servers <= 0 {
+		return 10 * time.Second
+	}
+	rho := s.Utilisation(classRates, servers)
+	if rho >= 0.99 {
+		return 10 * time.Second
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	var rate, work float64
+	for c, r := range classRates {
+		rate += r
+		work += r * s.Demand[c]
+	}
+	if rate <= 0 {
+		return s.Base
+	}
+	mean := work / rate // D̄: mean per-op demand of the mix
+	return s.Base + time.Duration(mean/(1-rho)*float64(time.Second))
+}
+
+// SuccessRate returns the percentage of requests that succeed: 100%
+// below saturation, shedding the excess above it (ρ > 1 → only 1/ρ of
+// the offered load fits).
+func (s ClassServiceModel) SuccessRate(classRates map[string]float64, servers int) float64 {
+	if servers <= 0 {
+		return 0
+	}
+	rho := s.Utilisation(classRates, servers)
+	if rho <= 1 {
+		return 100
+	}
+	return 100 / rho
+}

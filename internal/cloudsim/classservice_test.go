@@ -1,0 +1,62 @@
+package cloudsim
+
+import (
+	"testing"
+	"time"
+)
+
+func classModel() ClassServiceModel {
+	return ClassServiceModel{
+		Demand: map[string]float64{"read": 0.002, "write": 0.008},
+		Base:   5 * time.Millisecond,
+	}
+}
+
+func TestClassServiceModelMixMatters(t *testing.T) {
+	s := classModel()
+	// Same aggregate rate, heavier write mix → higher utilisation and
+	// latency — the property the single-curve ServiceModel cannot see.
+	readHeavy := map[string]float64{"read": 900, "write": 100}
+	writeHeavy := map[string]float64{"read": 100, "write": 900}
+	if ur, uw := s.Utilisation(readHeavy, 10), s.Utilisation(writeHeavy, 10); ur >= uw {
+		t.Fatalf("write-heavy mix should load harder: read-heavy rho=%v write-heavy rho=%v", ur, uw)
+	}
+	if lr, lw := s.Latency(readHeavy, 10), s.Latency(writeHeavy, 10); lr >= lw {
+		t.Fatalf("write-heavy mix should be slower: %v vs %v", lr, lw)
+	}
+}
+
+func TestClassServiceModelClosedForm(t *testing.T) {
+	s := classModel()
+	// rho = (400·0.002 + 100·0.008) / 4 = 0.4; mean demand = 1.6/500 =
+	// 0.0032; latency = base + 0.0032/(1-0.4).
+	rates := map[string]float64{"read": 400, "write": 100}
+	if rho := s.Utilisation(rates, 4); rho != 0.4 {
+		t.Fatalf("rho = %v, want 0.4", rho)
+	}
+	queue := 0.0032 / 0.6
+	want := 5*time.Millisecond + time.Duration(queue*float64(time.Second))
+	if got := s.Latency(rates, 4); got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+	if sr := s.SuccessRate(rates, 4); sr != 100 {
+		t.Fatalf("below saturation success = %v, want 100", sr)
+	}
+}
+
+func TestClassServiceModelSaturation(t *testing.T) {
+	s := classModel()
+	over := map[string]float64{"read": 1000} // 2 server-seconds/s of work
+	if lat := s.Latency(over, 1); lat != 10*time.Second {
+		t.Fatalf("saturated latency = %v, want 10s", lat)
+	}
+	if sr := s.SuccessRate(over, 1); sr != 50 {
+		t.Fatalf("shed success at rho=2 = %v, want 50", sr)
+	}
+	if lat := s.Latency(over, 0); lat != 10*time.Second {
+		t.Fatalf("zero servers latency = %v, want 10s", lat)
+	}
+	if sr := s.SuccessRate(over, 0); sr != 0 {
+		t.Fatalf("zero servers success = %v, want 0", sr)
+	}
+}

@@ -59,6 +59,15 @@ type Actuator interface {
 type Observation struct {
 	// Rate is the observed request rate (req/s).
 	Rate float64
+	// ClassRates breaks Rate down by request class (view-profile,
+	// update-profile, …) when per-class SLO accounting is in place.
+	// Feeds the fleet model's per-op cost curves; nil keeps the
+	// single-curve capacity model in charge.
+	ClassRates map[string]float64
+	// CommittedServers is the capacity floor the currently committed
+	// ranges demand (replication factor × data footprint): scale-down
+	// may never size below what the stored data itself requires.
+	CommittedServers int
 	// Latency is the SLA-percentile latency.
 	Latency time.Duration
 	// SuccessRate is availability in percent.
@@ -143,6 +152,7 @@ type Director struct {
 	actuator Actuator
 
 	Capacity   *mlmodel.CapacityModel
+	Fleet      *mlmodel.FleetModel
 	Forecaster *mlmodel.Forecaster
 
 	mu            sync.Mutex
@@ -159,6 +169,7 @@ func New(clk clock.Clock, actuator Actuator, cfg Config) *Director {
 		clk:        clk,
 		actuator:   actuator,
 		Capacity:   &mlmodel.CapacityModel{},
+		Fleet:      &mlmodel.FleetModel{},
 		Forecaster: mlmodel.NewForecaster(cfg.Periodic),
 	}
 }
@@ -180,6 +191,13 @@ func (d *Director) Step(obs Observation) Decision {
 		saturated := d.cfg.SLALatency > 0 && obs.Latency > 2*d.cfg.SLALatency
 		if !saturated {
 			d.Capacity.Observe(obs.Rate/float64(running), obs.Latency.Seconds())
+			if len(obs.ClassRates) > 0 {
+				perServer := make(map[string]float64, len(obs.ClassRates))
+				for c, r := range obs.ClassRates {
+					perServer[c] = r / float64(running)
+				}
+				d.Fleet.Observe(perServer, obs.Latency.Seconds())
+			}
 		}
 	}
 	d.Forecaster.Observe(now, obs.Rate)
@@ -223,6 +241,11 @@ func (d *Director) Step(obs Observation) Decision {
 	if target < d.cfg.MinServers {
 		target = d.cfg.MinServers
 	}
+	if target < obs.CommittedServers {
+		// Whatever the models say, never size below what the committed
+		// ranges need to stay fully replicated.
+		target = obs.CommittedServers
+	}
 	if d.cfg.MaxServers > 0 && target > d.cfg.MaxServers {
 		target = d.cfg.MaxServers
 	}
@@ -256,25 +279,34 @@ func (d *Director) Step(obs Observation) Decision {
 	return dec
 }
 
-// modelTarget sizes the cluster from the capacity model applied to the
-// forecast demand.
+// modelTarget sizes the cluster from the learned models applied to the
+// forecast demand. The fleet model's analytical per-class capacity is
+// preferred once fit; the single-curve capacity model backs it up, and
+// before either is fit the reactive baseline keeps the system
+// controlled.
 func (d *Director) modelTarget(obs Observation, running int) (int, float64, string) {
 	now := d.clk.Now()
 	forecast := d.Forecaster.Forecast(now, d.cfg.ForecastHorizon)
 	demand := obs.Rate
-	reason := "model:current"
+	horizon := "current"
 	if forecast > demand {
 		demand = forecast
-		reason = "model:forecast"
+		horizon = "forecast"
+	}
+	if len(obs.ClassRates) > 0 && d.Fleet.Fit() {
+		floor := obs.CommittedServers
+		if floor < 1 {
+			floor = 1
+		}
+		target := d.Fleet.ServersNeeded(demand, obs.ClassRates, d.cfg.SLALatency.Seconds(), d.cfg.Headroom, floor)
+		return target, forecast, "fleet:" + horizon
 	}
 	target := d.Capacity.ServersNeeded(demand, d.cfg.SLALatency.Seconds(), d.cfg.Headroom, running)
-	// Before the model is fit, fall back to reactive stepping so the
-	// system is never uncontrolled.
 	if _, _, _, ok := d.Capacity.Params(); !ok {
 		t, r := d.reactiveTarget(obs, running)
 		return t, forecast, "unfit:" + r
 	}
-	return target, forecast, reason
+	return target, forecast, "model:" + horizon
 }
 
 // reactiveTarget is the threshold baseline: scale up 25% on a

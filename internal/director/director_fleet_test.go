@@ -1,0 +1,235 @@
+package director
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/workload"
+)
+
+// fleetDemand is the ground-truth per-op cost curve the synthetic
+// telemetry below is generated from: reads cost 2ms of server time,
+// writes 8ms.
+var fleetDemand = map[string]float64{"read": 0.002, "write": 0.008}
+
+// fleetLatency produces the closed-form queueing latency for total
+// per-class rates spread over `servers`.
+func fleetLatency(classRates map[string]float64, servers int) time.Duration {
+	var rho, x float64
+	for c, r := range classRates {
+		per := r / float64(servers)
+		rho += per * fleetDemand[c]
+		x += per
+	}
+	if x <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return 10 * time.Second
+	}
+	return time.Duration((rho / x) / (1 - rho) * float64(time.Second))
+}
+
+// stepFleet feeds one interval of synthetic per-class telemetry.
+func stepFleet(d *Director, act *fakeActuator, classRates map[string]float64, met bool) Decision {
+	var total float64
+	for _, r := range classRates {
+		total += r
+	}
+	dec := d.Step(Observation{
+		Rate:        total,
+		ClassRates:  classRates,
+		Latency:     fleetLatency(classRates, act.running),
+		SuccessRate: 100,
+		SLAMet:      met,
+	})
+	act.finishBoot()
+	return dec
+}
+
+// trainFleetDirector drives varied mixes until the fleet model fits.
+func trainFleetDirector(t *testing.T, d *Director, act *fakeActuator, vc *clock.Virtual) {
+	t.Helper()
+	for i := 0; i < 20; i++ {
+		read := (50 + float64(i)*10) * float64(act.running)
+		write := (5 + float64(i%5)*5) * float64(act.running)
+		stepFleet(d, act, map[string]float64{"read": read, "write": write}, true)
+		vc.Advance(30 * time.Second)
+	}
+	if !d.Fleet.Fit() {
+		t.Fatal("fleet model did not fit during training")
+	}
+}
+
+func TestFleetScaleUpOnForecastBreach(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 4}
+	c := cfg(ModelDriven)
+	c.ForecastHorizon = 10 * time.Minute
+	d := New(vc, act, c)
+	trainFleetDirector(t, d, act, vc)
+
+	// Demand ramps 15%/minute. Every interval still meets the SLA —
+	// the director must provision on the forecast breach, before the
+	// violation materialises.
+	read, write := 900.0, 100.0
+	added := 0
+	var last Decision
+	for i := 0; i < 15; i++ {
+		last = stepFleet(d, act, map[string]float64{"read": read, "write": write}, true)
+		added += last.Added
+		vc.Advance(time.Minute)
+		read *= 1.15
+		write *= 1.15
+	}
+	if added == 0 {
+		t.Fatal("no capacity added ahead of the ramp")
+	}
+	if last.Forecast <= last.Observed.Rate {
+		t.Fatalf("forecast %v did not lead the ramp (rate %v)", last.Forecast, last.Observed.Rate)
+	}
+	if !strings.Contains(last.Reason, "fleet:forecast") {
+		t.Fatalf("Reason = %q, want fleet:forecast", last.Reason)
+	}
+	// The fleet sizing must cover the forecast at the learned per-op
+	// costs: target ≥ forecast / usable-per-server.
+	usable := d.Fleet.UsablePerServer(last.Observed.ClassRates, 0.1, 0.2)
+	if need := int(last.Forecast / usable); last.Target < need {
+		t.Fatalf("target %d below forecast need %d", last.Target, need)
+	}
+}
+
+func TestFleetHysteresisNoFlapOnNoisyTrace(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 10}
+	d := New(vc, act, cfg(ModelDriven))
+	// A long trend window smooths symmetric noise out of the forecast;
+	// what remains tests the scale-down hysteresis proper.
+	d.Forecaster.TrendWindow = 30 * time.Minute
+	trainFleetDirector(t, d, act, vc)
+
+	// Pure read mix: usable per server = (1-0.2)·(1-0.002/0.1)/0.002
+	// = 392/s. A ±5% noisy trace straddling the 10-server boundary
+	// (3920/s) keeps nudging the target between 10 and 11; hysteresis
+	// must absorb it — after the settle window (which also flushes the
+	// training ramp from the forecaster), zero adds and removes.
+	trace := workload.Noisy{T: workload.Constant(3920), Seed: 17, Frac: 0.05}
+	settle := 0
+	flaps, holds := 0, 0
+	for i := 0; i < 240; i++ {
+		rate := trace.Rate(vc.Now())
+		dec := stepFleet(d, act, map[string]float64{"read": rate}, true)
+		vc.Advance(time.Minute)
+		if i < 45 {
+			settle = act.running
+			continue
+		}
+		if dec.Added > 0 || dec.Removed > 0 {
+			flaps++
+		}
+		if strings.Contains(dec.Reason, "hysteresis-hold") {
+			holds++
+		}
+	}
+	if flaps > 0 {
+		t.Fatalf("%d scale actions on a noisy steady trace (settled at %d servers)", flaps, settle)
+	}
+	if holds == 0 {
+		t.Fatal("hysteresis never engaged — the trace did not test it")
+	}
+}
+
+func TestFleetScaleDownCooldownRespected(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 12}
+	d := New(vc, act, cfg(ModelDriven))
+	d.Forecaster.TrendWindow = 5 * time.Minute
+	trainFleetDirector(t, d, act, vc)
+
+	// Demand collapses to ~2 servers' worth. Let the forecast adapt,
+	// then expect exactly one release per cooldown window.
+	low := map[string]float64{"read": 600}
+	var first, inside, after Decision
+	for i := 0; i < 10; i++ {
+		first = stepFleet(d, act, low, true)
+		if first.Removed > 0 {
+			break
+		}
+		vc.Advance(time.Minute)
+	}
+	if first.Removed == 0 {
+		t.Fatalf("no scale-down on collapsed demand: %+v", first)
+	}
+	vc.Advance(time.Minute)
+	inside = stepFleet(d, act, low, true)
+	if inside.Removed != 0 || !strings.Contains(inside.Reason, "cooldown-hold") {
+		t.Fatalf("release inside cooldown: %+v", inside)
+	}
+	vc.Advance(11 * time.Minute)
+	after = stepFleet(d, act, low, true)
+	if after.Removed == 0 {
+		t.Fatalf("release after cooldown blocked: %+v", after)
+	}
+}
+
+func TestFleetCommittedFloorBlocksScaleDown(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 12}
+	d := New(vc, act, cfg(ModelDriven))
+	d.Forecaster.TrendWindow = 5 * time.Minute
+	trainFleetDirector(t, d, act, vc)
+
+	// Near-zero demand, but the committed ranges still need 5 nodes to
+	// hold replication factor: the target may never go below 5.
+	for i := 0; i < 30; i++ {
+		dec := d.Step(Observation{
+			Rate:             50,
+			ClassRates:       map[string]float64{"read": 50},
+			Latency:          fleetLatency(map[string]float64{"read": 50}, act.running),
+			SuccessRate:      100,
+			SLAMet:           true,
+			CommittedServers: 5,
+		})
+		act.finishBoot()
+		if dec.Target < 5 {
+			t.Fatalf("target %d below committed floor at step %d", dec.Target, i)
+		}
+		vc.Advance(2 * time.Minute)
+	}
+	if act.running != 5 {
+		t.Fatalf("running = %d, want exactly the committed floor 5", act.running)
+	}
+}
+
+// TestFleetBootingPreventsDoubleProvision extends the PR 3 Booting()
+// regression to the fleet path: while requested capacity is still
+// booting, an identical forecast breach must not request again.
+func TestFleetBootingPreventsDoubleProvision(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	act := &fakeActuator{running: 4}
+	d := New(vc, act, cfg(ModelDriven))
+	trainFleetDirector(t, d, act, vc)
+
+	surge := map[string]float64{"read": 4000, "write": 400}
+	obs := Observation{
+		Rate:        4400,
+		ClassRates:  surge,
+		Latency:     fleetLatency(surge, act.running),
+		SuccessRate: 100,
+		SLAMet:      true,
+	}
+	first := d.Step(obs)
+	if first.Added == 0 {
+		t.Fatal("surge did not provision")
+	}
+	// Boot has not finished: booting counts toward `have`, so the same
+	// surge must not double-provision.
+	vc.Advance(time.Minute)
+	second := d.Step(obs)
+	if second.Added != 0 {
+		t.Fatalf("double-provision while booting: %+v (booting=%d)", second, act.booting)
+	}
+	act.finishBoot()
+}

@@ -171,6 +171,7 @@ type Manager struct {
 	lost       map[string]map[string]bool // range key -> former members preferred for rejoin
 	underSince map[string]time.Time       // range key -> first observed degraded
 	jobs       map[string]bool            // range key -> repair job in flight
+	jobTargets map[string][]string        // range key -> chosen target replica set
 	unavail    map[string]bool            // ranges currently without any live replica
 
 	runMu  sync.Mutex
@@ -215,6 +216,7 @@ func NewManager(cfg Config, clk clock.Clock, dir *cluster.Directory, transport r
 		lost:       make(map[string]map[string]bool),
 		underSince: make(map[string]time.Time),
 		jobs:       make(map[string]bool),
+		jobTargets: make(map[string][]string),
 		unavail:    make(map[string]bool),
 		sem:        make(chan struct{}, cfg.Parallelism),
 	}
@@ -310,6 +312,34 @@ func (m *Manager) Quiesce(timeout time.Duration) bool {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// RangeInFlight reports whether a repair job for the range of ns
+// starting at start is journaled as in flight. The elastic actuator
+// consults it before decommissioning: tearing a replica group apart
+// while a repair is rebuilding that same range would race the repair's
+// replacement choice.
+func (m *Manager) RangeInFlight(ns string, start []byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[rangeKey(ns, start)]
+}
+
+// InFlightOn reports whether any journaled repair job has chosen node
+// in its target replica set — the window in which the partition map
+// does not yet name the node but repair data is already flowing onto
+// it. Decommissioning the node then would strand the repair's flip.
+func (m *Manager) InFlightOn(node string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, target := range m.jobTargets {
+		for _, id := range target {
+			if id == node {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Stats returns a snapshot of repair counters.
@@ -432,7 +462,15 @@ func (m *Manager) observeMembership() (returned, stale []string) {
 		}
 		if !knew {
 			if mem.Status == cluster.StatusDown {
+				// First sighting and already down (crashed before any
+				// sweep recorded it as up): that is still a down
+				// observation — count it and tell listeners, or a
+				// crash in the sweep loop's startup window would be
+				// acted on (failover, repair) without ever being
+				// reported.
 				m.downSince[mem.ID] = now
+				m.nodesDown.Add(1)
+				events = append(events, Event{Kind: EventNodeDown, Node: mem.ID})
 			}
 			continue
 		}
@@ -717,6 +755,7 @@ func (m *Manager) runJob(ns string, pm *partition.Map, rk string, key []byte) {
 	defer func() {
 		m.mu.Lock()
 		delete(m.jobs, rk)
+		delete(m.jobTargets, rk)
 		m.mu.Unlock()
 	}()
 
@@ -725,6 +764,9 @@ func (m *Manager) runJob(ns string, pm *partition.Map, rk string, key []byte) {
 	if target == nil || partition.EqualIDs(target, rng.Replicas) {
 		return
 	}
+	m.mu.Lock()
+	m.jobTargets[rk] = target
+	m.mu.Unlock()
 	m.repairsStarted.Add(1)
 	m.emit(Event{Kind: EventRepairStart, Namespace: ns, Start: rng.Start, End: rng.End, Replicas: target})
 	if err := m.migrations.MoveRange(pm, ns, key, target); err != nil {

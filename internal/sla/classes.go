@@ -1,0 +1,155 @@
+package sla
+
+import (
+	"sync"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/consistency"
+)
+
+// Classes tracks SLO attainment per request class (view-profile,
+// update-profile, …) — the per-query granularity of §3.3.1, where each
+// query carries its own performance requirement. One Monitor per class
+// ingests that class's requests; Roll closes the interval across all
+// classes at once and reports both the per-class intervals and the
+// aggregate the director consumes: total rate, the worst class's
+// latency (the loop defends the weakest query, not the average), and
+// whether every class met its bound.
+type Classes struct {
+	clk         clock.Clock
+	defaultSpec consistency.PerformanceSLA
+	window      int
+
+	mu       sync.Mutex
+	specs    map[string]consistency.PerformanceSLA
+	monitors map[string]*Monitor
+}
+
+// RollUp is one interval rolled across all classes.
+type RollUp struct {
+	Start, End time.Time
+	// ByClass holds each class's interval.
+	ByClass map[string]Interval
+	// ClassRates is each class's request rate (req/s) — the mix signal
+	// the fleet model consumes.
+	ClassRates map[string]float64
+	// Rate is the total request rate.
+	Rate float64
+	// Latency is the worst class's SLA-percentile latency.
+	Latency time.Duration
+	// SuccessRate is the request-weighted success percentage.
+	SuccessRate float64
+	// Met reports whether every class met its SLA.
+	Met bool
+}
+
+// NewClasses returns a per-class tracker. Every class defaults to
+// defaultSpec; override individual classes with SetSpec. windowSize
+// bounds each class's latency sample window (default 4096).
+func NewClasses(clk clock.Clock, defaultSpec consistency.PerformanceSLA, windowSize int) *Classes {
+	return &Classes{
+		clk:         clk,
+		defaultSpec: defaultSpec,
+		window:      windowSize,
+		specs:       make(map[string]consistency.PerformanceSLA),
+		monitors:    make(map[string]*Monitor),
+	}
+}
+
+// SetSpec pins a per-class SLA, overriding the default for requests
+// recorded after the call. It must be set before the class's first
+// sample to take effect from the start.
+func (c *Classes) SetSpec(class string, spec consistency.PerformanceSLA) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.specs[class] = spec
+	if m, ok := c.monitors[class]; ok {
+		m.mu.Lock()
+		m.spec = spec
+		m.mu.Unlock()
+	}
+}
+
+func (c *Classes) monitor(class string) *Monitor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.monitors[class]
+	if !ok {
+		spec, has := c.specs[class]
+		if !has {
+			spec = c.defaultSpec
+		}
+		m = NewMonitor(c.clk, spec, c.window)
+		c.monitors[class] = m
+	}
+	return m
+}
+
+// Record ingests one request outcome for a class.
+func (c *Classes) Record(class string, latency time.Duration, success bool) {
+	c.monitor(class).Record(latency, success)
+}
+
+// RecordBatch ingests n requests of one class sharing a latency and
+// outcome (the simulator path).
+func (c *Classes) RecordBatch(class string, n int64, latency time.Duration, success bool) {
+	c.monitor(class).RecordBatch(n, latency, success)
+}
+
+// Roll closes the current interval on every class and aggregates.
+func (c *Classes) Roll() RollUp {
+	c.mu.Lock()
+	monitors := make(map[string]*Monitor, len(c.monitors))
+	for class, m := range c.monitors {
+		monitors[class] = m
+	}
+	c.mu.Unlock()
+
+	up := RollUp{
+		End:        c.clk.Now(),
+		ByClass:    make(map[string]Interval, len(monitors)),
+		ClassRates: make(map[string]float64, len(monitors)),
+		Met:        true,
+	}
+	up.Start = up.End
+	var reqs, fails int64
+	for class, m := range monitors {
+		iv := m.Roll()
+		up.ByClass[class] = iv
+		up.ClassRates[class] = iv.Rate
+		up.Rate += iv.Rate
+		if iv.Start.Before(up.Start) {
+			up.Start = iv.Start
+		}
+		if iv.Latency > up.Latency {
+			up.Latency = iv.Latency
+		}
+		if !iv.Met {
+			up.Met = false
+		}
+		reqs += iv.Requests
+		fails += iv.Failures
+	}
+	if reqs > 0 {
+		up.SuccessRate = 100 * float64(reqs-fails) / float64(reqs)
+	} else {
+		up.SuccessRate = 100
+	}
+	return up
+}
+
+// Summaries returns lifetime statistics per class.
+func (c *Classes) Summaries() map[string]Summary {
+	c.mu.Lock()
+	monitors := make(map[string]*Monitor, len(c.monitors))
+	for class, m := range c.monitors {
+		monitors[class] = m
+	}
+	c.mu.Unlock()
+	out := make(map[string]Summary, len(monitors))
+	for class, m := range monitors {
+		out[class] = m.Summary()
+	}
+	return out
+}

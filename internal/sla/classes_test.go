@@ -1,0 +1,118 @@
+package sla
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/consistency"
+)
+
+func TestClassesRollAggregates(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	c := NewClasses(vc, paperSLA(), 0)
+	for i := 0; i < 900; i++ {
+		c.Record("read", 10*time.Millisecond, true)
+	}
+	for i := 0; i < 100; i++ {
+		c.Record("write", 30*time.Millisecond, true)
+	}
+	vc.Advance(10 * time.Second)
+	up := c.Roll()
+	if !up.Met {
+		t.Fatalf("healthy rollup not met: %+v", up)
+	}
+	if math.Abs(up.Rate-100) > 0.01 {
+		t.Fatalf("total rate = %v, want 100", up.Rate)
+	}
+	if math.Abs(up.ClassRates["read"]-90) > 0.01 || math.Abs(up.ClassRates["write"]-10) > 0.01 {
+		t.Fatalf("class rates = %v", up.ClassRates)
+	}
+	// Aggregate latency defends the worst class.
+	if up.Latency != 30*time.Millisecond {
+		t.Fatalf("latency = %v, want worst class 30ms", up.Latency)
+	}
+	if up.SuccessRate != 100 {
+		t.Fatalf("success = %v", up.SuccessRate)
+	}
+}
+
+func TestClassesOneClassViolationFailsRollUp(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	c := NewClasses(vc, paperSLA(), 0)
+	for i := 0; i < 1000; i++ {
+		c.Record("read", 10*time.Millisecond, true)
+		c.Record("write", 250*time.Millisecond, true) // breaches 100ms bound
+	}
+	vc.Advance(10 * time.Second)
+	up := c.Roll()
+	if up.Met {
+		t.Fatal("rollup met despite write-class violation")
+	}
+	if !up.ByClass["read"].Met || up.ByClass["write"].Met {
+		t.Fatalf("per-class attainment wrong: %+v", up.ByClass)
+	}
+}
+
+func TestClassesPerClassSpec(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	c := NewClasses(vc, paperSLA(), 0)
+	// Analytics scans tolerate a looser bound.
+	c.SetSpec("scan", consistency.PerformanceSLA{Percentile: 99, LatencyBound: time.Second})
+	for i := 0; i < 1000; i++ {
+		c.Record("scan", 400*time.Millisecond, true)
+	}
+	vc.Advance(10 * time.Second)
+	if up := c.Roll(); !up.Met {
+		t.Fatalf("scan class should meet its looser SLA: %+v", up.ByClass["scan"])
+	}
+	// Same latency under the default spec violates.
+	for i := 0; i < 1000; i++ {
+		c.Record("read", 400*time.Millisecond, true)
+	}
+	vc.Advance(10 * time.Second)
+	if up := c.Roll(); up.Met {
+		t.Fatal("default-spec class should violate at 400ms")
+	}
+}
+
+func TestClassesSetSpecRetunesLiveMonitor(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	c := NewClasses(vc, paperSLA(), 0)
+	c.Record("read", 400*time.Millisecond, true)
+	c.SetSpec("read", consistency.PerformanceSLA{Percentile: 99, LatencyBound: time.Second})
+	for i := 0; i < 100; i++ {
+		c.Record("read", 400*time.Millisecond, true)
+	}
+	vc.Advance(10 * time.Second)
+	if up := c.Roll(); !up.Met {
+		t.Fatal("SetSpec after first sample did not retune the monitor")
+	}
+}
+
+func TestClassesBatchAndSummaries(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	c := NewClasses(vc, paperSLA(), 0)
+	c.RecordBatch("read", 5000, 20*time.Millisecond, true)
+	c.RecordBatch("write", 100, 20*time.Millisecond, false)
+	vc.Advance(10 * time.Second)
+	up := c.Roll()
+	if up.SuccessRate >= 100 {
+		t.Fatalf("failures not weighted in: %v", up.SuccessRate)
+	}
+	s := c.Summaries()
+	if s["read"].TotalRequests != 5000 || s["write"].TotalFailures != 100 {
+		t.Fatalf("summaries = %+v", s)
+	}
+}
+
+func TestClassesEmptyRoll(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	c := NewClasses(vc, paperSLA(), 0)
+	vc.Advance(time.Second)
+	up := c.Roll()
+	if !up.Met || up.Rate != 0 || up.SuccessRate != 100 {
+		t.Fatalf("empty rollup = %+v", up)
+	}
+}

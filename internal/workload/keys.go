@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Hotspot draws user indexes with a skewed access distribution whose
+// hot range drifts across the keyspace over time — the hotspot-shift
+// scenario: a celebrity cohort goes quiet while another lights up, so
+// the ranges that need replicas keep moving even when the aggregate
+// rate is flat. HotWeight of the draws land uniformly inside a window
+// HotFraction wide; the rest spread over the whole keyspace. Every
+// ShiftPeriod the window advances by its own width (wrapping), so
+// after a full cycle every range has taken a turn being hot.
+//
+// Randomness comes from the caller's *rand.Rand, so two generators
+// driven by equally-seeded sources at the same instants produce the
+// same key stream.
+type Hotspot struct {
+	Users       int
+	HotFraction float64       // hot window width as a keyspace fraction (default 0.1)
+	HotWeight   float64       // probability a draw lands in the window (default 0.9)
+	ShiftPeriod time.Duration // window advance interval (0 = static hotspot)
+	Start       time.Time
+}
+
+func (h Hotspot) width() int {
+	f := h.HotFraction
+	if f <= 0 || f > 1 {
+		f = 0.1
+	}
+	w := int(float64(h.Users) * f)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// HotRange returns the hot window [lo, hi) at the given instant. hi
+// may exceed Users by wrapping: callers use Key, which reduces modulo
+// the keyspace.
+func (h Hotspot) HotRange(at time.Time) (lo, hi int) {
+	w := h.width()
+	shift := 0
+	if h.ShiftPeriod > 0 && at.After(h.Start) {
+		shift = int(at.Sub(h.Start) / h.ShiftPeriod)
+	}
+	lo = (shift * w) % h.Users
+	return lo, lo + w
+}
+
+// Key draws one user index for an op at the given instant.
+func (h Hotspot) Key(rnd *rand.Rand, at time.Time) int {
+	if h.Users <= 0 {
+		return 0
+	}
+	weight := h.HotWeight
+	if weight <= 0 || weight > 1 {
+		weight = 0.9
+	}
+	lo, hi := h.HotRange(at)
+	if rnd.Float64() < weight {
+		return (lo + rnd.Intn(hi-lo)) % h.Users
+	}
+	return rnd.Intn(h.Users)
+}
+
+// Noisy perturbs a base trace with seeded multiplicative noise — a
+// pure function of (Seed, time), so the trace stays deterministic no
+// matter how often or in what order Rate is sampled. Used to prove
+// the director's hysteresis holds on a jittery signal.
+type Noisy struct {
+	T       Trace
+	Seed    int64
+	Frac    float64       // max fractional perturbation, e.g. 0.1 = ±10%
+	Quantum time.Duration // noise re-rolls per quantum (default 1m)
+}
+
+// Rate implements Trace.
+func (n Noisy) Rate(t time.Time) float64 {
+	base := n.T.Rate(t)
+	if n.Frac <= 0 {
+		return base
+	}
+	q := n.Quantum
+	if q <= 0 {
+		q = time.Minute
+	}
+	bucket := t.UnixNano() / int64(q)
+	u := unitHash(uint64(n.Seed) ^ uint64(bucket)*0x9e3779b97f4a7c15)
+	v := base * (1 + n.Frac*(2*u-1))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// unitHash maps a 64-bit value to [0,1) via a splitmix64 finalizer.
+func unitHash(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHotspotDeterministic(t *testing.T) {
+	h := Hotspot{Users: 1000, HotFraction: 0.1, HotWeight: 0.9, ShiftPeriod: time.Hour, Start: t0}
+	ra := rand.New(rand.NewSource(11))
+	rb := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		if ka, kb := h.Key(ra, at), h.Key(rb, at); ka != kb {
+			t.Fatalf("divergence at draw %d: %d vs %d", i, ka, kb)
+		}
+	}
+}
+
+func TestHotspotShiftMovesHotKeyspace(t *testing.T) {
+	h := Hotspot{Users: 1000, HotFraction: 0.1, HotWeight: 0.9, ShiftPeriod: time.Hour, Start: t0}
+	rnd := rand.New(rand.NewSource(7))
+	histogram := func(at time.Time) []int {
+		const buckets = 10
+		counts := make([]int, buckets)
+		for i := 0; i < 5000; i++ {
+			counts[h.Key(rnd, at)*buckets/h.Users]++
+		}
+		return counts
+	}
+	argmax := func(c []int) int {
+		best := 0
+		for i, v := range c {
+			if v > c[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	early := histogram(t0.Add(time.Minute))
+	late := histogram(t0.Add(3*time.Hour + time.Minute))
+	if argmax(early) == argmax(late) {
+		t.Fatalf("hot bucket did not drift: early=%v late=%v", early, late)
+	}
+	// The hot bucket holds roughly HotWeight of the mass (plus its
+	// uniform share); the drift is a real mass migration, not noise.
+	if frac := float64(early[argmax(early)]) / 5000; frac < 0.7 {
+		t.Fatalf("hot bucket mass = %v, want ≥0.7", frac)
+	}
+	if frac := float64(late[argmax(late)]) / 5000; frac < 0.7 {
+		t.Fatalf("late hot bucket mass = %v, want ≥0.7", frac)
+	}
+	// Known positions: width 100, so at +1m the window is [0,100) and
+	// after 3 periods it is [300,400).
+	if lo, _ := h.HotRange(t0.Add(time.Minute)); lo != 0 {
+		t.Fatalf("initial hot lo = %d", lo)
+	}
+	if lo, _ := h.HotRange(t0.Add(3*time.Hour + time.Minute)); lo != 300 {
+		t.Fatalf("shifted hot lo = %d", lo)
+	}
+}
+
+func TestHotspotWrapsAroundKeyspace(t *testing.T) {
+	h := Hotspot{Users: 100, HotFraction: 0.25, ShiftPeriod: time.Minute, Start: t0}
+	// Width 25: after 4 shifts the window wraps back to 0.
+	if lo, _ := h.HotRange(t0.Add(4*time.Minute + time.Second)); lo != 0 {
+		t.Fatalf("wrap lo = %d", lo)
+	}
+	// Keys always in range, even for degenerate configs.
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		k := h.Key(rnd, t0.Add(time.Duration(i)*time.Second))
+		if k < 0 || k >= h.Users {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+	if (Hotspot{}).Key(rnd, t0) != 0 {
+		t.Fatal("empty keyspace should yield 0")
+	}
+}
+
+func TestNoisyDeterministicAndBounded(t *testing.T) {
+	n := Noisy{T: Constant(1000), Seed: 42, Frac: 0.1}
+	var forward []float64
+	for i := 0; i < 500; i++ {
+		forward = append(forward, n.Rate(t0.Add(time.Duration(i)*time.Minute)))
+	}
+	// Re-sampling in reverse order reproduces the same values: the
+	// noise is a pure function of time, not of call order.
+	for i := 499; i >= 0; i-- {
+		if got := n.Rate(t0.Add(time.Duration(i) * time.Minute)); got != forward[i] {
+			t.Fatalf("order-dependent noise at minute %d", i)
+		}
+	}
+	varied := false
+	for i, v := range forward {
+		if math.Abs(v-1000) > 100.000001 {
+			t.Fatalf("noise out of ±10%% bound: %v", v)
+		}
+		if i > 0 && v != forward[i-1] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("noise never varied")
+	}
+	// Different seeds give different traces.
+	n2 := Noisy{T: Constant(1000), Seed: 43, Frac: 0.1}
+	same := true
+	for i := 0; i < 50; i++ {
+		if n2.Rate(t0.Add(time.Duration(i)*time.Minute)) != forward[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical noise")
+	}
+}
+
+// TestScenarioTracesDeterministic pins the reproducibility the e16
+// scenarios rely on: sampling each scenario's trace twice — including
+// out of order — yields identical series.
+func TestScenarioTracesDeterministic(t *testing.T) {
+	scenarios := map[string]Trace{
+		"diurnal": Diurnal{Base: 2000, Amplitude: 1500, PeakHour: 14},
+		"flash-crowd": Spike{
+			Baseline:  Constant(1500),
+			At:        t0.Add(6 * time.Hour),
+			Rise:      10 * time.Minute,
+			Duration:  2 * time.Hour,
+			Magnitude: 4,
+		},
+		"noisy-diurnal": Noisy{T: Diurnal{Base: 2000, Amplitude: 1500}, Seed: 9, Frac: 0.05},
+	}
+	for name, tr := range scenarios {
+		var first []float64
+		for i := 0; i < 24*60; i += 5 {
+			first = append(first, tr.Rate(t0.Add(time.Duration(i)*time.Minute)))
+		}
+		for pass := 0; pass < 2; pass++ {
+			for j := len(first) - 1; j >= 0; j-- {
+				if got := tr.Rate(t0.Add(time.Duration(j*5) * time.Minute)); got != first[j] {
+					t.Fatalf("%s: non-deterministic at sample %d", name, j)
+				}
+			}
+		}
+	}
+}
