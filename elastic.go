@@ -154,6 +154,7 @@ func (a *ElasticActuator) Release(n int) {
 		// to drain — bounded, so a wedged job cannot block scale-down
 		// forever (the decommission migration itself restores RF).
 		waiting := false
+		//lint:wallclock-ok the repair-drain interlock waits on a concurrent repair goroutine making real progress, not on modelled time — a virtual clock would deadlock here
 		for deadline := time.Now().Add(repairDrainTimeout); a.repairsInFlightOn(victim) && time.Now().Before(deadline); {
 			if !waiting {
 				waiting = true
@@ -161,7 +162,7 @@ func (a *ElasticActuator) Release(n int) {
 					a.testHookReleaseWaiting(victim)
 				}
 			}
-			time.Sleep(2 * time.Millisecond)
+			time.Sleep(2 * time.Millisecond) //lint:wallclock-ok paces polling of a concurrent repair goroutine; virtual time would never advance it
 		}
 		if err := a.lc.DecommissionNode(victim, survivors); err != nil {
 			a.fail(err)

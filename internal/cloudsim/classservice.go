@@ -1,6 +1,9 @@
 package cloudsim
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // ClassServiceModel is the per-class counterpart of ServiceModel: each
 // request class carries its own service demand (server-seconds per
@@ -28,8 +31,8 @@ func (s ClassServiceModel) Utilisation(classRates map[string]float64, servers in
 		return 1
 	}
 	var work float64
-	for c, r := range classRates {
-		work += r * s.Demand[c]
+	for _, c := range sortedClasses(classRates) {
+		work += classRates[c] * s.Demand[c]
 	}
 	return work / float64(servers)
 }
@@ -49,7 +52,8 @@ func (s ClassServiceModel) Latency(classRates map[string]float64, servers int) t
 		rho = 0
 	}
 	var rate, work float64
-	for c, r := range classRates {
+	for _, c := range sortedClasses(classRates) {
+		r := classRates[c]
 		rate += r
 		work += r * s.Demand[c]
 	}
@@ -58,6 +62,19 @@ func (s ClassServiceModel) Latency(classRates map[string]float64, servers int) t
 	}
 	mean := work / rate // D̄: mean per-op demand of the mix
 	return s.Base + time.Duration(mean/(1-rho)*float64(time.Second))
+}
+
+// sortedClasses fixes the aggregation order: float sums over map
+// iteration would differ in the low bits from run to run (map order
+// is randomized, float addition is not associative), and this model
+// feeds the e16 gate's bit-identical control metrics.
+func sortedClasses(classRates map[string]float64) []string {
+	classes := make([]string, 0, len(classRates))
+	for c := range classRates {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	return classes
 }
 
 // SuccessRate returns the percentage of requests that succeed: 100%

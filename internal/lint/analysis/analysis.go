@@ -1,0 +1,208 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: enough Analyzer / Pass /
+// Diagnostic machinery to write typed static checks against this
+// module without any dependency outside the standard library (the
+// build environment is offline, so x/tools itself is not available).
+//
+// The shape deliberately mirrors the real framework — an Analyzer is
+// a named Run function over a Pass carrying the package's syntax,
+// type information, and a Report method — so the analyzers in
+// internal/lint port mechanically to x/tools if the dependency ever
+// becomes available.
+//
+// Suppressions. A finding can be silenced in place with a line
+// comment of the form
+//
+//	rec.process() //lint:KEY-ok the reason this is deliberate
+//
+// on the flagged line or alone on the line directly above it, where
+// KEY is the finding's suppression key (each analyzer documents its
+// keys). The reason string is mandatory: a bare suppression is itself
+// reported as a finding, so the vet gate fails on any suppression
+// that does not explain why the invariant may be broken there. A
+// suppression that silences nothing is reported as unused, so stale
+// escapes cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description printed by scads-vet -list.
+	Doc string
+	// Keys lists the suppression keys this analyzer honours (for most
+	// analyzers a single key equal to Name).
+	Keys []string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned and ready to print.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suppressions map[suppKey]*suppression
+	diags        []Diagnostic
+}
+
+type suppKey struct {
+	file string
+	line int
+}
+
+type suppression struct {
+	key    string // "wallclock" in //lint:wallclock-ok
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+var suppRe = regexp.MustCompile(`^//lint:([a-z]+)-ok(?:[ \t]+(.*))?$`)
+
+// newPass builds a Pass and indexes its suppression comments.
+func newPass(a *Analyzer, pkg *Package) *Pass {
+	p := &Pass{
+		Analyzer:     a,
+		Fset:         pkg.Fset,
+		Files:        pkg.Files,
+		Pkg:          pkg.Types,
+		TypesInfo:    pkg.TypesInfo,
+		suppressions: make(map[suppKey]*suppression),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := suppRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				reason := strings.TrimSpace(m[2])
+				// A trailing line comment after the suppression (the
+				// fixture idiom `//lint:gob-ok x // want "..."`)
+				// belongs to the next reader, not to the reason.
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = strings.TrimSpace(reason[:i])
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.suppressions[suppKey{pos.Filename, pos.Line}] = &suppression{
+					key:    m[1],
+					reason: reason,
+					pos:    pos,
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Report records a finding with suppression key key at pos. If the
+// flagged line (or the line above) carries a matching reasoned
+// //lint:KEY-ok comment the finding is silenced; a matching bare
+// suppression turns the finding into a missing-reason finding
+// instead, so it still fails the gate.
+func (p *Pass) Report(pos token.Pos, key, format string, args ...any) {
+	where := p.Fset.Position(pos)
+	if s := p.suppressionFor(where, key); s != nil {
+		s.used = true
+		if s.reason == "" {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      where,
+				Analyzer: p.Analyzer.Name,
+				Message: fmt.Sprintf(
+					"bare //lint:%s-ok suppression: state the reason the invariant may be broken here (suppressed finding: %s)",
+					key, fmt.Sprintf(format, args...)),
+			})
+		}
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      where,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressionFor(where token.Position, key string) *suppression {
+	for _, line := range []int{where.Line, where.Line - 1} {
+		if s, ok := p.suppressions[suppKey{where.Filename, line}]; ok && s.key == key {
+			return s
+		}
+	}
+	return nil
+}
+
+// CheckUnusedSuppressions reports every suppression comment in files
+// that carries one of the analyzer's keys but silenced nothing.
+// Analyzers call it at the end of Run with the files they actually
+// examined (scoped analyzers skip files, and a suppression in a
+// skipped file is not stale — it is simply out of scope).
+func (p *Pass) CheckUnusedSuppressions(files []*ast.File) {
+	keys := make(map[string]bool, len(p.Analyzer.Keys))
+	for _, k := range p.Analyzer.Keys {
+		keys[k] = true
+	}
+	examined := make(map[string]bool, len(files))
+	for _, f := range files {
+		examined[p.Fset.Position(f.Package).Filename] = true
+	}
+	var stale []*suppression
+	for _, s := range p.suppressions {
+		if keys[s.key] && !s.used && examined[s.pos.Filename] {
+			stale = append(stale, s)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return posLess(stale[i].pos, stale[j].pos) })
+	for _, s := range stale {
+		p.diags = append(p.diags, Diagnostic{
+			Pos:      s.pos,
+			Analyzer: p.Analyzer.Name,
+			Message:  fmt.Sprintf("unused //lint:%s-ok suppression: nothing to silence here, delete it", s.key),
+		})
+	}
+}
+
+// Run executes one analyzer over one loaded package and returns its
+// findings sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	p := newPass(a, pkg)
+	if err := a.Run(p); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sort.Slice(p.diags, func(i, j int) bool { return posLess(p.diags[i].Pos, p.diags[j].Pos) })
+	return p.diags, nil
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest (which the
+// offline build environment cannot fetch).
+//
+// A fixture line expecting diagnostics carries a trailing comment
+//
+//	time.Now() // want `time\.Now`
+//
+// with one Go-quoted (backquoted or double-quoted) regexp per
+// expected diagnostic on that line. Every diagnostic must be matched
+// by a want pattern on its line and every want pattern must match a
+// diagnostic: unexpected and missing findings both fail the test.
+// Fixture packages may import the real module ("scads/internal/rpc")
+// so analyzers that key on its types are tested against the genuine
+// articles.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"scads/internal/lint/analysis"
+)
+
+// Run loads each fixture package (a directory name under
+// testdata/src) with the analyzer's production loader, runs the
+// analyzer, and diffs diagnostics against the fixtures' want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureRoot := filepath.Join(cwd, "testdata", "src")
+	modRoot, modPath, err := findModuleFrom(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := analysis.LoadConfig{ModPath: modPath, ModRoot: modRoot, FixtureRoot: fixtureRoot}
+	for _, fixture := range fixturePkgs {
+		dir := filepath.Join(fixtureRoot, fixture)
+		pkgs, err := analysis.Load(cfg, dir)
+		if err != nil {
+			t.Fatalf("%s: load: %v", fixture, err)
+		}
+		if len(pkgs) != 1 {
+			t.Fatalf("%s: loaded %d packages, want 1", fixture, len(pkgs))
+		}
+		diags, err := analysis.Run(a, pkgs[0])
+		if err != nil {
+			t.Fatalf("%s: run: %v", fixture, err)
+		}
+		checkWants(t, fixture, dir, diags)
+	}
+}
+
+func findModuleFrom(dir string) (root, path string, err error) {
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// checkWants parses want comments from every fixture file and diffs.
+func checkWants(t *testing.T, fixture, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*wantEntry) // "file:line" -> expectations
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fname := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", fname, pos.Line)
+				for _, raw := range splitQuoted(t, fname, pos.Line, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", fname, pos.Line, raw, err)
+					}
+					wants[key] = append(wants[key], &wantEntry{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", fixture, d.Pos, d.Message)
+		}
+	}
+	for key, entries := range wants {
+		for _, w := range entries {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s matching %q", fixture, key, w.raw)
+			}
+		}
+	}
+}
+
+// splitQuoted parses the sequence of Go-quoted strings after `// want`:
+// `rx` "rx" `rx2` ...
+func splitQuoted(t *testing.T, fname string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s:%d: want arguments must be quoted or backquoted regexps, got %q", fname, line, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want regexp: %s", fname, line, s)
+		}
+		token := s[:end+2]
+		if quote == '"' {
+			unq, err := strconv.Unquote(token)
+			if err != nil {
+				t.Fatalf("%s:%d: bad quoted want regexp %s: %v", fname, line, token, err)
+			}
+			out = append(out, unq)
+		} else {
+			out = append(out, token[1:len(token)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package lint
+
+import "scads/internal/lint/analysis"
+
+// Production scope for the determinism pass: the packages whose
+// outputs the e16 gate requires to be bit-identical across runs (the
+// elastic control plane runs entirely on the virtual clock), plus the
+// root-package files that host the hybrid elastic harness — their
+// control-plane halves must stay deterministic, and their deliberate
+// wall-clock data-plane uses carry reasoned suppressions.
+var (
+	DeterminismPackages = []string{
+		"scads/internal/director",
+		"scads/internal/mlmodel",
+		"scads/internal/sla",
+		"scads/internal/workload",
+		"scads/internal/cloudsim",
+		"scads/internal/sim",
+		"scads/internal/clock",
+	}
+	DeterminismFiles = []string{
+		"scads:autoscale.go",
+		"scads:elastic.go",
+	}
+
+	// GobAllowedPackages is where encoding/gob survives: the e15
+	// lockstep ablation that measures what the binary wire replaced.
+	GobAllowedPackages = []string{"scads/cmd/scads-bench"}
+
+	// RetryCheckedPackages are the coordinator packages bound by the
+	// fence/unreachable retry contract (write.go, read.go,
+	// rebalance.go live in the root package; router and scan paths in
+	// internal/partition).
+	RetryCheckedPackages = []string{"scads", "scads/internal/partition"}
+)
+
+// Analyzers returns the production-configured scads-vet suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NewDeterminism(DeterminismPackages, DeterminismFiles),
+		NewNoGob(GobAllowedPackages),
+		NewRPCRetry(RetryCheckedPackages),
+		NewPanicDiscipline(),
+		NewLockSafety(),
+	}
+}

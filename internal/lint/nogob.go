@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"strconv"
+
+	"scads/internal/lint/analysis"
+)
+
+// NewNoGob builds the nogob analyzer: encoding/gob must not be
+// imported anywhere except the packages in allowed. PR 5 removed gob
+// from every hot path (reflection-driven encode/decode, per-stream
+// type dictionaries, lockstep framing); the only survivor is the e15
+// lockstep ablation in cmd/scads-bench, kept as the measured
+// baseline the binary wire codec is gated against. A gob import
+// creeping back in anywhere else silently reintroduces the exact
+// bottleneck e15 exists to prevent.
+//
+// Suppression key: "gob".
+func NewNoGob(allowed []string) *analysis.Analyzer {
+	allowedSet := stringSet(allowed)
+	a := &analysis.Analyzer{
+		Name: "nogob",
+		Doc:  "forbids encoding/gob imports outside the e15 lockstep ablation (cmd/scads-bench)",
+		Keys: []string{"gob"},
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if allowedSet[pass.Pkg.Path()] {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || path != "encoding/gob" {
+					continue
+				}
+				pass.Report(imp.Pos(), "gob",
+					"encoding/gob import outside the e15 lockstep ablation: use the binary wire codec (internal/rpc/wire.go) or the row/record codecs")
+			}
+		}
+		pass.CheckUnusedSuppressions(pass.Files)
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"scads/internal/lint/analysis"
+)
+
+// rpcPkgPath is the transport package whose Request/Response/error
+// taxonomy the retry contract is written against.
+const rpcPkgPath = "scads/internal/rpc"
+
+// fenceCapableMethods are the RPC methods a storage node may answer
+// with ErrFenced (writes, applies, scans, and the migration verbs) or
+// whose failure the coordinator must wait out under the shared
+// down-retry budget. Point gets are never fenced (fences gate writes
+// and range scans only), so read-only helpers may surface a node's
+// semantic error verbatim.
+var fenceCapableMethods = map[string]bool{
+	"put": true, "delete": true, "apply": true, "scan": true,
+	"droprange": true, "rangesnap": true, "rangedelta": true, "rangefence": true,
+}
+
+// classifierNames are the shared helpers that consume or classify a
+// transport error (fence/unreachable taxonomy + retry budgets). A
+// function that tests its transport error with one of these is
+// considered to route the error through the shared contract.
+var classifierNames = map[string]bool{
+	"IsFenced":      true,
+	"IsUnreachable": true,
+	"IsUnavailable": true,
+	"Is":            true, // errors.Is(err, rpc.ErrFenced) etc.
+}
+
+// NewRPCRetry builds the rpcretry analyzer for the coordinator
+// packages in packages. The invariant (PRs 2–3): coordinator
+// write/read/scan paths must never surface a raw transport error —
+// ErrFenced means "wait out the handoff under rpc.FenceRetryLimit",
+// unreachable means "wait out failure detection + failover under
+// rpc.DownRetryBudget". A call site that can observe those errors and
+// returns them unclassified turns a delay-only contract into a
+// client-visible failure.
+//
+// Mechanically: inside the scoped packages, an error born from a
+// transport Call (signature func(string, rpc.Request) (rpc.Response,
+// error)) — or from Response.Error() in a function that builds
+// fence-capable requests — must be passed to one of the shared
+// classifiers (rpc.IsFenced / rpc.IsUnreachable /
+// partition.IsUnavailable / errors.Is) somewhere in the same function
+// before it may escape through a return statement or a struct field.
+//
+// Suppression key: "rpcretry" (for delivery primitives whose callers
+// own the budget — say so in the reason).
+func NewRPCRetry(packages []string) *analysis.Analyzer {
+	pkgSet := stringSet(packages)
+	a := &analysis.Analyzer{
+		Name: "rpcretry",
+		Doc: "coordinator paths must classify transport errors (ErrFenced/unreachable) through the shared " +
+			"retry-budget helpers instead of returning them raw",
+		Keys: []string{"rpcretry"},
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !pkgSet[pass.Pkg.Path()] {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fd, ok := n.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					return true
+				}
+				checkRetryFunc(pass, fd)
+				return true
+			})
+		}
+		pass.CheckUnusedSuppressions(pass.Files)
+		return nil
+	}
+	return a
+}
+
+func checkRetryFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	fenceCapable := buildsFenceCapableRequest(pass, fd.Body)
+
+	// Pass 1: find the tracked error variables — transport-call errors
+	// always, Response.Error() results only where fence-capable
+	// requests are built in this function.
+	tracked := make(map[types.Object]string) // object -> birth description
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isTransportCall(pass, call) && len(as.Lhs) == 2:
+			if obj := assignedObject(pass, as.Lhs[1]); obj != nil {
+				tracked[obj] = "transport Call error"
+			}
+		case fenceCapable && isResponseError(pass, call) && len(as.Lhs) == 1:
+			if obj := assignedObject(pass, as.Lhs[0]); obj != nil {
+				tracked[obj] = "node response error from a fence-capable method"
+			}
+		}
+		return true
+	})
+
+	// Pass 2: a classifier call anywhere in the function absolves the
+	// variable it inspects (the retry-loop idiom tests the error and
+	// loops; the default branch may then return it raw).
+	classified := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isClassifierCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] != "" {
+					classified[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: report escapes of unclassified tracked errors.
+	escape := func(id *ast.Ident, obj types.Object, how string) {
+		if classified[obj] {
+			return
+		}
+		pass.Report(id.Pos(), "rpcretry",
+			"%s %q escapes %s without fence/unreachable classification: route it through rpc.IsFenced/rpc.IsUnreachable/partition.IsUnavailable and the shared retry budgets (or suppress with the reason callers own the budget)",
+			tracked[obj], obj.Name(), how)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				if id, ok := res.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] != "" {
+						escape(id, obj, "via return")
+					}
+				}
+				// `return resp.Error()` in a fence-capable function:
+				// the raw node error goes straight out.
+				if call, ok := res.(*ast.CallExpr); ok && fenceCapable && isResponseError(pass, call) {
+					pass.Report(call.Pos(), "rpcretry",
+						"raw Response.Error() returned from a fence-capable path: classify it (rpc.IsFenced/partition.IsUnavailable) before surfacing (or suppress with the reason callers own the budget)")
+				}
+			}
+		case *ast.KeyValueExpr:
+			// GetResult{Err: e} and friends: the raw error escapes
+			// through a result struct.
+			if id, ok := v.Value.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] != "" {
+					escape(id, obj, "via a struct field")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// buildsFenceCapableRequest reports whether the function constructs
+// an rpc.Request whose Method is (or may be) fence-capable. A
+// non-constant Method is treated as fence-capable: helpers
+// parameterised over the method (router.write) carry writes.
+func buildsFenceCapableRequest(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	capable := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if capable {
+			return false
+		}
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || !isRPCNamed(pass.TypesInfo.TypeOf(cl), "Request") {
+			return true
+		}
+		for _, el := range cl.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Method" {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[kv.Value]
+			if !ok || tv.Value == nil {
+				capable = true // dynamic method: assume the worst
+				return false
+			}
+			if tv.Value.Kind() == constant.String && fenceCapableMethods[constant.StringVal(tv.Value)] {
+				capable = true
+				return false
+			}
+		}
+		return true
+	})
+	return capable
+}
+
+// isTransportCall reports whether call invokes a method named Call
+// with the transport signature func(string, rpc.Request)
+// (rpc.Response, error) — the rpc.Transport interface or any concrete
+// transport.
+func isTransportCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Call" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 2 {
+		return false
+	}
+	if b, ok := sig.Params().At(0).Type().(*types.Basic); !ok || b.Kind() != types.String {
+		return false
+	}
+	return isRPCNamed(sig.Params().At(1).Type(), "Request") &&
+		isRPCNamed(sig.Results().At(0).Type(), "Response")
+}
+
+// isResponseError reports whether call is resp.Error() on an
+// rpc.Response.
+func isResponseError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isRPCNamed(t, "Response")
+}
+
+func isClassifierCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return classifierNames[fun.Sel.Name]
+	case *ast.Ident:
+		return classifierNames[fun.Name]
+	}
+	return false
+}
+
+func isRPCNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == rpcPkgPath
+}
+
+// assignedObject resolves the object an assignment LHS binds or
+// writes (Defs for :=, Uses for =; blank gives nil).
+func assignedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}

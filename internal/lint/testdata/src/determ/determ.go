@@ -1,0 +1,93 @@
+// Package determ exercises the determinism analyzer: wall-clock
+// reads, ambient randomness, and map-order-dependent accumulation.
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in a deterministic control-plane package`
+}
+
+func sleeper(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep in a deterministic control-plane package`
+}
+
+// Methods that merely share a forbidden name (time.Time.After, an
+// injected clock's Now) are fine: only the package-level time
+// functions read the wall clock.
+func methodOK(t, u time.Time) bool {
+	return t.After(u)
+}
+
+func randGlobal() float64 {
+	return rand.Float64() // want `global math/rand state \(rand\.Float64\)`
+}
+
+// A caller-seeded generator is the sanctioned route, both the
+// constructors and the draws on the instance.
+func randSeeded() float64 {
+	r := rand.New(rand.NewSource(1))
+	return r.Float64()
+}
+
+func orderedOutput(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order reaches ordered output \(append to "out"`
+		out = append(out, k)
+	}
+	return out
+}
+
+// A later sort imposes the order explicitly, absolving the append.
+func sortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `float accumulation \(sum \+=\) inside map iteration is order-dependent`
+		sum += v
+	}
+	return sum
+}
+
+// Integer accumulation is associative: any order sums the same.
+func intSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func stringConcat(m map[string]string) string {
+	out := ""
+	for _, v := range m { // want `string accumulation \(out \+=\) inside map iteration is order-dependent`
+		out += v
+	}
+	return out
+}
+
+// An accumulator local to one iteration never sees the map order.
+func perKeySums(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		total := 0.0
+		for _, v := range vs {
+			total += v
+		}
+		if total > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package determ
+
+import "time"
+
+// A reasoned suppression silences the finding outright.
+func suppressedWithReason() time.Time {
+	return time.Now() //lint:wallclock-ok fixture: deliberately wall-clock
+}
+
+// A bare suppression is itself a finding: the gate stays red until
+// the reason is written down.
+func suppressedBare() time.Time {
+	return time.Now() //lint:wallclock-ok // want `bare //lint:wallclock-ok suppression: state the reason`
+}
+
+// A suppression that silences nothing is stale and flagged where it
+// stands.
+func nothingToSilence() int {
+	//lint:wallclock-ok stale: the line below never reads the clock // want `unused //lint:wallclock-ok suppression`
+	return 1
+}

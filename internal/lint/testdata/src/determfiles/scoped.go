@@ -1,0 +1,9 @@
+// Package determfiles is scoped file-by-file: only scoped.go is in
+// the determinism analyzer's file list.
+package determfiles
+
+import "time"
+
+func scopedNow() time.Time {
+	return time.Now() // want `time\.Now in a deterministic control-plane package`
+}

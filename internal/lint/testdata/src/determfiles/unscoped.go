@@ -1,0 +1,9 @@
+package determfiles
+
+import "time"
+
+// unscopedNow sits outside the analyzer's file scope: not examined,
+// not flagged.
+func unscopedNow() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+// Package goballowed stands in for cmd/scads-bench: it is on the
+// nogob allowlist, so its gob import is legal.
+package goballowed
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Encode round-trips v through gob so the import is used.
+func Encode(v int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

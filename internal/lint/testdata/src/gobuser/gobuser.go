@@ -1,0 +1,16 @@
+// Package gobuser imports encoding/gob outside the allowlist.
+package gobuser
+
+import (
+	"bytes"
+	"encoding/gob" // want `encoding/gob import outside the e15 lockstep ablation`
+)
+
+// Encode round-trips v through gob so the import is used.
+func Encode(v int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,7 @@
+package gobuser
+
+import (
+	gob2 "encoding/gob" //lint:gob-ok fixture: a reasoned suppression keeps this import
+)
+
+var _ = gob2.NewEncoder

@@ -1,0 +1,43 @@
+// Package panics exercises the panicdiscipline analyzer.
+package panics
+
+import "fmt"
+
+// A constant panic is a static programmer-error assertion: legal
+// anywhere.
+func unreachable(x int) int {
+	switch x {
+	case 0:
+		return 1
+	default:
+		panic("unreachable")
+	}
+}
+
+// A dynamic panic outside Must* puts caller data on the panic path.
+func parse(s string) int {
+	if s == "" {
+		panic(fmt.Sprintf("bad input %q", s)) // want `panic on non-constant data outside a Must\* function`
+	}
+	return len(s)
+}
+
+// MustParse follows the regexp.MustCompile convention: panicking on
+// dynamic data is its contract.
+func MustParse(s string) int {
+	if s == "" {
+		panic(fmt.Sprintf("bad input %q", s))
+	}
+	return len(s)
+}
+
+// rethrow re-panics a recovered value: propagation of a failure that
+// already happened, not origination.
+func rethrow(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(r)
+		}
+	}()
+	f()
+}

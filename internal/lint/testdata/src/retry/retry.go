@@ -1,0 +1,77 @@
+// Package retry exercises the rpcretry analyzer against the real
+// scads/internal/rpc types: transport errors and fence-capable node
+// errors must flow through the shared classifiers before escaping.
+package retry
+
+import (
+	"errors"
+
+	"scads/internal/rpc"
+)
+
+// Result mimics a coordinator result struct carrying an error field.
+type Result struct {
+	Err error
+}
+
+// rawReturn surfaces a transport error unclassified.
+func rawReturn(t rpc.Transport, addr string) error {
+	_, err := t.Call(addr, rpc.Request{Method: rpc.MethodGet})
+	return err // want `transport Call error "err" escapes via return`
+}
+
+// classifiedReturn tests the error through the shared taxonomy; the
+// default branch may then surface it raw (the retry-loop idiom).
+func classifiedReturn(t rpc.Transport, addr string) error {
+	for i := 0; i < 3; i++ {
+		_, err := t.Call(addr, rpc.Request{Method: rpc.MethodPut})
+		if err == nil {
+			return nil
+		}
+		if !rpc.IsUnreachable(err) {
+			return err
+		}
+	}
+	return errors.New("out of retries")
+}
+
+// structEscape leaks the raw transport error through a result field.
+func structEscape(t rpc.Transport, addr string) Result {
+	_, err := t.Call(addr, rpc.Request{Method: rpc.MethodPut})
+	return Result{Err: err} // want `transport Call error "err" escapes via a struct field`
+}
+
+// respErrorFenced returns a fence-capable node error verbatim: the
+// caller sees ErrFenced instead of the handoff being waited out.
+func respErrorFenced(t rpc.Transport, addr string, key, val []byte) error {
+	resp, _ := t.Call(addr, rpc.Request{Method: rpc.MethodPut, Key: key, Value: val})
+	return resp.Error() // want `raw Response\.Error\(\) returned from a fence-capable path`
+}
+
+// assignedRespError binds the node error first; still an escape.
+func assignedRespError(t rpc.Transport, addr string, key []byte) error {
+	resp, _ := t.Call(addr, rpc.Request{Method: rpc.MethodDelete, Key: key})
+	nerr := resp.Error()
+	return nerr // want `node response error from a fence-capable method "nerr" escapes via return`
+}
+
+// dynamicMethod carries a caller-chosen method: assumed the worst,
+// fence-capable.
+func dynamicMethod(t rpc.Transport, addr, method string) error {
+	resp, _ := t.Call(addr, rpc.Request{Method: method})
+	return resp.Error() // want `raw Response\.Error\(\) returned from a fence-capable path`
+}
+
+// respErrorGet surfaces a point-get's semantic error verbatim: point
+// gets are never fenced, so the node error is the real answer.
+func respErrorGet(t rpc.Transport, addr string, key []byte) error {
+	resp, _ := t.Call(addr, rpc.Request{Method: rpc.MethodGet, Key: key})
+	return resp.Error()
+}
+
+// suppressedPrimitive is a delivery primitive whose callers own the
+// retry budget; the suppression says so.
+func suppressedPrimitive(t rpc.Transport, addr string) error {
+	_, err := t.Call(addr, rpc.Request{Method: rpc.MethodPut})
+	return err //lint:rpcretry-ok fixture: the caller owns the retry budget
+}

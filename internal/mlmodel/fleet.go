@@ -57,7 +57,8 @@ func (f *FleetModel) Observe(classRates map[string]float64, latencySeconds float
 	}
 	total := 0.0
 	rates := make(map[string]float64, len(classRates))
-	for c, x := range classRates {
+	for _, c := range sortedKeys(classRates) {
+		x := classRates[c]
 		if x <= 0 || math.IsNaN(x) {
 			continue
 		}
@@ -174,9 +175,10 @@ func (f *FleetModel) Demand(class string) (float64, bool) {
 // class weights (normalised internally). Classes the model never saw
 // cost the mean of the known demands — unknown work is not free.
 func (f *FleetModel) meanDemandLocked(mix map[string]float64) float64 {
+	mixClasses := sortedKeys(mix)
 	var total float64
-	for _, w := range mix {
-		if w > 0 {
+	for _, c := range mixClasses {
+		if w := mix[c]; w > 0 {
 			total += w
 		}
 	}
@@ -184,8 +186,8 @@ func (f *FleetModel) meanDemandLocked(mix map[string]float64) float64 {
 		return 0
 	}
 	var known, n float64
-	for _, d := range f.demand {
-		known += d
+	for _, c := range sortedKeys(f.demand) {
+		known += f.demand[c]
 		n++
 	}
 	unknownCost := 0.0
@@ -193,7 +195,8 @@ func (f *FleetModel) meanDemandLocked(mix map[string]float64) float64 {
 		unknownCost = known / n
 	}
 	var mean float64
-	for c, w := range mix {
+	for _, c := range mixClasses {
+		w := mix[c]
 		if w <= 0 {
 			continue
 		}
@@ -215,7 +218,8 @@ func (f *FleetModel) PredictLatency(classRates map[string]float64) float64 {
 		return math.NaN()
 	}
 	var rho, x float64
-	for c, r := range classRates {
+	for _, c := range sortedKeys(classRates) {
+		r := classRates[c]
 		if r <= 0 {
 			continue
 		}
@@ -279,6 +283,21 @@ func (f *FleetModel) ServersNeeded(totalRate float64, mix map[string]float64, sl
 		n = floor
 	}
 	return n
+}
+
+// sortedKeys returns m's keys sorted, so per-class float aggregation
+// iterates in a fixed order: map iteration order is randomized per
+// run and float addition is not associative, so summing in map order
+// would make the low mantissa bits run-dependent — exactly what the
+// e16 bit-identical-metrics gate (and the determinism analyzer)
+// forbids in the control plane.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Params returns the fitted per-class demands and whether the model is

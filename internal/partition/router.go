@@ -248,6 +248,10 @@ func (r *Router) GetBatch(namespace string, keys [][]byte, policy ReadPolicy) ([
 
 // GetFrom reads key from one specific replica (used by session
 // guarantees to pin reads and by experiments that measure staleness).
+// Failing over to another replica would break the pinning, so an
+// unreachable node is classified as ErrNoReplicaAvailable — exactly
+// like a node the directory already marked down — and the caller
+// decides whether its session floor lets it try elsewhere.
 func (r *Router) GetFrom(namespace, nodeID string, key []byte) ([]byte, uint64, bool, error) {
 	addr, ok := r.addrOf(nodeID)
 	if !ok {
@@ -255,6 +259,9 @@ func (r *Router) GetFrom(namespace, nodeID string, key []byte) ([]byte, uint64, 
 	}
 	resp, err := r.transport.Call(addr, rpc.Request{Method: rpc.MethodGet, Namespace: namespace, Key: key})
 	if err != nil {
+		if rpc.IsUnreachable(err) {
+			return nil, 0, false, fmt.Errorf("%w: %s: %v", ErrNoReplicaAvailable, nodeID, err)
+		}
 		return nil, 0, false, err
 	}
 	if e := resp.Error(); e != nil {
@@ -327,8 +334,13 @@ func (r *Router) write(namespace string, key, value []byte, method string) (uint
 	}
 }
 
-// Apply delivers pre-versioned records to one specific node (the
-// replication pump's send path).
+// Apply delivers pre-versioned records to one specific node — the
+// delivery primitive under the replication pump and the coordinator
+// retry loops. It deliberately returns transport and node errors
+// unclassified: the callers own the retry budgets (applyToPrimary
+// waits out fences and failovers under rpc.FenceRetryLimit /
+// rpc.DownRetryBudget; the pump reparks undelivered records), and
+// classifying here would double-charge a budget per attempt.
 func (r *Router) Apply(namespace, nodeID string, recs []record.Record) error {
 	addr, ok := r.addrOf(nodeID)
 	if !ok {
@@ -336,9 +348,9 @@ func (r *Router) Apply(namespace, nodeID string, recs []record.Record) error {
 	}
 	resp, err := r.transport.Call(addr, rpc.Request{Method: rpc.MethodApply, Namespace: namespace, Records: recs})
 	if err != nil {
-		return err
+		return err //lint:rpcretry-ok delivery primitive: applyToPrimary/write-path loops and the pump classify this and own the retry budgets
 	}
-	return resp.Error()
+	return resp.Error() //lint:rpcretry-ok delivery primitive: callers classify fence/unreachable and own the retry budgets
 }
 
 // SetScanParallelism bounds how many per-range sub-scans one scan fans

@@ -1,6 +1,7 @@
 package sla
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -113,8 +114,17 @@ func (c *Classes) Roll() RollUp {
 		Met:        true,
 	}
 	up.Start = up.End
+	// Roll classes in sorted order: Rate accumulates float64s, and
+	// summing in map-iteration order would make its low bits
+	// run-dependent — the rollup feeds e16's bit-identical metrics.
+	classes := make([]string, 0, len(monitors))
+	for class := range monitors {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
 	var reqs, fails int64
-	for class, m := range monitors {
+	for _, class := range classes {
+		m := monitors[class]
 		iv := m.Roll()
 		up.ByClass[class] = iv
 		up.ClassRates[class] = iv.Rate
