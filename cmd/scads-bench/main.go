@@ -50,10 +50,11 @@ var experiments = []struct {
 	{"e14", "Scan pipeline: parallel scatter-gather vs sequential; scans under migration + crash", runE14},
 	{"e15", "RPC wire: binary multiplexed transport vs gob lockstep (throughput under RTT, allocs/op)", runE15},
 	{"e16", "Elastic autoscaling end-to-end: diurnal / flash-crowd / hotspot-shift, SLO minutes & cost", runE16},
+	{"e17", "Storage-engine raw speed: block cache hit ratio & speedup, churn correctness, fence pause under compaction", runE17},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e16, e4a..e4e) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e17, e4a..e4e) or 'all'")
 	csvDir := flag.String("csv", "", "directory for per-experiment output files plus index.csv")
 	jsonDir := flag.String("bench-json", "", "directory for machine-readable BENCH_<exp>.json summaries")
 	compare := flag.String("compare", "", "compare BENCH_*.json summaries in this directory against committed baselines and exit non-zero on regression")

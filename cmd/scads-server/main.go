@@ -35,6 +35,8 @@ func main() {
 		numID      = flag.Uint("numeric-id", 1, "numeric node ID mixed into record versions (16 bits)")
 		memLimit   = flag.Int64("memtable-bytes", 4<<20, "memtable flush threshold")
 		cacheBytes = flag.Int64("cache-bytes", 0, "read-cache capacity (0 = default 32 MiB, negative disables)")
+		blockCache = flag.Int64("block-cache-bytes", 32<<20, "decoded SSTable block cache capacity (0 disables)")
+		compRate   = flag.Int64("compaction-rate", 0, "background compaction throttle in input bytes/sec (0 = unlimited)")
 		syncWrites = flag.Bool("sync-writes", false, "fsync (group-committed) before acknowledging each write")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
@@ -54,11 +56,13 @@ func main() {
 		id = "node@" + *addr
 	}
 	engine, err := storage.Open(storage.Options{
-		Dir:           *dataDir,
-		NodeID:        uint16(*numID),
-		MemtableBytes: *memLimit,
-		CacheBytes:    *cacheBytes,
-		SyncWrites:    *syncWrites,
+		Dir:                 *dataDir,
+		NodeID:              uint16(*numID),
+		MemtableBytes:       *memLimit,
+		CacheBytes:          *cacheBytes,
+		BlockCacheBytes:     *blockCache,
+		CompactionRateBytes: *compRate,
+		SyncWrites:          *syncWrites,
 	})
 	if err != nil {
 		log.Fatalf("scads-server: open storage: %v", err)

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -175,7 +176,11 @@ func (l *loader) expand(patterns []string) ([]string, error) {
 	return dirs, nil
 }
 
-// goFiles lists the directory's non-test Go files in sorted order.
+// goFiles lists the directory's non-test Go files in sorted order,
+// honouring build constraints (//go:build lines and GOOS/GOARCH
+// filename suffixes) for the host platform — without this, paired
+// files like writev_linux.go / writev_other.go would both load and
+// redeclare each other's symbols.
 func goFiles(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -186,6 +191,9 @@ func goFiles(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

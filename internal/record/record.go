@@ -84,8 +84,28 @@ func (r Record) AppendBinary(dst []byte) []byte {
 }
 
 // DecodeBinary decodes one framed record from b, returning the record
-// and the remaining bytes.
+// and the remaining bytes. Key and Value are copies, safe to retain
+// after b is reused.
 func DecodeBinary(b []byte) (Record, []byte, error) {
+	r, rest, err := DecodeBinaryAlias(b)
+	if err != nil {
+		return Record{}, nil, err
+	}
+	if r.Key != nil {
+		r.Key = append([]byte(nil), r.Key...)
+	}
+	if r.Value != nil {
+		r.Value = append([]byte(nil), r.Value...)
+	}
+	return r, rest, nil
+}
+
+// DecodeBinaryAlias decodes one framed record from b without copying:
+// Key and Value alias b, so callers that retain the record beyond the
+// buffer's lifetime must Clone it. This is the SSTable block decoder —
+// a block is decoded once into a buffer owned by the decoded records,
+// so the per-record copy DecodeBinary pays would be pure waste there.
+func DecodeBinaryAlias(b []byte) (Record, []byte, error) {
 	if len(b) < 8 {
 		return Record{}, nil, fmt.Errorf("record: short frame header (%d bytes): %w", len(b), ErrCorrupt)
 	}
@@ -113,7 +133,9 @@ func DecodeBinary(b []byte) (Record, []byte, error) {
 		return Record{}, nil, ErrCorrupt
 	}
 	p = p[m:]
-	r.Key = append([]byte(nil), p[:klen]...)
+	if klen > 0 {
+		r.Key = p[:klen:klen]
+	}
 	p = p[klen:]
 
 	vlen, m := binary.Uvarint(p)
@@ -124,7 +146,9 @@ func DecodeBinary(b []byte) (Record, []byte, error) {
 	if uint64(len(p)) != vlen {
 		return Record{}, nil, ErrCorrupt
 	}
-	r.Value = append([]byte(nil), p[:vlen]...)
+	if vlen > 0 {
+		r.Value = p[:vlen:vlen]
+	}
 	return r, rest, nil
 }
 

@@ -1,0 +1,338 @@
+package sstable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+	"scads/internal/record"
+)
+
+// countingCache is a minimal BlockCache for exercising the cached read
+// path: an unbounded map plus hit/put/drop counters.
+type countingCache struct {
+	mu      sync.Mutex
+	blocks  map[string][]record.Record
+	hits    int
+	puts    int
+	dropped []string
+}
+
+func newCountingCache() *countingCache {
+	return &countingCache{blocks: map[string][]record.Record{}}
+}
+
+func (c *countingCache) key(path string, block int) string {
+	return fmt.Sprintf("%s#%d", path, block)
+}
+
+func (c *countingCache) Get(path string, block int) ([]record.Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs, ok := c.blocks[c.key(path, block)]
+	if ok {
+		c.hits++
+	}
+	return recs, ok
+}
+
+func (c *countingCache) Put(path string, block int, recs []record.Record, sizeBytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.blocks[c.key(path, block)] = recs
+}
+
+func (c *countingCache) DropTable(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropped = append(c.dropped, path)
+	for k := range c.blocks {
+		if len(k) > len(path) && k[:len(path)] == path && k[len(path)] == '#' {
+			delete(c.blocks, k)
+		}
+	}
+}
+
+// Regression test: Bounds must survive arbitrary later block reads. The
+// bounds used to be captured from a scan whose scratch buffer was
+// reused, so reading the last block again corrupted the retained keys.
+func TestBoundsSurviveFullScan(t *testing.T) {
+	recs := seqRecords(2000) // well past one block
+	r := buildTable(t, filepath.Join(t.TempDir(), "t.sst"), recs)
+	defer r.Close()
+	if r.NumBlocks() < 2 {
+		t.Fatalf("want a multi-block table, got %d blocks", r.NumBlocks())
+	}
+	first, last := r.Bounds()
+	wantFirst, wantLast := string(first), string(last)
+	if wantFirst != "key-000000" || wantLast != "key-001999" {
+		t.Fatalf("initial Bounds = %q..%q", wantFirst, wantLast)
+	}
+	// Full scan re-reads every block, including the one the last bound
+	// was decoded from.
+	n := 0
+	if err := r.Scan(nil, nil, func(record.Record) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("scan visited %d, want %d", n, len(recs))
+	}
+	first, last = r.Bounds()
+	if string(first) != wantFirst || string(last) != wantLast {
+		t.Fatalf("Bounds changed after full scan: %q..%q, want %q..%q",
+			first, last, wantFirst, wantLast)
+	}
+}
+
+func TestBlockCacheServesGets(t *testing.T) {
+	r := buildTable(t, filepath.Join(t.TempDir(), "t.sst"), seqRecords(2000))
+	defer r.Close()
+	c := newCountingCache()
+	r.SetBlockCache(c)
+
+	key := []byte("key-001234")
+	for i := 0; i < 3; i++ {
+		got, ok, err := r.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("Get #%d: ok=%v err=%v", i, ok, err)
+		}
+		if string(got.Value) != "value-1234" {
+			t.Fatalf("Get #%d = %q", i, got.Value)
+		}
+	}
+	if c.puts != 1 {
+		t.Fatalf("puts = %d, want 1 (one block filled once)", c.puts)
+	}
+	if c.hits != 2 {
+		t.Fatalf("hits = %d, want 2 (second and third Get)", c.hits)
+	}
+
+	// Scans hit the same cached blocks.
+	before := c.puts
+	if err := r.Scan([]byte("key-001234"), []byte("key-001236"), func(record.Record) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if c.puts != before && c.hits < 3 {
+		t.Fatalf("scan neither hit nor reused the cache: puts=%d hits=%d", c.puts, c.hits)
+	}
+}
+
+func TestBlockCacheDroppedOnRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	r := buildTable(t, path, seqRecords(100))
+	c := newCountingCache()
+	r.SetBlockCache(c)
+	if _, ok, err := r.Get([]byte("key-000050")); !ok || err != nil {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if err := r.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.dropped) != 1 || c.dropped[0] != path {
+		t.Fatalf("DropTable calls = %v, want [%s]", c.dropped, path)
+	}
+	if len(c.blocks) != 0 {
+		t.Fatalf("%d blocks still cached after DropTable", len(c.blocks))
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("table file still present after Remove: %v", err)
+	}
+}
+
+// A retained reader keeps serving reads after Remove; the unlink and
+// cache drop happen only when the pin is released.
+func TestReaderPinsFileAcrossRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	r := buildTable(t, path, seqRecords(500))
+	c := newCountingCache()
+	r.SetBlockCache(c)
+
+	r.Retain()
+	if err := r.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	// Still readable through the pin: the fd is open and, on POSIX, the
+	// unlink is deferred to the final Release anyway.
+	got, ok, err := r.Get([]byte("key-000123"))
+	if err != nil || !ok || string(got.Value) != "value-123" {
+		t.Fatalf("Get after Remove under pin: %+v ok=%v err=%v", got, ok, err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("file unlinked while pinned: %v", err)
+	}
+	if len(c.dropped) != 0 {
+		t.Fatalf("cache dropped while pinned: %v", c.dropped)
+	}
+	if err := r.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("file still present after final release: %v", err)
+	}
+	if len(c.dropped) != 1 {
+		t.Fatalf("DropTable calls after final release = %v", c.dropped)
+	}
+}
+
+func TestMergeCancel(t *testing.T) {
+	dir := t.TempDir()
+	a := buildTable(t, filepath.Join(dir, "a.sst"), seqRecords(1000))
+	defer a.Close()
+	out := filepath.Join(dir, "m.sst")
+	polls := 0
+	_, err := Merge(out, MergeOptions{
+		Cancel: func() bool { polls++; return polls > 10 },
+	}, a)
+	if !errors.Is(err, ErrMergeCanceled) {
+		t.Fatalf("Merge err = %v, want ErrMergeCanceled", err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("canceled merge left output behind: %v", err)
+	}
+}
+
+// The rate limiter must pace the merge to roughly inputBytes/rate of
+// (virtual) time, in bounded sleep slices a canceller can interrupt.
+func TestMergeRateLimitPacing(t *testing.T) {
+	dir := t.TempDir()
+	recs := make([]record.Record, 200)
+	total := 0
+	for i := range recs {
+		recs[i] = record.Record{
+			Key:     []byte(fmt.Sprintf("key-%06d", i)),
+			Value:   bytes.Repeat([]byte("x"), 100),
+			Version: uint64(i + 1),
+		}
+		total += recs[i].EncodedSize()
+	}
+	src := buildTable(t, filepath.Join(dir, "src.sst"), recs)
+	defer src.Close()
+
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	const rate = 64 << 10 // bytes per virtual second
+	done := make(chan error, 1)
+	var merged *Reader
+	go func() {
+		var err error
+		merged, err = Merge(filepath.Join(dir, "m.sst"), MergeOptions{
+			RateLimitBytesPerSec: rate,
+			Clock:                vc,
+		}, src)
+		done <- err
+	}()
+
+	// Drive the virtual clock: whenever the merge parks in a sleep
+	// slice, advance past it.
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer merged.Close()
+			elapsed := vc.Since(time.Unix(0, 0))
+			want := time.Duration(float64(total) / rate * float64(time.Second))
+			if elapsed < want/2 {
+				t.Fatalf("merge of %d bytes at %d B/s took %v virtual time, want >= %v",
+					total, rate, elapsed, want/2)
+			}
+			if merged.Count() != uint64(len(recs)) {
+				t.Fatalf("merged Count = %d, want %d", merged.Count(), len(recs))
+			}
+			return
+		default:
+		}
+		if vc.PendingTimers() > 0 {
+			vc.Advance(rateLimitSliceMax)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// A canceller must not wait for the full sleep backlog: sleeps are
+// sliced, and wait returns as soon as cancel flips.
+func TestMergeRateLimitCancelDuringSleep(t *testing.T) {
+	dir := t.TempDir()
+	src := buildTable(t, filepath.Join(dir, "src.sst"), seqRecords(500))
+	defer src.Close()
+
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	var canceled bool
+	var mu sync.Mutex
+	out := filepath.Join(dir, "m.sst")
+	done := make(chan error, 1)
+	go func() {
+		_, err := Merge(out, MergeOptions{
+			RateLimitBytesPerSec: 1, // one byte per second: parks immediately
+			Clock:                vc,
+			Cancel: func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return canceled
+			},
+		}, src)
+		done <- err
+	}()
+
+	vc.BlockUntilWaiters(1) // merge is parked in its first sleep slice
+	mu.Lock()
+	canceled = true
+	mu.Unlock()
+	// One slice is all it should take to notice.
+	for {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrMergeCanceled) {
+				t.Fatalf("Merge err = %v, want ErrMergeCanceled", err)
+			}
+			if _, err := os.Stat(out); !os.IsNotExist(err) {
+				t.Fatalf("canceled merge left output behind: %v", err)
+			}
+			return
+		default:
+		}
+		if vc.PendingTimers() > 0 {
+			vc.Advance(rateLimitSliceMax)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func BenchmarkGetBlockCache(b *testing.B) {
+	r := buildTable(b, filepath.Join(b.TempDir(), "t.sst"), seqRecords(10000))
+	defer r.Close()
+	r.SetBlockCache(newCountingCache())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("key-%06d", i%10000))
+		if _, ok, err := r.Get(key); !ok || err != nil {
+			b.Fatalf("miss on %q: %v", key, err)
+		}
+	}
+}
+
+func BenchmarkScan100BlockCache(b *testing.B) {
+	r := buildTable(b, filepath.Join(b.TempDir(), "t.sst"), seqRecords(10000))
+	defer r.Close()
+	r.SetBlockCache(newCountingCache())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		_ = r.Scan([]byte("key-005000"), nil, func(record.Record) bool {
+			n++
+			return n < 100
+		})
+	}
+}

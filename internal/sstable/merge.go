@@ -3,9 +3,16 @@ package sstable
 import (
 	"bytes"
 	"container/heap"
+	"errors"
+	"time"
 
+	"scads/internal/clock"
 	"scads/internal/record"
 )
+
+// ErrMergeCanceled is returned by Merge when MergeOptions.Cancel
+// reported cancellation; the partially written output is removed.
+var ErrMergeCanceled = errors.New("sstable: merge canceled")
 
 // MergeOptions configure a compaction.
 type MergeOptions struct {
@@ -19,6 +26,19 @@ type MergeOptions struct {
 	// uses this to resolve pending range truncations at compaction
 	// time.
 	Drop func(src int, rec record.Record) bool
+	// RateLimitBytesPerSec throttles the merge's input byte rate so a
+	// background compaction cannot monopolise the disk while
+	// latency-sensitive work (a migration fence handoff, foreground
+	// reads) is in flight. 0 means unlimited.
+	RateLimitBytesPerSec int64
+	// Clock paces the rate limiter; nil selects the real clock. Tests
+	// inject a virtual clock to assert pacing deterministically.
+	Clock clock.Clock
+	// Cancel, when set, is polled between records; once it returns
+	// true the merge aborts with ErrMergeCanceled. The storage engine
+	// cancels background tier merges when a major compaction or
+	// teardown needs the table set to itself.
+	Cancel func() bool
 }
 
 // Merge compacts the given tables into a single new table at outPath.
@@ -31,11 +51,12 @@ func Merge(outPath string, opts MergeOptions, sources ...*Reader) (*Reader, erro
 	if err != nil {
 		return nil, err
 	}
+	limiter := newRateLimiter(opts.RateLimitBytesPerSec, opts.Clock)
 
 	h := &mergeHeap{}
 	iters := make([]*tableIter, len(sources))
 	for i, src := range sources {
-		it := newTableIter(src)
+		it := &tableIter{r: src}
 		iters[i] = it
 		if it.next() {
 			heap.Push(h, mergeItem{rec: it.rec, src: i, it: it})
@@ -69,7 +90,12 @@ func Merge(outPath string, opts MergeOptions, sources ...*Reader) (*Reader, erro
 	}
 
 	for h.Len() > 0 {
+		if opts.Cancel != nil && opts.Cancel() {
+			w.Abort()
+			return nil, ErrMergeCanceled
+		}
 		item := heap.Pop(h).(mergeItem)
+		limiter.wait(item.rec.EncodedSize(), opts.Cancel)
 		if opts.Drop != nil && opts.Drop(item.src, item.rec) {
 			// Excluded from this source: advance its iterator without
 			// letting the record contend.
@@ -111,39 +137,82 @@ func flushPending(w *Writer, rec record.Record, opts MergeOptions) error {
 	return w.Add(rec)
 }
 
-// tableIter pulls records from a Reader one at a time by running the
-// scan in a goroutine and handing records over a channel. Tables are
-// immutable so this is race-free.
-type tableIter struct {
-	ch  chan record.Record
-	ech chan error
-	rec record.Record
-	err error
+// rateLimiter paces a merge to a target byte rate by sleeping whenever
+// consumed bytes run ahead of elapsed time. Sleeps are chopped into
+// small slices so a cancellation is noticed within ~5ms even while the
+// limiter is the bottleneck.
+type rateLimiter struct {
+	rate  int64
+	clk   clock.Clock
+	start time.Time
+	bytes int64
 }
 
-func newTableIter(r *Reader) *tableIter {
-	it := &tableIter{ch: make(chan record.Record, 64), ech: make(chan error, 1)}
-	go func() {
-		err := r.Scan(nil, nil, func(rec record.Record) bool {
-			it.ch <- rec
-			return true
-		})
-		close(it.ch)
-		it.ech <- err
-	}()
-	return it
+func newRateLimiter(rate int64, clk clock.Clock) *rateLimiter {
+	rl := &rateLimiter{rate: rate, clk: clk}
+	if rate > 0 {
+		if rl.clk == nil {
+			rl.clk = clock.NewReal()
+		}
+		rl.start = rl.clk.Now()
+	}
+	return rl
+}
+
+const rateLimitSliceMax = 5 * time.Millisecond
+
+func (rl *rateLimiter) wait(n int, cancel func() bool) {
+	if rl.rate <= 0 {
+		return
+	}
+	rl.bytes += int64(n)
+	for {
+		elapsed := rl.clk.Since(rl.start)
+		expected := time.Duration(float64(rl.bytes) / float64(rl.rate) * float64(time.Second))
+		if expected <= elapsed+time.Millisecond {
+			return
+		}
+		d := expected - elapsed
+		if d > rateLimitSliceMax {
+			d = rateLimitSliceMax
+		}
+		rl.clk.Sleep(d)
+		if cancel != nil && cancel() {
+			return // the caller's next poll aborts the merge
+		}
+	}
+}
+
+// tableIter pulls records from a Reader one block at a time. Block
+// reads bypass the cache: a compaction is a one-shot sequential sweep
+// and must not wash hot read blocks out of the shared cache.
+type tableIter struct {
+	r     *Reader
+	block int
+	recs  []record.Record
+	pos   int
+	rec   record.Record
+	err   error
 }
 
 func (it *tableIter) next() bool {
-	rec, ok := <-it.ch
-	if !ok {
-		if err := <-it.ech; err != nil {
-			it.err = err
+	for {
+		if it.pos < len(it.recs) {
+			it.rec = it.recs[it.pos]
+			it.pos++
+			return true
 		}
-		return false
+		if it.block >= it.r.NumBlocks() {
+			return false
+		}
+		recs, err := it.r.readBlockUncached(it.block)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.block++
+		it.recs, it.pos = recs, 0
 	}
-	it.rec = rec
-	return true
 }
 
 type mergeItem struct {

@@ -1,12 +1,16 @@
 // Package sstable implements immutable sorted table files, the on-disk
 // format of the SCADS storage engine. A table holds records in strictly
-// ascending key order with a sparse index (one entry per index
-// interval) and a bloom filter for fast negative lookups.
+// ascending key order, carved into ~4 KiB blocks with a per-block
+// sparse index and a table-level bloom filter for fast negative
+// lookups. Reads are block-granular: a point get touches exactly one
+// block, and blocks can be served from a shared decoded-block cache
+// (see BlockCache) so repeated reads skip both the disk and the decode.
 //
 // File layout:
 //
-//	data:   framed records (see internal/record), ascending keys
-//	index:  uvarint count, then per entry: uvarint keyLen | key |
+//	data:   framed records (see internal/record), ascending keys,
+//	        grouped into blocks of ~blockTargetBytes
+//	index:  uvarint count, then per block: uvarint keyLen | first key |
 //	        uvarint offset
 //	bloom:  uvarint bit count | uvarint hash count | bits
 //	footer: dataLen u64 | indexLen u64 | bloomLen u64 | count u64 |
@@ -19,18 +23,22 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"os"
+	"sort"
+	"sync/atomic"
 
 	"scads/internal/record"
 )
 
 const (
-	magic         = 0x5343414453535431 // "SCADSST1"
-	footerSize    = 5 * 8
-	indexInterval = 16
-	bloomBitsPer  = 10 // bits per key ≈ 1% false positives
-	bloomHashes   = 7
+	magic      = 0x5343414453535431 // "SCADSST1"
+	footerSize = 5 * 8
+	// blockTargetBytes closes a data block once it reaches this size.
+	// 4 KiB matches the I/O granularity of the underlying device: a
+	// point read costs one aligned-ish pread instead of a 64 KiB chunk.
+	blockTargetBytes = 4 << 10
+	bloomBitsPer     = 10 // bits per key ≈ 1% false positives
+	bloomHashes      = 7
 )
 
 // ErrCorrupt is returned when a table fails validation.
@@ -39,21 +47,44 @@ var ErrCorrupt = errors.New("sstable: corrupt table")
 // ErrOutOfOrder is returned when Writer.Add receives a non-increasing key.
 var ErrOutOfOrder = errors.New("sstable: keys must be strictly ascending")
 
+// BlockCache caches decoded data blocks across tables. Implementations
+// must be safe for concurrent use; cached record slices are shared and
+// must be treated as immutable by all parties. The storage engine
+// provides a sharded LRU implementation shared across namespaces.
+type BlockCache interface {
+	// Get returns the cached decoded block, if present.
+	Get(path string, block int) ([]record.Record, bool)
+	// Put stores a decoded block. sizeBytes is the caller's estimate of
+	// the block's memory footprint (raw bytes plus record headers).
+	Put(path string, block int, recs []record.Record, sizeBytes int)
+	// DropTable evicts every block of the named table, called when the
+	// table file is removed after compaction.
+	DropTable(path string)
+}
+
 // Writer builds a table file record by record.
 type Writer struct {
-	f       *os.File
-	buf     []byte
-	lastKey []byte
-	index   []indexEntry
-	keys    [][]byte // retained for bloom construction
-	count   uint64
-	offset  uint64
-	done    bool
+	f          *os.File
+	buf        []byte
+	lastKey    []byte
+	index      []indexEntry
+	bloomSeeds []bloomSeed // two FNV hashes per key, accumulated incrementally
+	blockBytes uint64      // bytes written into the current block
+	count      uint64
+	offset     uint64
+	done       bool
 }
 
 type indexEntry struct {
 	key    []byte
 	offset uint64
+}
+
+// bloomSeed holds the double-hash pair for one key, so bloom
+// construction never needs the key bytes again: 16 bytes per key
+// instead of retaining every key in memory until Finish.
+type bloomSeed struct {
+	h1, h2 uint64
 }
 
 // NewWriter creates the table file at path (truncating any existing
@@ -74,15 +105,19 @@ func (w *Writer) Add(rec record.Record) error {
 	if w.lastKey != nil && bytes.Compare(rec.Key, w.lastKey) <= 0 {
 		return fmt.Errorf("%w: %q after %q", ErrOutOfOrder, rec.Key, w.lastKey)
 	}
-	if w.count%indexInterval == 0 {
+	if w.count == 0 || w.blockBytes >= blockTargetBytes {
+		// Start a new block at this record.
 		w.index = append(w.index, indexEntry{key: append([]byte(nil), rec.Key...), offset: w.offset})
+		w.blockBytes = 0
 	}
-	w.keys = append(w.keys, append([]byte(nil), rec.Key...))
+	h1, h2 := bloomHash(rec.Key)
+	w.bloomSeeds = append(w.bloomSeeds, bloomSeed{h1, h2})
 	w.buf = rec.AppendBinary(w.buf[:0])
 	if _, err := w.f.Write(w.buf); err != nil {
 		return fmt.Errorf("sstable: write: %w", err)
 	}
 	w.offset += uint64(len(w.buf))
+	w.blockBytes += uint64(len(w.buf))
 	w.lastKey = append(w.lastKey[:0], rec.Key...)
 	w.count++
 	return nil
@@ -108,7 +143,7 @@ func (w *Writer) Finish() error {
 		return err
 	}
 
-	bloom := buildBloom(w.keys)
+	bloom := buildBloom(w.bloomSeeds)
 	bl := bloom.marshal()
 	if _, err := w.f.Write(bl); err != nil {
 		return err
@@ -138,15 +173,26 @@ func (w *Writer) Abort() error {
 }
 
 // Reader provides random and sequential access to a finished table.
+//
+// Readers are reference counted: the owner's reference is released by
+// Close or Remove, and concurrent scans that outlive the owner's table
+// set pin the file with Retain/Release, so a compaction can unlink a
+// table while a scan started earlier still streams its blocks.
 type Reader struct {
 	f       *os.File
 	path    string
 	dataLen uint64
+	size    int64 // whole file size, for tier selection
 	count   uint64
-	index   []indexEntry
+	index   []indexEntry // one entry per block: first key + offset
 	bloom   *bloomFilter
 	first   []byte
 	last    []byte
+
+	cache BlockCache // nil = uncached; set once before concurrent use
+
+	refs   atomic.Int32
+	doomed atomic.Bool // unlink the file when the last reference drops
 }
 
 // Open validates and opens the table at path, loading its index and
@@ -178,8 +224,10 @@ func Open(path string) (*Reader, error) {
 		f:       f,
 		path:    path,
 		dataLen: binary.BigEndian.Uint64(footer[0:8]),
+		size:    st.Size(),
 		count:   binary.BigEndian.Uint64(footer[24:32]),
 	}
+	r.refs.Store(1)
 	idxLen := binary.BigEndian.Uint64(footer[8:16])
 	blLen := binary.BigEndian.Uint64(footer[16:24])
 	if r.dataLen+idxLen+blLen+footerSize != uint64(st.Size()) {
@@ -216,6 +264,11 @@ func Open(path string) (*Reader, error) {
 	return r, nil
 }
 
+// SetBlockCache attaches a shared decoded-block cache. Must be called
+// before the reader is used concurrently (the storage engine does so
+// immediately after Open).
+func (r *Reader) SetBlockCache(c BlockCache) { r.cache = c }
+
 func (r *Reader) parseIndex(buf []byte) error {
 	n, m := binary.Uvarint(buf)
 	if m <= 0 {
@@ -245,23 +298,28 @@ func (r *Reader) loadBounds() error {
 	if r.count == 0 {
 		return nil
 	}
-	first := true
-	err := r.scanFrom(0, func(rec record.Record) bool {
-		if first {
-			r.first = rec.Key
-			first = false
-		}
-		return false
-	})
+	firstBlock, err := r.readBlockUncached(0)
 	if err != nil {
 		return err
 	}
-	// Last key: scan the final index block.
-	lastOff := r.index[len(r.index)-1].offset
-	return r.scanFrom(lastOff, func(rec record.Record) bool {
-		r.last = rec.Key
-		return true
-	})
+	if len(firstBlock) == 0 {
+		return ErrCorrupt
+	}
+	lastBlock := firstBlock
+	if n := r.NumBlocks(); n > 1 {
+		if lastBlock, err = r.readBlockUncached(n - 1); err != nil {
+			return err
+		}
+		if len(lastBlock) == 0 {
+			return ErrCorrupt
+		}
+	}
+	// Clone both bounds: the decoded records alias the block's read
+	// buffer, and retaining two keys must not pin whole blocks (or
+	// trust their buffers' lifetimes) for the lifetime of the reader.
+	r.first = append([]byte(nil), firstBlock[0].Key...)
+	r.last = append([]byte(nil), lastBlock[len(lastBlock)-1].Key...)
+	return nil
 }
 
 // Count returns the number of records in the table.
@@ -270,61 +328,114 @@ func (r *Reader) Count() uint64 { return r.count }
 // Path returns the file path of the table.
 func (r *Reader) Path() string { return r.path }
 
+// SizeBytes returns the table's file size, used by the storage
+// engine's tier-selection policy.
+func (r *Reader) SizeBytes() int64 { return r.size }
+
+// NumBlocks returns the number of data blocks in the table.
+func (r *Reader) NumBlocks() int { return len(r.index) }
+
 // Bounds returns the smallest and largest keys in the table.
 func (r *Reader) Bounds() (first, last []byte) { return r.first, r.last }
 
-// Close releases the underlying file.
-func (r *Reader) Close() error { return r.f.Close() }
+// Retain pins the reader: the underlying file stays open (and, after
+// Remove, on disk) until a matching Release.
+func (r *Reader) Retain() { r.refs.Add(1) }
 
-// Remove closes and deletes the table file.
-func (r *Reader) Remove() error {
-	r.f.Close()
-	return os.Remove(r.path)
-}
-
-// Get returns the record stored under key.
-func (r *Reader) Get(key []byte) (record.Record, bool, error) {
-	if r.count == 0 || !r.bloom.mayContain(key) {
-		return record.Record{}, false, nil
-	}
-	start := r.seekOffset(key)
-	var found record.Record
-	ok := false
-	err := r.scanFrom(start, func(rec record.Record) bool {
-		c := bytes.Compare(rec.Key, key)
-		if c == 0 {
-			found, ok = rec, true
-			return false
-		}
-		return c < 0
-	})
-	return found, ok, err
-}
-
-// Scan visits records with start <= key < end in ascending order until
-// fn returns false. A nil end means unbounded.
-func (r *Reader) Scan(start, end []byte, fn func(record.Record) bool) error {
-	if r.count == 0 {
+// Release drops one reference, closing — and, if Remove was called,
+// unlinking — the file when the last one goes.
+func (r *Reader) Release() error {
+	if r.refs.Add(-1) != 0 {
 		return nil
 	}
-	off := uint64(0)
-	if start != nil {
-		off = r.seekOffset(start)
+	err := r.f.Close()
+	if r.doomed.Load() {
+		if c := r.cache; c != nil {
+			c.DropTable(r.path)
+		}
+		if rerr := os.Remove(r.path); rerr != nil && err == nil {
+			err = rerr
+		}
 	}
-	return r.scanFrom(off, func(rec record.Record) bool {
-		if start != nil && bytes.Compare(rec.Key, start) < 0 {
-			return true
-		}
-		if end != nil && bytes.Compare(rec.Key, end) >= 0 {
-			return false
-		}
-		return fn(rec)
-	})
+	return err
 }
 
-// seekOffset returns the data offset of the last index block whose
-// first key is <= key.
-func (r *Reader) seekOffset(key []byte) uint64 {
+// Close releases the owner's reference; the file closes once every
+// concurrent Retain has been Released.
+func (r *Reader) Close() error { return r.Release() }
+
+// Remove releases the owner's reference and marks the table file for
+// deletion; the unlink happens when the last reference drops, so
+// in-flight scans that pinned the reader finish against intact data.
+func (r *Reader) Remove() error {
+	r.doomed.Store(true)
+	return r.Release()
+}
+
+// blockExtent returns the byte range [off, off+length) of block i.
+func (r *Reader) blockExtent(i int) (off, length uint64) {
+	off = r.index[i].offset
+	end := r.dataLen
+	if i+1 < len(r.index) {
+		end = r.index[i+1].offset
+	}
+	return off, end - off
+}
+
+// ReadBlock returns the decoded records of block i, consulting the
+// attached block cache first. The returned slice and the records'
+// Key/Value bytes are shared and immutable.
+func (r *Reader) ReadBlock(i int) ([]record.Record, error) {
+	if c := r.cache; c != nil {
+		if recs, ok := c.Get(r.path, i); ok {
+			return recs, nil
+		}
+	}
+	off, length := r.blockExtent(i)
+	recs, err := r.decodeBlock(off, length)
+	if err != nil {
+		return nil, err
+	}
+	if c := r.cache; c != nil {
+		c.Put(r.path, i, recs, int(length)+len(recs)*recordOverhead)
+	}
+	return recs, nil
+}
+
+// recordOverhead approximates the in-memory record.Record header cost
+// charged to the block cache on top of the raw block bytes.
+const recordOverhead = 56
+
+// readBlockUncached decodes block i without touching the cache: the
+// path compaction and bounds loading use, so one-shot sequential sweeps
+// never wash the cache of hot read blocks.
+func (r *Reader) readBlockUncached(i int) ([]record.Record, error) {
+	off, length := r.blockExtent(i)
+	return r.decodeBlock(off, length)
+}
+
+func (r *Reader) decodeBlock(off, length uint64) ([]record.Record, error) {
+	buf := make([]byte, length)
+	if _, err := r.f.ReadAt(buf, int64(off)); err != nil {
+		return nil, fmt.Errorf("sstable: read block: %w", err)
+	}
+	recs := make([]record.Record, 0, length/48+1)
+	rest := buf
+	for len(rest) > 0 {
+		rec, rem, err := record.DecodeBinaryAlias(rest)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: %w", err)
+		}
+		recs = append(recs, rec)
+		rest = rem
+	}
+	return recs, nil
+}
+
+// blockFor returns the index of the block that may contain key: the
+// last block whose first key is <= key (block 0 if key precedes every
+// block's first key).
+func (r *Reader) blockFor(key []byte) int {
 	lo, hi := 0, len(r.index)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -337,50 +448,58 @@ func (r *Reader) seekOffset(key []byte) uint64 {
 	if lo == 0 {
 		return 0
 	}
-	return r.index[lo-1].offset
+	return lo - 1
 }
 
-func (r *Reader) scanFrom(offset uint64, fn func(record.Record) bool) error {
-	const chunk = 64 << 10
-	buf := make([]byte, 0, chunk)
-	pos := offset
-	for pos < r.dataLen {
-		// Refill buffer.
-		want := r.dataLen - pos
-		if want > chunk {
-			want = chunk
-		}
-		need := int(want) - len(buf)
-		if need > 0 {
-			old := len(buf)
-			buf = append(buf, make([]byte, need)...)
-			if _, err := r.f.ReadAt(buf[old:], int64(pos)+int64(old)); err != nil && err != io.EOF {
-				return err
-			}
-		}
-		rec, rest, err := record.DecodeBinary(buf)
+// Get returns the record stored under key. One bloom probe, one block
+// read (cached or a single ~4 KiB pread), one binary search.
+func (r *Reader) Get(key []byte) (record.Record, bool, error) {
+	if r.count == 0 || !r.bloom.mayContain(key) {
+		return record.Record{}, false, nil
+	}
+	recs, err := r.ReadBlock(r.blockFor(key))
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	i := sort.Search(len(recs), func(i int) bool {
+		return bytes.Compare(recs[i].Key, key) >= 0
+	})
+	if i < len(recs) && bytes.Equal(recs[i].Key, key) {
+		return recs[i], true, nil
+	}
+	return record.Record{}, false, nil
+}
+
+// Scan visits records with start <= key < end in ascending order until
+// fn returns false. A nil end means unbounded.
+func (r *Reader) Scan(start, end []byte, fn func(record.Record) bool) error {
+	if r.count == 0 {
+		return nil
+	}
+	b := 0
+	if start != nil {
+		b = r.blockFor(start)
+	}
+	for ; b < len(r.index); b++ {
+		recs, err := r.ReadBlock(b)
 		if err != nil {
-			if errors.Is(err, record.ErrCorrupt) && uint64(len(buf)) < r.dataLen-pos {
-				// Frame spans the chunk boundary: grow the buffer.
-				grow := r.dataLen - pos
-				if grow > uint64(cap(buf))*2 {
-					grow = uint64(cap(buf)) * 2
-				}
-				old := len(buf)
-				buf = append(buf, make([]byte, int(grow)-old)...)
-				if _, err := r.f.ReadAt(buf[old:], int64(pos)+int64(old)); err != nil && err != io.EOF {
-					return err
-				}
-				continue
+			return err
+		}
+		i := 0
+		if start != nil {
+			i = sort.Search(len(recs), func(i int) bool {
+				return bytes.Compare(recs[i].Key, start) >= 0
+			})
+		}
+		for ; i < len(recs); i++ {
+			if end != nil && bytes.Compare(recs[i].Key, end) >= 0 {
+				return nil
 			}
-			return fmt.Errorf("sstable: %w", err)
+			if !fn(recs[i]) {
+				return nil
+			}
 		}
-		consumed := len(buf) - len(rest)
-		pos += uint64(consumed)
-		buf = buf[:copy(buf, rest)]
-		if !fn(rec) {
-			return nil
-		}
+		start = nil // later blocks start past the lower bound
 	}
 	return nil
 }
@@ -393,17 +512,16 @@ type bloomFilter struct {
 	hashes uint64
 }
 
-func buildBloom(keys [][]byte) *bloomFilter {
-	nBits := uint64(len(keys)*bloomBitsPer + 64)
+func buildBloom(seeds []bloomSeed) *bloomFilter {
+	nBits := uint64(len(seeds)*bloomBitsPer + 64)
 	bf := &bloomFilter{
 		bits:   make([]byte, (nBits+7)/8),
 		nBits:  nBits,
 		hashes: bloomHashes,
 	}
-	for _, k := range keys {
-		h1, h2 := bloomHash(k)
+	for _, s := range seeds {
 		for i := uint64(0); i < bf.hashes; i++ {
-			bit := (h1 + i*h2) % bf.nBits
+			bit := (s.h1 + i*s.h2) % bf.nBits
 			bf.bits[bit/8] |= 1 << (bit % 8)
 		}
 	}

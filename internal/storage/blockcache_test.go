@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scads/internal/record"
+)
+
+func blockRecs(tag string, n int) []record.Record {
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Record{
+			Key:     []byte(fmt.Sprintf("%s-%04d", tag, i)),
+			Value:   []byte(tag),
+			Version: uint64(i + 1),
+		}
+	}
+	return recs
+}
+
+func TestBlockCacheBasic(t *testing.T) {
+	c := NewBlockCache(1<<20, 4)
+	if _, ok := c.Get("a.sst", 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	recs := blockRecs("a", 10)
+	c.Put("a.sst", 0, recs, 512)
+	got, ok := c.Get("a.sst", 0)
+	if !ok || len(got) != 10 || string(got[0].Key) != "a-0000" {
+		t.Fatalf("Get = %d recs, ok=%v", len(got), ok)
+	}
+	// Same path, different block: distinct entry.
+	if _, ok := c.Get("a.sst", 1); ok {
+		t.Fatal("hit on uncached block index")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Bytes <= 512 {
+		t.Fatalf("Bytes = %d, want > raw block size (overhead charged)", st.Bytes)
+	}
+}
+
+func TestBlockCacheLRUEviction(t *testing.T) {
+	// Single shard so eviction order is globally observable. Each entry
+	// charges ~size+path+overhead; budget fits two of the three.
+	c := NewBlockCache(1200, 1)
+	c.Put("t.sst", 0, blockRecs("b0", 1), 300)
+	c.Put("t.sst", 1, blockRecs("b1", 1), 300)
+	// Touch block 0 so block 1 is the LRU victim.
+	if _, ok := c.Get("t.sst", 0); !ok {
+		t.Fatal("block 0 missing before eviction")
+	}
+	c.Put("t.sst", 2, blockRecs("b2", 1), 300)
+	if _, ok := c.Get("t.sst", 1); ok {
+		t.Fatal("LRU victim (block 1) survived eviction")
+	}
+	if _, ok := c.Get("t.sst", 0); !ok {
+		t.Fatal("recently used block 0 was evicted")
+	}
+	if _, ok := c.Get("t.sst", 2); !ok {
+		t.Fatal("newly inserted block 2 missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestBlockCacheNeverEvictsSoleEntry(t *testing.T) {
+	// An entry bigger than the shard budget still caches (the cache
+	// keeps at least one entry per shard rather than thrashing).
+	c := NewBlockCache(64, 1)
+	c.Put("t.sst", 0, blockRecs("big", 1), 4096)
+	if _, ok := c.Get("t.sst", 0); !ok {
+		t.Fatal("oversized sole entry was rejected")
+	}
+}
+
+func TestBlockCacheUpdateExisting(t *testing.T) {
+	c := NewBlockCache(1<<20, 1)
+	c.Put("t.sst", 0, blockRecs("v1", 1), 100)
+	before := c.Stats().Bytes
+	c.Put("t.sst", 0, blockRecs("v2", 2), 200)
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("Entries = %d after re-put, want 1", st.Entries)
+	}
+	if st.Bytes != before+100 {
+		t.Fatalf("Bytes = %d after re-put, want %d (size delta applied)", st.Bytes, before+100)
+	}
+	got, ok := c.Get("t.sst", 0)
+	if !ok || len(got) != 2 {
+		t.Fatalf("re-put not visible: %d recs, ok=%v", len(got), ok)
+	}
+}
+
+func TestBlockCacheDropTable(t *testing.T) {
+	c := NewBlockCache(1<<20, 4)
+	for b := 0; b < 8; b++ {
+		c.Put("dead.sst", b, blockRecs("d", 1), 64)
+		c.Put("live.sst", b, blockRecs("l", 1), 64)
+	}
+	c.DropTable("dead.sst")
+	for b := 0; b < 8; b++ {
+		if _, ok := c.Get("dead.sst", b); ok {
+			t.Fatalf("dead.sst block %d survived DropTable", b)
+		}
+		if _, ok := c.Get("live.sst", b); !ok {
+			t.Fatalf("live.sst block %d evicted by unrelated DropTable", b)
+		}
+	}
+	if st := c.Stats(); st.Entries != 8 {
+		t.Fatalf("Entries = %d after DropTable, want 8", st.Entries)
+	}
+}
+
+func TestBlockCacheConcurrent(t *testing.T) {
+	c := NewBlockCache(64<<10, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			path := fmt.Sprintf("t%d.sst", g%4)
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					c.Put(path, i%16, blockRecs("c", 4), 256)
+				case 1:
+					c.Get(path, i%16)
+				case 2:
+					if i%100 == 0 {
+						c.DropTable(path)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 {
+		t.Fatalf("negative byte accounting after concurrent churn: %+v", st)
+	}
+}

@@ -43,7 +43,6 @@ import (
 
 	"scads/internal/clock"
 	"scads/internal/memtable"
-	"scads/internal/sstable"
 	"scads/internal/wal"
 )
 
@@ -69,6 +68,20 @@ type Options struct {
 	// CacheShards stripes the read cache (rounded up to a power of
 	// two). Default 16.
 	CacheShards int
+	// BlockCacheBytes sizes the engine-wide decoded-block cache shared
+	// by every namespace's SSTables (see BlockCache). 0 disables it —
+	// the raw block-read path, used by the e17 ablation — so callers
+	// that want it (the cluster layer, scads-server) opt in explicitly.
+	BlockCacheBytes int64
+	// CompactionParallelism bounds how many background tier merges run
+	// concurrently across the whole engine. Default 2.
+	CompactionParallelism int
+	// CompactionRateBytes throttles each background tier merge to this
+	// many input bytes per second so compaction can never monopolise
+	// the disk during a fence handoff. 0 means unlimited. Major
+	// compactions (explicit Compact, TruncateRange) are never
+	// throttled: they sit on the critical path of migration teardown.
+	CompactionRateBytes int64
 	// SyncWrites makes every accepted mutation durable before it is
 	// acknowledged, using the WAL's group commit so concurrent writers
 	// share fsyncs. Default false: SCADS acknowledges on replication
@@ -94,6 +107,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheShards <= 0 {
 		o.CacheShards = 16
 	}
+	if o.CompactionParallelism <= 0 {
+		o.CompactionParallelism = 2
+	}
 	return o
 }
 
@@ -104,8 +120,12 @@ var namespaceNameRE = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9_.-]*$`)
 
 // Engine owns a set of namespaces.
 type Engine struct {
-	opts  Options
-	cache *Cache // nil when disabled
+	opts       Options
+	cache      *Cache      // nil when disabled
+	blockCache *BlockCache // nil when disabled
+
+	// compactSem bounds concurrent background tier merges engine-wide.
+	compactSem chan struct{}
 
 	mu         sync.RWMutex
 	namespaces map[string]*Namespace
@@ -118,9 +138,16 @@ type Engine struct {
 // data directory.
 func Open(opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
-	e := &Engine{opts: opts, namespaces: make(map[string]*Namespace)}
+	e := &Engine{
+		opts:       opts,
+		namespaces: make(map[string]*Namespace),
+		compactSem: make(chan struct{}, opts.CompactionParallelism),
+	}
 	if opts.CacheBytes > 0 {
 		e.cache = NewCache(opts.CacheBytes, opts.CacheShards)
+	}
+	if opts.BlockCacheBytes > 0 {
+		e.blockCache = NewBlockCache(opts.BlockCacheBytes, opts.CacheShards)
 	}
 	if opts.Dir == "" {
 		return e, nil
@@ -261,7 +288,7 @@ func (e *Engine) openNamespace(name string) (*Namespace, error) {
 	}
 	sort.Slice(tableSeqs, func(i, j int) bool { return tableSeqs[i] > tableSeqs[j] })
 	for _, seq := range tableSeqs {
-		r, err := sstable.Open(ns.tablePath(seq))
+		r, err := ns.openTable(ns.tablePath(seq))
 		if err != nil {
 			return nil, err
 		}
@@ -287,6 +314,10 @@ func (e *Engine) openNamespace(name string) (*Namespace, error) {
 // metrics and tests.
 func (e *Engine) Cache() *Cache { return e.cache }
 
+// BlockCache exposes the engine's decoded-block cache (nil when
+// disabled) for metrics and tests.
+func (e *Engine) BlockCache() *BlockCache { return e.blockCache }
+
 // Stats summarises engine state for metrics and the director.
 type Stats struct {
 	Namespaces    int
@@ -294,6 +325,7 @@ type Stats struct {
 	TableCount    int
 	RecordCount   int64
 	Cache         CacheStats
+	BlockCache    BlockCacheStats
 }
 
 // Stats returns aggregate statistics across namespaces.
@@ -304,6 +336,9 @@ func (e *Engine) Stats() Stats {
 	s.Namespaces = len(e.namespaces)
 	if e.cache != nil {
 		s.Cache = e.cache.Stats()
+	}
+	if e.blockCache != nil {
+		s.BlockCache = e.blockCache.Stats()
 	}
 	for _, ns := range e.namespaces {
 		ns.mu.RLock()

@@ -178,6 +178,16 @@ func TestCompactionBoundsTableCount(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Compaction is a background size-tiered pass; wait for the stack
+	// to converge under the MaxTables budget.
+	deadline := time.Now().Add(5 * time.Second)
+	for ns.TableCount() > 4 {
+		ns.WaitCompaction()
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if got := ns.TableCount(); got > 4 {
 		t.Fatalf("TableCount = %d after compaction, want <= 4", got)
 	}

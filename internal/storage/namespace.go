@@ -52,6 +52,16 @@ type Namespace struct {
 	// rewrites the tables without them (see TruncateRange).
 	excluded map[*sstable.Reader][]keyRange
 
+	// Background size-tiered compaction state (see compaction.go).
+	// compacting marks tables claimed by an in-flight tier merge;
+	// tierStops holds the stop channel of each in-flight merge so
+	// foreground paths can cancel them; bgErr is the first background
+	// merge failure, surfaced on the next Flush or close.
+	compacting map[*sstable.Reader]bool
+	tierStops  map[chan struct{}]struct{}
+	tierWG     sync.WaitGroup
+	bgErr      error
+
 	compactMu sync.Mutex // serialises flush+compaction
 }
 
@@ -382,6 +392,17 @@ func (ns *Namespace) scan(start, end []byte, fn func(record.Record) bool) error 
 		sources = append(sources, snapshotRange(ns.flushing, start, end))
 	}
 	tables := append([]*sstable.Reader(nil), ns.tables...)
+	// Pin the snapshot: a background tier merge may splice these
+	// tables out and unlink their files while we stream blocks below.
+	// The references keep the files open (and on disk) until released.
+	for _, t := range tables {
+		t.Retain()
+	}
+	defer func() {
+		for _, t := range tables {
+			t.Release()
+		}
+	}()
 	var exclusions map[*sstable.Reader][]keyRange
 	if len(ns.excluded) > 0 {
 		exclusions = make(map[*sstable.Reader][]keyRange, len(ns.excluded))
@@ -488,11 +509,17 @@ func (h *srcHeap) Pop() any {
 }
 
 // Flush persists the current memtable to a new SSTable and truncates
-// the WAL. No-op for in-memory namespaces and empty memtables.
+// the WAL. No-op for in-memory namespaces and empty memtables. A
+// pending background-compaction failure is surfaced here (writes keep
+// succeeding into the memtable, but the condition must not stay
+// silent).
 func (ns *Namespace) Flush() error {
 	ns.compactMu.Lock()
 	defer ns.compactMu.Unlock()
-	return ns.flushLocked()
+	if err := ns.flushLocked(); err != nil {
+		return err
+	}
+	return ns.takeBgErr()
 }
 
 func (ns *Namespace) flushLocked() error {
@@ -539,7 +566,7 @@ func (ns *Namespace) flushLocked() error {
 		ns.clearFlushing()
 		return err
 	}
-	rd, err := sstable.Open(path)
+	rd, err := ns.openTable(path)
 	if err != nil {
 		ns.clearFlushing()
 		return err
@@ -556,9 +583,26 @@ func (ns *Namespace) flushLocked() error {
 		return err
 	}
 	if nTables > ns.engine.opts.MaxTables {
-		return ns.compactLocked()
+		// Size-tiered compaction drains the pressure in the background;
+		// the write that triggered the flush is not stalled behind a
+		// whole-stack merge.
+		ns.kickCompaction()
 	}
 	return nil
+}
+
+// openTable opens a finished SSTable and attaches the engine's shared
+// block cache. Every table the namespace serves reads from must be
+// opened through here.
+func (ns *Namespace) openTable(path string) (*sstable.Reader, error) {
+	rd, err := sstable.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if bc := ns.engine.blockCache; bc != nil {
+		rd.SetBlockCache(bc)
+	}
+	return rd, nil
 }
 
 func (ns *Namespace) clearFlushing() {
@@ -585,6 +629,11 @@ func (ns *Namespace) clearFlushing() {
 func (ns *Namespace) TruncateRange(start, end []byte) (int, error) {
 	ns.compactMu.Lock()
 	defer ns.compactMu.Unlock()
+	// Stop in-flight tier merges before installing exclusions: a merge
+	// selected before the exclusion existed would splice in an output
+	// that still contains the truncated records while deleting the
+	// consumed tables' exclusion entries — resurrecting the range.
+	ns.cancelTierMerges()
 	cache := ns.engine.cache
 	ns.mu.Lock()
 	if ns.closed {
@@ -663,6 +712,11 @@ func (ns *Namespace) Compact() error {
 }
 
 func (ns *Namespace) compactLocked() error {
+	// A major compaction consumes the whole stack; in-flight background
+	// tier merges would race the snapshot below, so stop and drain them
+	// first (they poll for cancellation between records, so this is
+	// bounded by one poll interval, not by a merge's full runtime).
+	ns.cancelTierMerges()
 	ns.mu.RLock()
 	tables := append([]*sstable.Reader(nil), ns.tables...)
 	seq := ns.tableSeq
@@ -698,6 +752,9 @@ func (ns *Namespace) compactLocked() error {
 	merged, err := sstable.Merge(ns.tablePath(seq), opts, tables...)
 	if err != nil {
 		return fmt.Errorf("storage: compact %s: %w", ns.name, err)
+	}
+	if bc := ns.engine.blockCache; bc != nil {
+		merged.SetBlockCache(bc)
 	}
 
 	ns.mu.Lock()
@@ -743,15 +800,20 @@ func (ns *Namespace) close() error {
 	if err := ns.flushLocked(); err != nil && err != ErrClosed {
 		return err
 	}
+	// The final flush may have kicked a background pass; its pick will
+	// block on compactMu and bail on ns.closed, but merges already in
+	// flight must unwind before their tables are closed under them.
+	ns.cancelTierMerges()
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	if ns.closed {
 		return nil
 	}
 	ns.closed = true
-	var firstErr error
+	firstErr := ns.bgErr
+	ns.bgErr = nil
 	if ns.log != nil {
-		if err := ns.log.Close(); err != nil {
+		if err := ns.log.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -75,9 +75,10 @@ type Log struct {
 	opts Options
 
 	mu        sync.Mutex
+	dirFile   *os.File // directory handle, fsynced on segment create/remove
 	active    *os.File
 	activeID  uint64
-	activeLen int64
+	activeLen int64 // logical tail: bytes appended (segments are preallocated longer)
 	closed    bool
 
 	// Group-commit state: writers park on syncWaiters and one leader
@@ -86,10 +87,11 @@ type Log struct {
 	syncWaiters []chan error
 	syncLeader  bool
 
-	appends atomic.Int64 // records appended
-	syncs   atomic.Int64 // fsyncs issued through append/sync paths
-	groups  atomic.Int64 // commit groups flushed by SyncGroup
-	grouped atomic.Int64 // writers whose durability was covered by a group fsync
+	appends  atomic.Int64 // records appended
+	syncs    atomic.Int64 // fsyncs issued through append/sync paths
+	groups   atomic.Int64 // commit groups flushed by SyncGroup
+	grouped  atomic.Int64 // writers whose durability was covered by a group fsync
+	dirSyncs atomic.Int64 // directory fsyncs after segment create/remove
 
 	// testHookBeforeGroupSync, when set, runs in the leader just
 	// before each group fsync; tests use it to park the leader so a
@@ -100,19 +102,21 @@ type Log struct {
 // Stats counts append and fsync activity, exposing how much work group
 // commit saved: Grouped/Groups is the mean commit-group size.
 type Stats struct {
-	Appends int64 // records appended
-	Syncs   int64 // fsyncs issued
-	Groups  int64 // commit groups flushed by SyncGroup
-	Grouped int64 // writers covered by those group fsyncs
+	Appends  int64 // records appended
+	Syncs    int64 // fsyncs issued
+	Groups   int64 // commit groups flushed by SyncGroup
+	Grouped  int64 // writers covered by those group fsyncs
+	DirSyncs int64 // directory fsyncs making segment create/remove durable
 }
 
 // Stats returns a snapshot of the log's counters.
 func (l *Log) Stats() Stats {
 	return Stats{
-		Appends: l.appends.Load(),
-		Syncs:   l.syncs.Load(),
-		Groups:  l.groups.Load(),
-		Grouped: l.grouped.Load(),
+		Appends:  l.appends.Load(),
+		Syncs:    l.syncs.Load(),
+		Groups:   l.groups.Load(),
+		Grouped:  l.grouped.Load(),
+		DirSyncs: l.dirSyncs.Load(),
 	}
 }
 
@@ -126,15 +130,22 @@ func Open(dir string, opts *Options) (*Log, []record.Record, error) {
 		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts.withDefaults()}
+	df, err := os.Open(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open dir: %w", err)
+	}
+	l.dirFile = df
 
 	ids, err := l.segmentIDs()
 	if err != nil {
+		df.Close()
 		return nil, nil, err
 	}
 	var recovered []record.Record
 	for _, id := range ids {
 		recs, err := readSegment(l.segmentPath(id))
 		if err != nil {
+			df.Close()
 			return nil, nil, err
 		}
 		recovered = append(recovered, recs...)
@@ -145,6 +156,7 @@ func Open(dir string, opts *Options) (*Log, []record.Record, error) {
 		nextID = ids[n-1] + 1
 	}
 	if err := l.openSegment(nextID); err != nil {
+		df.Close()
 		return nil, nil, err
 	}
 	return l, recovered, nil
@@ -179,20 +191,41 @@ func (l *Log) AppendGroup(rec record.Record) error {
 	return l.SyncGroup()
 }
 
+// encBufPool recycles per-record encode buffers across appends so the
+// vectored batch write allocates nothing on the steady path.
+var encBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1<<10)
+	return &b
+}}
+
 func (l *Log) appendRecords(recs []record.Record, sync bool) error {
-	var buf []byte
-	for _, rec := range recs {
-		buf = rec.AppendBinary(buf)
+	// Encode outside the lock: one pooled buffer per record, handed to
+	// a single vectored write below, so a batch costs one syscall and
+	// no concatenation copy.
+	bufs := make([]*[]byte, len(recs))
+	iovs := make([][]byte, len(recs))
+	total := 0
+	for i, rec := range recs {
+		bp := encBufPool.Get().(*[]byte)
+		*bp = rec.AppendBinary((*bp)[:0])
+		bufs[i] = bp
+		iovs[i] = *bp
+		total += len(*bp)
 	}
+	defer func() {
+		for _, bp := range bufs {
+			encBufPool.Put(bp)
+		}
+	}()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	if _, err := l.active.Write(buf); err != nil {
+	if err := writeVectored(l.active, iovs); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	l.activeLen += int64(len(buf))
+	l.activeLen += int64(total)
 	l.appends.Add(int64(len(recs)))
 	if sync {
 		if err := l.active.Sync(); err != nil {
@@ -277,6 +310,7 @@ func (l *Log) Truncate() error {
 	if err != nil {
 		return err
 	}
+	removed := false
 	for _, id := range ids {
 		if id == l.activeID {
 			continue
@@ -284,6 +318,13 @@ func (l *Log) Truncate() error {
 		if err := os.Remove(l.segmentPath(id)); err != nil {
 			return fmt.Errorf("wal: truncate segment %d: %w", id, err)
 		}
+		removed = true
+	}
+	if removed {
+		// Make the removals durable: without a directory fsync a crash
+		// can bring the unlinked segments back, and recovery would
+		// replay records the engine already considers truncated.
+		return l.syncDir()
 	}
 	return nil
 }
@@ -307,6 +348,9 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.dirFile != nil {
+		l.dirFile.Close()
+	}
 	if err := l.active.Sync(); err != nil {
 		l.active.Close()
 		return err
@@ -336,17 +380,39 @@ func (l *Log) roll() error {
 	return l.openSegment(l.activeID + 1)
 }
 
+// openSegment creates a fresh segment file (segment IDs are never
+// reused: recovery always starts a new segment past the highest
+// existing one). The file is preallocated to SegmentBytes so steady
+// appends never grow the inode — the size update would otherwise ride
+// along with every fsync — and the write offset starts at 0. Trailing
+// preallocated zeroes are harmless to recovery: a zero frame header
+// fails validation, terminating replay exactly at the logical tail.
 func (l *Log) openSegment(id uint64) error {
-	f, err := os.OpenFile(l.segmentPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(l.segmentPath(id), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: open segment %d: %w", id, err)
 	}
-	st, err := f.Stat()
-	if err != nil {
+	if err := f.Truncate(l.opts.SegmentBytes); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("wal: preallocate segment %d: %w", id, err)
 	}
-	l.active, l.activeID, l.activeLen = f, id, st.Size()
+	l.active, l.activeID, l.activeLen = f, id, 0
+	// The segment's directory entry must survive a crash: recovery
+	// silently skips a segment whose entry was lost, replaying a hole
+	// into the middle of the log.
+	return l.syncDir()
+}
+
+// syncDir fsyncs the log directory, making segment creates and removes
+// durable. Callers hold l.mu.
+func (l *Log) syncDir() error {
+	if l.dirFile == nil {
+		return nil
+	}
+	if err := l.dirFile.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	l.dirSyncs.Add(1)
 	return nil
 }
 

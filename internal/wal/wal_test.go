@@ -16,6 +16,20 @@ func rec(k, v string, ver uint64) record.Record {
 	return record.Record{Key: []byte(k), Value: []byte(v), Version: ver}
 }
 
+// validTail returns the byte offset just past the last decodable frame
+// in a segment image. Segments are preallocated, so the file extends
+// past the logical tail with zero padding.
+func validTail(data []byte) int64 {
+	rest := data
+	for {
+		_, rem, err := record.DecodeBinary(rest)
+		if err != nil {
+			return int64(len(data) - len(rest))
+		}
+		rest = rem
+	}
+}
+
 func TestAppendAndRecover(t *testing.T) {
 	dir := t.TempDir()
 	l, recovered, err := Open(dir, nil)
@@ -100,13 +114,19 @@ func TestTornTailRecovery(t *testing.T) {
 	}
 	l.Close()
 
-	// Simulate a crash mid-append: truncate the last few bytes.
+	// Simulate a crash mid-append: truncate the last few bytes of the
+	// logical data (segments are preallocated, so the file's tail is
+	// zero padding — the torn frame must cut into the final record).
 	seg := filepath.Join(dir, "000000001.wal")
 	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+	tail := validTail(data)
+	if tail == 0 {
+		t.Fatal("segment holds no decodable records")
+	}
+	if err := os.Truncate(seg, tail-3); err != nil {
 		t.Fatal(err)
 	}
 
@@ -416,5 +436,79 @@ func BenchmarkAppend(b *testing.B) {
 		if err := l.Append(r); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Segment creation and removal must be made durable with a directory
+// fsync, or a crash can lose a freshly created segment's dirent (losing
+// acked writes) or resurrect truncated segments (replaying records the
+// engine already considers gone).
+func TestDirectoryFsyncOnSegmentLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	base := l.Stats().DirSyncs
+	if base < 1 {
+		t.Fatalf("Open created segment 1 with no directory fsync (DirSyncs = %d)", base)
+	}
+	if err := l.Append(rec("a", "1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	afterRotate := l.Stats().DirSyncs
+	if afterRotate <= base {
+		t.Fatalf("Rotate created a segment with no directory fsync (DirSyncs %d -> %d)", base, afterRotate)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	afterTruncate := l.Stats().DirSyncs
+	if afterTruncate <= afterRotate {
+		t.Fatalf("Truncate removed segments with no directory fsync (DirSyncs %d -> %d)", afterRotate, afterTruncate)
+	}
+	// A Truncate with nothing to remove must not pay for a sync.
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().DirSyncs; got != afterTruncate {
+		t.Fatalf("no-op Truncate issued a directory fsync (DirSyncs %d -> %d)", afterTruncate, got)
+	}
+}
+
+// Preallocated segments must still recover cleanly: the zero padding
+// past the logical tail terminates replay without corrupting records.
+func TestPreallocatedSegmentRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, &Options{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(rec(fmt.Sprintf("k%02d", i), "v", uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(filepath.Join(dir, "000000001.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 64<<10 {
+		t.Fatalf("segment size = %d, want preallocated 64 KiB", st.Size())
+	}
+	_, recovered, err := Open(dir, &Options{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 10 {
+		t.Fatalf("recovered %d records from preallocated segment, want 10", len(recovered))
 	}
 }

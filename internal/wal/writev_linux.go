@@ -1,0 +1,67 @@
+//go:build linux
+
+package wal
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// iovMax is the portable ceiling on iovecs per writev call (POSIX
+// guarantees at least 16; Linux's IOV_MAX is 1024).
+const iovMax = 1024
+
+// writeVectored writes every buffer in bufs to f with as few writev
+// syscalls as possible — one for any batch up to iovMax buffers. The
+// kernel advances the file offset exactly as a sequence of Writes
+// would, so it composes with the Log's positional bookkeeping.
+func writeVectored(f *os.File, bufs [][]byte) error {
+	iovs := make([]syscall.Iovec, 0, len(bufs))
+	total := 0
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		iov := syscall.Iovec{Base: &b[0]}
+		iov.SetLen(len(b))
+		iovs = append(iovs, iov)
+		total += len(b)
+	}
+	for len(iovs) > 0 {
+		n := len(iovs)
+		if n > iovMax {
+			n = iovMax
+		}
+		wrote, _, errno := syscall.Syscall(
+			syscall.SYS_WRITEV,
+			f.Fd(),
+			uintptr(unsafe.Pointer(&iovs[0])),
+			uintptr(n),
+		)
+		runtime.KeepAlive(bufs)
+		if errno != 0 {
+			return errno
+		}
+		// Consume fully written iovecs; resume a partially written one
+		// mid-buffer (rare — page-cache writes normally complete).
+		remaining := int(wrote)
+		for remaining > 0 && len(iovs) > 0 {
+			l := int(iovs[0].Len)
+			if remaining < l {
+				iovs[0].Base = (*byte)(unsafe.Pointer(uintptr(unsafe.Pointer(iovs[0].Base)) + uintptr(remaining)))
+				iovs[0].SetLen(l - remaining)
+				remaining = 0
+				break
+			}
+			remaining -= l
+			iovs = iovs[1:]
+		}
+		if wrote == 0 && len(iovs) > 0 {
+			return io.ErrShortWrite
+		}
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// writeVectored is the portable fallback: sequential writes, one per
+// buffer. Linux builds replace this with a single writev syscall.
+func writeVectored(f *os.File, bufs [][]byte) error {
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		if _, err := f.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,6 +9,12 @@ import (
 	"scads/internal/storage"
 )
 
+// defaultNodeBlockCacheBytes sizes the per-node decoded-block cache a
+// disk-backed LocalCluster node gets unless Config.NodeStorage says
+// otherwise (negative = disabled). In-memory nodes have no SSTables
+// and never build one.
+const defaultNodeBlockCacheBytes = 16 << 20
+
 // LocalCluster bundles a Cluster with in-process storage nodes — the
 // form every test, example and simulation uses. Nodes run the same
 // cluster.Node code a TCP deployment serves; only the transport is
@@ -66,6 +72,11 @@ func (lc *LocalCluster) AddStorageNode() (string, error) {
 		// Per-node subdirectory so nodes sharing a configured data
 		// root never collide.
 		sopts.Dir = fmt.Sprintf("%s/%s", sopts.Dir, id)
+		if sopts.BlockCacheBytes == 0 {
+			// Disk-backed nodes default the decoded-block cache on;
+			// pass a negative value to keep it off (ablations).
+			sopts.BlockCacheBytes = defaultNodeBlockCacheBytes
+		}
 	}
 	engine, err := storage.Open(sopts)
 	if err != nil {
