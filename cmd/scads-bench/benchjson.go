@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"scads/internal/expgrid"
 )
 
 // BenchMetric is one gated measurement of an experiment run. In a
@@ -17,16 +19,25 @@ import (
 // A zero-valued lower-is-better baseline with zero tolerance is a hard
 // gate: any non-zero run value fails (the lost-updates / scan-errors
 // invariants).
+//
+// Grid runs with repeats write grouped summaries: Value is the mean
+// over the row's repeats and Std the sample standard deviation. The
+// gate applies to the mean; Std is reported so a pass riding on
+// variance is visible in the verdict table.
 type BenchMetric struct {
 	Value     float64 `json:"value"`
+	Std       float64 `json:"std,omitempty"`
 	Direction string  `json:"direction,omitempty"`
 	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
-// BenchSummary is the machine-readable result of one experiment,
-// written as BENCH_<exp>.json next to the human-readable series.
+// BenchSummary is the machine-readable result of one experiment (or
+// one grid row), written as BENCH_<exp>.json next to the
+// human-readable series. Repeats records how many independent repeats
+// the grouped metrics aggregate (0/absent = a single legacy run).
 type BenchSummary struct {
 	Experiment string                 `json:"experiment"`
+	Repeats    int                    `json:"repeats,omitempty"`
 	Metrics    map[string]BenchMetric `json:"metrics"`
 }
 
@@ -60,6 +71,27 @@ func writeBenchSummary(exp string, values map[string]float64) {
 		log.Fatalf("scads-bench: %v", err)
 	}
 	log.Printf("%s: wrote %s", exp, path)
+}
+
+// writeGroupedBenchSummary persists a grid row's aggregated metrics
+// as BENCH_<row>.json: mean as the gated value, std and the repeat
+// count alongside. Like writeBenchSummary, run files never carry
+// direction/tolerance — policy lives only in committed baselines.
+func writeGroupedBenchSummary(dir string, row expgrid.RowResult) {
+	metrics := make(map[string]BenchMetric, len(row.Grouped))
+	for name, a := range row.Grouped {
+		metrics[name] = BenchMetric{Value: a.Mean, Std: a.Std}
+	}
+	s := BenchSummary{Experiment: row.Row.ID, Repeats: len(row.Repeats), Metrics: metrics}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		log.Fatalf("scads-bench: %v", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+row.Row.ID+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		log.Fatalf("scads-bench: %v", err)
+	}
+	log.Printf("grid row %s: wrote %s", row.Row.ID, path)
 }
 
 func readSummary(path string) (*BenchSummary, error) {
@@ -102,7 +134,12 @@ func compareBenchmarks(runDir, baselineDir string) int {
 		if err != nil {
 			log.Fatalf("scads-bench: %v", err)
 		}
-		fmt.Printf("%s (baseline %s):\n", run.Experiment, basePath)
+		if run.Repeats > 1 {
+			fmt.Printf("%s (baseline %s; run is mean over %d repeats, gate on mean):\n",
+				run.Experiment, basePath, run.Repeats)
+		} else {
+			fmt.Printf("%s (baseline %s):\n", run.Experiment, basePath)
+		}
 		names := make([]string, 0, len(base.Metrics))
 		for name := range base.Metrics {
 			names = append(names, name)
@@ -122,21 +159,20 @@ func compareBenchmarks(runDir, baselineDir string) int {
 				verdict = fmt.Sprintf("REGRESSION (%s bound %g)", bm.Direction, bound)
 				regressions++
 			}
-			fmt.Printf("  %-34s %14g   baseline %g  %s\n", name, rm.Value, bm.Value, verdict)
+			cell := fmt.Sprintf("%g", rm.Value)
+			if run.Repeats > 1 {
+				cell = fmt.Sprintf("%g ±%g", rm.Value, rm.Std)
+			}
+			fmt.Printf("  %-34s %20s   baseline %g  %s\n", name, cell, bm.Value, verdict)
 		}
 	}
 	return regressions
 }
 
 // withinTolerance applies a baseline metric's policy to a run value,
-// returning the verdict and the bound that was enforced.
+// returning the verdict and the bound that was enforced. The policy
+// semantics live in expgrid.Baseline so the markdown report and this
+// gate can never diverge.
 func withinTolerance(base BenchMetric, got float64) (bool, float64) {
-	switch base.Direction {
-	case "lower":
-		bound := base.Value * (1 + base.Tolerance)
-		return got <= bound, bound
-	default: // "higher" (and unset, the conservative reading)
-		bound := base.Value * (1 - base.Tolerance)
-		return got >= bound, bound
-	}
+	return expgrid.Baseline{Value: base.Value, Direction: base.Direction, Tolerance: base.Tolerance}.Within(got)
 }

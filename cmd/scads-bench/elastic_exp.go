@@ -5,6 +5,7 @@ import (
 	"log"
 
 	"scads"
+	"scads/internal/expgrid"
 )
 
 // runE16 closes the Figure 2 loop end to end: three workload
@@ -16,13 +17,17 @@ import (
 // synthetic per-class telemetry on a virtual clock — and gated via
 // the committed BENCH_e16.json baseline; lost/corrupted acked writes
 // are a hard zero on every run.
-func runE16() {
+//
+// No grid parameters: the scenarios are fully declared in code, and a
+// multi-repeat grid row proves the control-plane metrics come back
+// bit-identical on every repeat.
+func runE16(expgrid.Params) (expgrid.Metrics, error) {
 	scenarios := []scads.ElasticScenario{
 		scads.ElasticDiurnalScenario(),
 		scads.ElasticFlashCrowdScenario(),
 		scads.ElasticHotspotShiftScenario(),
 	}
-	metrics := make(map[string]float64)
+	metrics := make(expgrid.Metrics)
 	lost, corrupt := 0, 0
 	fmt.Printf("%-14s %6s %6s %6s %10s %10s %9s %7s %7s %9s\n",
 		"scenario", "ticks", "peak", "final", "viol-min", "srv-hours", "cost-usd", "ups", "downs", "acked")
@@ -42,7 +47,6 @@ func runE16() {
 	}
 	metrics["lost_acked_writes"] = float64(lost)
 	metrics["corrupted_acked_writes"] = float64(corrupt)
-	writeBenchSummary("e16", metrics)
 	fmt.Println()
 	fmt.Printf("  %-34s %12d\n", "lost acked writes", lost)
 	fmt.Printf("  %-34s %12d\n", "corrupted acked writes", corrupt)
@@ -50,4 +54,5 @@ func runE16() {
 		log.Fatalf("e16: scale events lost acked writes (lost=%d corrupt=%d)", lost, corrupt)
 	}
 	fmt.Println("  zero acked writes lost across all scale events")
+	return metrics, nil
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"scads/internal/expgrid"
+)
+
+// TestCommittedGridParses pins the committed experiments.json to the
+// registry: every row must name a registered experiment and override
+// only declared parameters. A rename or a typo in either place fails
+// here, not in CI's bench-gate.
+func TestCommittedGridParses(t *testing.T) {
+	data, err := os.ReadFile("../../experiments.json")
+	if err != nil {
+		t.Fatalf("read committed grid: %v", err)
+	}
+	g, err := expgrid.ParseGrid(data, gridRegistry())
+	if err != nil {
+		t.Fatalf("committed experiments.json invalid: %v", err)
+	}
+	if len(g.Rows) < 8 {
+		t.Fatalf("committed grid has %d rows, want >= 8 (e12..e17 plus workload variants)", len(g.Rows))
+	}
+	variants := 0
+	for _, row := range g.Rows {
+		if len(row.Params) > 0 {
+			variants++
+		}
+	}
+	if variants < 2 {
+		t.Fatalf("committed grid has %d override rows, want >= 2 (scenario diversity)", variants)
+	}
+}
+
+// TestGridRegistryDefaultsValidate runs every registered experiment's
+// parameter validation (not its workload) at declared defaults by
+// constructing the same Params the legacy -exp path uses. Defaults
+// that an experiment would reject are caught here.
+func TestGridRegistryDefaultsValidate(t *testing.T) {
+	for _, exp := range gridRegistry().List() {
+		p := defaultParams(exp, 1)
+		for _, spec := range exp.Params {
+			if got := p.Get(spec.Name); got != spec.Default {
+				t.Errorf("%s: default %s = %g, want %g", exp.ID, spec.Name, got, spec.Default)
+			}
+		}
+	}
+}
+
+// TestGroupedSummaryRoundTrip writes a grouped BENCH_<row>.json and
+// reads it back through the same decoder -compare uses, verifying the
+// mean/std/repeats fields survive the trip.
+func TestGroupedSummaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	row := expgrid.RowResult{
+		Row: expgrid.Row{ID: "fake", Experiment: "e12"},
+		Repeats: []expgrid.RepeatResult{
+			{Repeat: 0, Metrics: expgrid.Metrics{"m": 10}},
+			{Repeat: 1, Metrics: expgrid.Metrics{"m": 14}},
+		},
+	}
+	row.Grouped = expgrid.Aggregate([]expgrid.Metrics{{"m": 10}, {"m": 14}})
+	writeGroupedBenchSummary(dir, row)
+	s, err := readSummary(dir + "/BENCH_fake.json")
+	if err != nil {
+		t.Fatalf("readSummary: %v", err)
+	}
+	if s.Repeats != 2 {
+		t.Fatalf("repeats = %d, want 2", s.Repeats)
+	}
+	m := s.Metrics["m"]
+	if m.Value != 12 || m.Std == 0 {
+		t.Fatalf("grouped metric = %+v, want mean 12 with non-zero std", m)
+	}
+	if m.Direction != "" || m.Tolerance != 0 {
+		t.Fatalf("run summary must not carry baseline policy: %+v", m)
+	}
+}

@@ -9,10 +9,23 @@
 //	scads-bench -exp e3        # Figure 3: index-maintenance table
 //	scads-bench -exp e4b       # Figure 4 row 2: write consistency
 //	scads-bench -exp all -csv out/   # capture per-experiment output + index.csv
+//	scads-bench -list                # catalogue + grid-overridable parameters
+//
+//	scads-bench -grid experiments.json -out bench-out   # the full grid, with repeats
+//	scads-bench -grid experiments.json -grid-row e17-mixed
+//	scads-bench -compare bench-out                      # regression gate
 //
 // With -csv DIR each experiment's printed series lands in
 // DIR/<id>.out and DIR/index.csv records one row per experiment
 // (id, name, duration, output file) for scripted collection.
+//
+// -grid runs the committed experiment grid: every row of
+// experiments.json executes its experiment with that row's parameter
+// overrides, repeat count and seed policy, and the output directory
+// receives schema-validated runs.csv / summary_grouped.csv, one
+// grouped BENCH_<row>.json per row, and report.md (grouped mean±std
+// diffed against the committed baselines). CI's bench-gate is
+// `-grid` followed by `-compare`.
 package main
 
 import (
@@ -25,7 +38,10 @@ import (
 	"time"
 )
 
-var experiments = []struct {
+// legacyExperiments are the paper-figure reproductions that predate
+// the grid: human-readable series with no gated metrics, runnable
+// only via -exp.
+var legacyExperiments = []struct {
 	id   string
 	name string
 	run  func()
@@ -45,29 +61,38 @@ var experiments = []struct {
 	{"e9", "Advisor: pre-deployment cost & downtime-vs-cost guidance", runE9},
 	{"e10", "Partition contention: priority order arbitration (§3.3.1)", runE10},
 	{"e11", "Workload-driven repartitioning: hot-range split & move", runE11},
-	{"e12", "Writes during migration: lossless online range handoff", runE12},
-	{"e13", "Crash recovery: failure detector, failover, RF repair under load", runE13},
-	{"e14", "Scan pipeline: parallel scatter-gather vs sequential; scans under migration + crash", runE14},
-	{"e15", "RPC wire: binary multiplexed transport vs gob lockstep (throughput under RTT, allocs/op)", runE15},
-	{"e16", "Elastic autoscaling end-to-end: diurnal / flash-crowd / hotspot-shift, SLO minutes & cost", runE16},
-	{"e17", "Storage-engine raw speed: block cache hit ratio & speedup, churn correctness, fence pause under compaction", runE17},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e17, e4a..e4e) or 'all'")
+	exp := flag.String("exp", "", "experiment id (e1..e17, e4a..e4e) or 'all'")
 	csvDir := flag.String("csv", "", "directory for per-experiment output files plus index.csv")
 	jsonDir := flag.String("bench-json", "", "directory for machine-readable BENCH_<exp>.json summaries")
 	compare := flag.String("compare", "", "compare BENCH_*.json summaries in this directory against committed baselines and exit non-zero on regression")
-	baselines := flag.String("baselines", "cmd/scads-bench/baselines", "baseline directory for -compare")
+	baselines := flag.String("baselines", "cmd/scads-bench/baselines", "baseline directory for -compare and the -grid report")
+	grid := flag.String("grid", "", "experiments.json grid: run every row with repeats, emit validated CSVs + grouped summaries + report")
+	gridRow := flag.String("grid-row", "", "with -grid: run only the row with this id")
+	gridRepeats := flag.Int("grid-repeats", 0, "with -grid: raise every row's repeat count to at least this (nightly statistical power)")
+	outDir := flag.String("out", "bench-out", "output directory for -grid artifacts")
+	list := flag.Bool("list", false, "print every experiment and its grid-overridable parameters")
+	seed := flag.Int64("seed", 1, "base RNG seed when running a grid-registered experiment via -exp")
 	flag.Parse()
 	benchJSONDir = *jsonDir
 
-	if *compare != "" {
+	switch {
+	case *list:
+		listExperiments()
+		return
+	case *compare != "":
 		if n := compareBenchmarks(*compare, *baselines); n > 0 {
 			log.Fatalf("scads-bench: %d metric(s) regressed against committed baselines", n)
 		}
 		fmt.Println("all benchmark metrics within tolerance of committed baselines")
 		return
+	case *grid != "":
+		runGridCmd(*grid, *gridRow, *outDir, *gridRepeats, *baselines)
+		return
+	case *exp == "":
+		*exp = "all"
 	}
 
 	var index *os.File
@@ -85,7 +110,7 @@ func main() {
 	}
 
 	ran := false
-	for _, e := range experiments {
+	for _, e := range allExperiments(*seed) {
 		if *exp != "all" && *exp != e.id {
 			continue
 		}
@@ -116,9 +141,38 @@ func main() {
 	}
 	if !ran {
 		log.Printf("unknown experiment %q; available:", *exp)
-		for _, e := range experiments {
+		for _, e := range allExperiments(*seed) {
 			log.Printf("  %-4s %s", e.id, e.name)
 		}
 		os.Exit(2)
 	}
+}
+
+type benchExperiment struct {
+	id   string
+	name string
+	run  func()
+}
+
+// allExperiments is the -exp catalogue: the legacy figure experiments
+// followed by every grid-registered experiment at its declared
+// defaults (the historical single-shot behavior). Grid experiments
+// run through the same Run hook the grid uses; their gated metrics
+// land in -bench-json exactly as before.
+func allExperiments(seed int64) []benchExperiment {
+	all := make([]benchExperiment, 0, len(legacyExperiments)+6)
+	for _, e := range legacyExperiments {
+		all = append(all, benchExperiment{e.id, e.name, e.run})
+	}
+	for _, exp := range gridRegistry().List() {
+		exp := exp
+		all = append(all, benchExperiment{exp.ID, exp.Name, func() {
+			m, err := exp.Run(defaultParams(exp, seed))
+			if err != nil {
+				log.Fatalf("%s: %v", exp.ID, err)
+			}
+			writeBenchSummary(exp.ID, m)
+		}})
+	}
+	return all
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"scads"
+	"scads/internal/expgrid"
 	"scads/internal/migration"
 	"scads/internal/planner"
 )
@@ -29,8 +31,33 @@ import (
 //
 // The run aborts loudly on any lost, corrupted or resurrected record,
 // so capturing this experiment in CI turns the guarantee into a gate.
-func runE12() {
-	lc, err := scads.NewLocalCluster(3, scads.Config{})
+//
+// Grid parameters: nodes, writers, ops_per_writer, migration_rounds,
+// value_size (pads the name column so large-value rows exercise the
+// snapshot/delta page budgets — the e12-bigval grid row).
+func runE12(p expgrid.Params) (expgrid.Metrics, error) {
+	var (
+		nodes        = p.Int("nodes")
+		writers      = p.Int("writers")
+		opsPerWriter = p.Int("ops_per_writer")
+		rounds       = p.Int("migration_rounds")
+		valueSize    = p.Int("value_size")
+	)
+	if nodes < 1 || writers < 1 || writers > 9 || opsPerWriter < 10 || rounds < 1 {
+		return nil, fmt.Errorf("e12: invalid params: nodes=%d writers=%d (1-9) ops_per_writer=%d (>=10) migration_rounds=%d", nodes, writers, opsPerWriter, rounds)
+	}
+	// Writer w at round r writes this value into the name column; the
+	// verification pass recomputes it from the key's writer digit and
+	// the last acknowledged round.
+	name := func(w, round int) string {
+		s := fmt.Sprintf("w%d-r%d", w, round)
+		if valueSize > len(s) {
+			s += strings.Repeat(".", valueSize-len(s))
+		}
+		return s
+	}
+
+	lc, err := scads.NewLocalCluster(nodes, scads.Config{})
 	must(err)
 	defer lc.Close()
 	must(lc.DefineSchema(socialDDL))
@@ -59,10 +86,6 @@ func runE12() {
 		}
 	}
 
-	const (
-		writers      = 4
-		opsPerWriter = 400
-	)
 	type ackedState struct {
 		round   int
 		deleted bool
@@ -79,7 +102,7 @@ func runE12() {
 		for i := 0; i < 50; i++ {
 			id := fmt.Sprintf("user%04d", w*1000+i)
 			must(lc.Insert("users", scads.Row{
-				"id": id, "name": fmt.Sprintf("w%d-r%d", w, -1), "birthday": 1,
+				"id": id, "name": name(w, -1), "birthday": 1,
 			}))
 			lastAcked[id] = ackedState{round: -1}
 			acked++
@@ -103,7 +126,7 @@ func runE12() {
 					continue
 				}
 				must(lc.Insert("users", scads.Row{
-					"id": id, "name": fmt.Sprintf("w%d-r%d", w, i), "birthday": i%365 + 1,
+					"id": id, "name": name(w, i), "birthday": i%365 + 1,
 				}))
 				ackMu.Lock()
 				lastAcked[id] = ackedState{round: i}
@@ -119,7 +142,7 @@ func runE12() {
 	m, _ := lc.Router().Map(ns)
 	nodeIDs := lc.NodeIDs()
 	migrations := 0
-	for r := 0; r < 10; r++ {
+	for r := 0; r < rounds; r++ {
 		for i, rng := range m.Ranges() {
 			key := rng.Start
 			if key == nil {
@@ -146,7 +169,7 @@ func runE12() {
 		case !want.deleted && !found:
 			lost++
 		case !want.deleted && found:
-			if row["name"] != fmt.Sprintf("w%c-r%d", id[4], want.round) {
+			if row["name"] != name(int(id[4]-'0'), want.round) {
 				wrong++
 			}
 		}
@@ -159,14 +182,14 @@ func runE12() {
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		p50Pause = sorted[len(sorted)/2]
 	}
-	writeBenchSummary("e12", map[string]float64{
+	metrics := expgrid.Metrics{
 		"acked_writes":       float64(acked),
 		"lost_updates":       float64(lost),
 		"corrupted_updates":  float64(wrong),
 		"resurrected_dels":   float64(resurrected),
 		"migrations":         float64(migrations),
 		"fence_pause_p50_us": float64(p50Pause.Microseconds()),
-	})
+	}
 	fmt.Printf("%d writers x %d ops against 4 ranges; %d online migrations in %v\n\n",
 		writers, opsPerWriter, migrations, elapsed.Truncate(time.Millisecond))
 	fmt.Printf("  %-34s %12d\n", "acknowledged writes+deletes", acked)
@@ -197,8 +220,9 @@ func runE12() {
 	fmt.Println("and elastic scale-down are no longer data-loss events under load —")
 	fmt.Println("the precondition for the paper's continuous repartitioning (§3.3).")
 
-	// Sanity check the map after ten rounds of churn.
+	// Sanity check the map after the rounds of churn.
 	must(mapValidate(lc, ns))
+	return metrics, nil
 }
 
 func mapValidate(lc *scads.LocalCluster, ns string) error {

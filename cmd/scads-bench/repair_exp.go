@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"scads"
+	"scads/internal/expgrid"
 	"scads/internal/planner"
 	"scads/internal/repair"
 )
@@ -30,9 +31,19 @@ import (
 //   - RF restoration: every range is back at full replication strength
 //     on live nodes before the run ends, and the resurrected node
 //     rejoins as a replica target.
-func runE13() {
-	lc, err := scads.NewLocalCluster(4, scads.Config{
-		ReplicationFactor: 2,
+//
+// Grid parameters: nodes, rf, writers.
+func runE13(p expgrid.Params) (expgrid.Metrics, error) {
+	var (
+		nodes   = p.Int("nodes")
+		rf      = p.Int("rf")
+		writers = p.Int("writers")
+	)
+	if nodes < 2 || rf < 1 || rf > nodes || writers < 1 || writers > 9 {
+		return nil, fmt.Errorf("e13: invalid params: nodes=%d (>=2) rf=%d (1..nodes) writers=%d (1-9)", nodes, rf, writers)
+	}
+	lc, err := scads.NewLocalCluster(nodes, scads.Config{
+		ReplicationFactor: rf,
 		Repair: repair.Config{
 			SweepInterval:    10 * time.Millisecond,
 			HeartbeatTimeout: 250 * time.Millisecond,
@@ -85,7 +96,6 @@ func runE13() {
 		stop      atomic.Bool
 	)
 
-	const writers = 4
 	for w := 0; w < writers; w++ {
 		for i := 0; i < 40; i++ {
 			id := fmt.Sprintf("user%04d", w*1000+i)
@@ -186,7 +196,7 @@ func runE13() {
 	// Quiesce: repair settles, replication and index maintenance
 	// drain.
 	settle := time.Now().Add(10 * time.Second)
-	for !rfRestoredE13(lc, 2) && time.Now().Before(settle) {
+	for !rfRestoredE13(lc, rf) && time.Now().Before(settle) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	lc.Repairs().Quiesce(10 * time.Second)
@@ -218,7 +228,7 @@ func runE13() {
 	detect := detectedAt.Sub(crashedAt)
 	failover := failoverAt.Sub(crashedAt)
 	evMu.Unlock()
-	writeBenchSummary("e13", map[string]float64{
+	metrics := expgrid.Metrics{
 		"acked_writes":      float64(acked.Load()),
 		"lost_updates":      float64(lost),
 		"corrupted_updates": float64(wrong),
@@ -227,9 +237,9 @@ func runE13() {
 		"rf_repairs_done":   float64(st.RepairsDone),
 		"detect_ms":         float64(detect.Milliseconds()),
 		"write_unavail_ms":  float64(time.Duration(windowNs.Load()).Milliseconds()),
-	})
-	fmt.Printf("%d writers under sustained load; primary %s killed and resurrected; RF=2 over 4 nodes\n\n",
-		writers, victimID)
+	}
+	fmt.Printf("%d writers under sustained load; primary %s killed and resurrected; RF=%d over %d nodes\n\n",
+		writers, victimID, rf, nodes)
 	fmt.Printf("  %-34s %12d\n", "acknowledged writes+deletes", acked.Load())
 	fmt.Printf("  %-34s %12d\n", "lost updates", lost)
 	fmt.Printf("  %-34s %12d\n", "corrupted updates", wrong)
@@ -249,7 +259,7 @@ func runE13() {
 	if st.Failovers == 0 || st.RepairsDone == 0 {
 		log.Fatalf("e13: recovery machinery never engaged: %+v", st)
 	}
-	if !rfRestoredE13(lc, 2) {
+	if !rfRestoredE13(lc, rf) {
 		log.Fatalf("e13: RF not restored: repair stats %+v", st)
 	}
 
@@ -259,6 +269,7 @@ func runE13() {
 	fmt.Println("strength was rebuilt from surviving replicas — node failures are now")
 	fmt.Println("routine events, not data-loss incidents (the director's promise in §1).")
 	must(mapValidate(lc, ns))
+	return metrics, nil
 }
 
 // rfRestoredE13 reports whether every range of every namespace has rf

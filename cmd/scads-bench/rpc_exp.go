@@ -35,16 +35,12 @@ import (
 	"sync"
 	"time"
 
+	"scads/internal/expgrid"
 	"scads/internal/record"
 	"scads/internal/rpc"
 )
 
-const (
-	e15RTT        = 2 * time.Millisecond
-	e15Pipelines  = 64 // concurrent callers sharing the one pipelined conn
-	e15Window     = 1500 * time.Millisecond
-	e15AllocCalls = 20000
-)
+const e15RTT = 2 * time.Millisecond
 
 // e15Handler is a tiny KV node-alike: it answers the apply-shaped
 // payload the experiment round-trips, optionally charging a simulated
@@ -88,13 +84,15 @@ func (h *e15Handler) Serve(req rpc.Request) rpc.Response {
 
 // e15Payload is the apply-shaped request both protocols carry: two
 // versioned records, the group-commit batch shape PR 1 made hot.
-func e15Payload() rpc.Request {
+// valueSize scales the per-record value so grid rows can probe how
+// the alloc and throughput gaps move with payload weight.
+func e15Payload(valueSize int) rpc.Request {
 	return rpc.Request{
 		Method:    rpc.MethodApply,
 		Namespace: "users",
 		Records: []record.Record{
-			{Key: []byte("user:000000000001"), Value: bytes.Repeat([]byte("v"), 128), Version: 1},
-			{Key: []byte("user:000000000002"), Value: bytes.Repeat([]byte("w"), 128), Version: 2},
+			{Key: []byte("user:000000000001"), Value: bytes.Repeat([]byte("v"), valueSize), Version: 1},
+			{Key: []byte("user:000000000002"), Value: bytes.Repeat([]byte("w"), valueSize), Version: 2},
 		},
 	}
 }
@@ -159,14 +157,13 @@ func (c *gobLockstepClient) call(req rpc.Request) (rpc.Response, error) {
 
 // measureLockstep drives strict request/response lockstep on one gob
 // connection for the window and returns ops/sec.
-func measureLockstep(addr string) float64 {
+func measureLockstep(addr string, window time.Duration, req rpc.Request) float64 {
 	c, err := dialGobLockstep(addr)
 	must(err)
 	defer c.conn.Close()
-	req := e15Payload()
 	ops := 0
 	start := time.Now()
-	for time.Since(start) < e15Window {
+	for time.Since(start) < window {
 		if _, err := c.call(req); err != nil {
 			log.Fatalf("e15: lockstep call: %v", err)
 		}
@@ -178,10 +175,9 @@ func measureLockstep(addr string) float64 {
 // measurePipelined drives K concurrent callers through one transport —
 // and therefore one multiplexed TCP connection — for the window and
 // returns aggregate ops/sec.
-func measurePipelined(addr string) float64 {
+func measurePipelined(addr string, pipelines int, window time.Duration, req rpc.Request) float64 {
 	tr := rpc.NewTCPTransport()
 	defer tr.Close()
-	req := e15Payload()
 
 	// Prime the connection so the window measures steady state.
 	if _, err := tr.Call(addr, req); err != nil {
@@ -192,12 +188,12 @@ func measurePipelined(addr string) float64 {
 	var mu sync.Mutex
 	total := 0
 	start := time.Now()
-	for i := 0; i < e15Pipelines; i++ {
+	for i := 0; i < pipelines; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			ops := 0
-			for time.Since(start) < e15Window {
+			for time.Since(start) < window {
 				if _, err := tr.Call(addr, req); err != nil {
 					log.Fatalf("e15: pipelined call: %v", err)
 				}
@@ -212,8 +208,8 @@ func measurePipelined(addr string) float64 {
 	return float64(total) / time.Since(start).Seconds()
 }
 
-// measureAllocs returns heap allocations per call for fn run
-// e15AllocCalls times, counting both sides of the in-process pair.
+// measureAllocs returns heap allocations per call for fn run `calls`
+// times, counting both sides of the in-process pair.
 func measureAllocs(calls int, fn func()) float64 {
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -225,7 +221,18 @@ func measureAllocs(calls int, fn func()) float64 {
 	return float64(after.Mallocs-before.Mallocs) / float64(calls)
 }
 
-func runE15() {
+// Grid parameters: pipelines, window_ms, value_size, alloc_calls.
+func runE15(p expgrid.Params) (expgrid.Metrics, error) {
+	var (
+		pipelines  = p.Int("pipelines")
+		window     = time.Duration(p.Get("window_ms") * float64(time.Millisecond))
+		valueSize  = p.Int("value_size")
+		allocCalls = p.Int("alloc_calls")
+	)
+	if pipelines < 2 || window < 100*time.Millisecond || valueSize < 1 || allocCalls < 100 {
+		return nil, fmt.Errorf("e15: invalid params: pipelines=%d (>=2) window_ms=%v (>=100) value_size=%d (>=1) alloc_calls=%d (>=100)",
+			pipelines, window, valueSize, allocCalls)
+	}
 	// --- throughput under RTT: lockstep vs pipelined, one conn each ---
 	delayed := newE15Handler(e15RTT)
 
@@ -239,13 +246,15 @@ func runE15() {
 	must(err)
 	defer binSrv.Close()
 
-	lockstepOps := measureLockstep(gobLn.Addr().String())
-	pipelinedOps := measurePipelined(binAddr)
+	payload := e15Payload(valueSize)
+	lockstepOps := measureLockstep(gobLn.Addr().String(), window, payload)
+	pipelinedOps := measurePipelined(binAddr, pipelines, window, payload)
 	speedup := pipelinedOps / lockstepOps
 
-	fmt.Printf("single-connection throughput under %v simulated RTT (%d-record apply payload):\n", e15RTT, len(e15Payload().Records))
+	fmt.Printf("single-connection throughput under %v simulated RTT (%d-record apply payload, %dB values):\n",
+		e15RTT, len(payload.Records), valueSize)
 	fmt.Printf("  gob lockstep        %10.0f ops/s   (ceiling ~%0.f: one RTT per call)\n", lockstepOps, 1/e15RTT.Seconds())
-	fmt.Printf("  binary pipelined    %10.0f ops/s   (%d callers multiplexed on one conn)\n", pipelinedOps, e15Pipelines)
+	fmt.Printf("  binary pipelined    %10.0f ops/s   (%d callers multiplexed on one conn)\n", pipelinedOps, pipelines)
 	fmt.Printf("  speedup             %10.1fx\n\n", speedup)
 
 	// --- allocations per round trip: gob vs binary, no delay ----------
@@ -266,7 +275,7 @@ func runE15() {
 	tr := rpc.NewTCPTransport()
 	defer tr.Close()
 
-	req := e15Payload()
+	req := e15Payload(valueSize)
 	// Warm both paths (gob stream type dictionary, pooled buffers,
 	// storage maps) so steady state is what gets measured.
 	for i := 0; i < 100; i++ {
@@ -277,31 +286,31 @@ func runE15() {
 			log.Fatalf("e15: binary warmup: %v", err)
 		}
 	}
-	gobAllocs := measureAllocs(e15AllocCalls, func() {
+	gobAllocs := measureAllocs(allocCalls, func() {
 		if _, err := gc.call(req); err != nil {
 			log.Fatalf("e15: gob alloc run: %v", err)
 		}
 	})
-	binAllocs := measureAllocs(e15AllocCalls, func() {
+	binAllocs := measureAllocs(allocCalls, func() {
 		if _, err := tr.Call(binAddr2, req); err != nil {
 			log.Fatalf("e15: binary alloc run: %v", err)
 		}
 	})
 	allocDrop := 1 - binAllocs/gobAllocs
 
-	fmt.Printf("heap allocations per round trip (client+server in-process, %d calls):\n", e15AllocCalls)
+	fmt.Printf("heap allocations per round trip (client+server in-process, %d calls):\n", allocCalls)
 	fmt.Printf("  gob                 %10.1f allocs/op\n", gobAllocs)
 	fmt.Printf("  binary              %10.1f allocs/op\n", binAllocs)
 	fmt.Printf("  reduction           %10.0f%%\n", allocDrop*100)
 
-	writeBenchSummary("e15", map[string]float64{
+	metrics := expgrid.Metrics{
 		"lockstep_ops_per_sec":    lockstepOps,
 		"pipelined_ops_per_sec":   pipelinedOps,
 		"pipelined_vs_lockstep_x": speedup,
 		"gob_allocs_per_op":       gobAllocs,
 		"binary_allocs_per_op":    binAllocs,
 		"alloc_drop_ratio":        allocDrop,
-	})
+	}
 
 	// Hard gates: the acceptance criteria of the wire replacement.
 	if speedup < 2 {
@@ -313,4 +322,5 @@ func runE15() {
 			binAllocs, gobAllocs, allocDrop*100)
 	}
 	fmt.Printf("\ngates passed: pipelined >= 2x lockstep on one connection; allocs/op reduced >= 50%% vs gob\n")
+	return metrics, nil
 }

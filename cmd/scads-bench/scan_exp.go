@@ -8,16 +8,19 @@ import (
 	"time"
 
 	"scads"
+	"scads/internal/expgrid"
 	"scads/internal/keycodec"
 	"scads/internal/partition"
 	"scads/internal/planner"
 	"scads/internal/repair"
 )
 
-// scanDDL declares the scan-heavy workload: a paged listing that
+// e14DDL declares the scan-heavy workload: a paged listing that
 // projects two of three columns (projection pushdown) over a range
-// spanning many partitions.
-const scanDDL = `
+// spanning many partitions. The pageAll LIMIT scales with the dataset
+// so a grid row growing `users` still scans every row.
+func e14DDL(users int) string {
+	return fmt.Sprintf(`
 ENTITY users (
     id string PRIMARY KEY,
     name string,
@@ -28,13 +31,9 @@ SELECT * FROM users WHERE id = ?user LIMIT 1
 QUERY pageUsers
 SELECT id, name FROM users WHERE id >= ?lo LIMIT 400
 QUERY pageAll
-SELECT * FROM users WHERE id >= ?lo LIMIT 3000
-`
-
-const (
-	e14Users     = 2400
-	e14RangeSize = 200 // rows per partition: 12 ranges over 2400 users
-)
+SELECT * FROM users WHERE id >= ?lo LIMIT %d
+`, users+600)
+}
 
 func e14ID(i int) string { return fmt.Sprintf("user%04d", i) }
 
@@ -51,7 +50,28 @@ func e14ID(i int) string { return fmt.Sprintf("user%04d", i) }
 //     range primary is killed and later resurrected. Any scan error or
 //     wrong result aborts the run: scans ride through fences and
 //     failovers exactly like the write path.
-func runE14() {
+//
+// Grid parameters: users, range_size, rtt_ms, measure_scans. The
+// dataset must stay inside user0000..user9999 (4-digit ids keep
+// lexicographic order equal to numeric order) and split into at least
+// 12 ranges so phase 1 still fans out over >= 8 of them.
+func runE14(p expgrid.Params) (expgrid.Metrics, error) {
+	var (
+		users        = p.Int("users")
+		rangeSize    = p.Int("range_size")
+		rtt          = time.Duration(p.Get("rtt_ms") * float64(time.Millisecond))
+		measureScans = p.Int("measure_scans")
+	)
+	switch {
+	case rangeSize < 1 || users%rangeSize != 0:
+		return nil, fmt.Errorf("e14: users=%d must be a positive multiple of range_size=%d", users, rangeSize)
+	case users/rangeSize < 12:
+		return nil, fmt.Errorf("e14: users=%d range_size=%d gives %d ranges, need >= 12", users, rangeSize, users/rangeSize)
+	case users < 1000 || users > 9999:
+		return nil, fmt.Errorf("e14: users=%d outside 1000..9999 (4-digit id space)", users)
+	case rtt <= 0 || measureScans < 1:
+		return nil, fmt.Errorf("e14: rtt_ms and measure_scans must be positive")
+	}
 	lc, err := scads.NewLocalCluster(5, scads.Config{
 		ReplicationFactor: 2,
 		Repair: repair.Config{
@@ -62,10 +82,10 @@ func runE14() {
 	})
 	must(err)
 	defer lc.Close()
-	must(lc.DefineSchema(scanDDL))
+	must(lc.DefineSchema(e14DDL(users)))
 
 	var splits []any
-	for at := e14RangeSize; at < e14Users; at += e14RangeSize {
+	for at := rangeSize; at < users; at += rangeSize {
 		splits = append(splits, e14ID(at))
 	}
 	must(lc.SplitTable("users", splits...))
@@ -75,9 +95,9 @@ func runE14() {
 	// Seed, then drain replication so every replica serves complete
 	// data before reads start (the churn phase is read-only, so the
 	// dataset stays exact).
-	for lo := 0; lo < e14Users; lo += e14RangeSize {
-		rows := make([]scads.Row, 0, e14RangeSize)
-		for i := lo; i < lo+e14RangeSize; i++ {
+	for lo := 0; lo < users; lo += rangeSize {
+		rows := make([]scads.Row, 0, rangeSize)
+		for i := lo; i < lo+rangeSize; i++ {
 			rows = append(rows, scads.Row{"id": e14ID(i), "name": "name-" + e14ID(i), "birthday": i%365 + 1})
 		}
 		must(lc.InsertBatch("users", rows))
@@ -88,17 +108,16 @@ func runE14() {
 	// Simulated per-call latency: fan-out wins are a wall-clock
 	// phenomenon, invisible over a zero-latency in-process transport.
 	lc.Transport.Clock = lc.Clock()
-	lc.Transport.Latency = 2 * time.Millisecond
+	lc.Transport.Latency = rtt
 
 	// --- Phase 1: parallel vs sequential throughput -----------------
-	const measureScans = 40
-	scanFrom := keycodec.MustEncode(e14ID(4 * e14RangeSize)) // ranges 4..11: 8 ranges, one fan-out wave
-	wantRows := e14Users - 4*e14RangeSize
+	scanFrom := keycodec.MustEncode(e14ID(4 * rangeSize)) // skip 4 ranges: >= 8 remain, one fan-out wave
+	wantRows := users - 4*rangeSize
 	runScans := func(parallelism int) (scansPerSec float64) {
 		start := time.Now()
 		for i := 0; i < measureScans; i++ {
 			recs, err := lc.Router().ScanOpts(ns, scanFrom, nil, partition.ScanOptions{
-				Limit: 4000, Policy: partition.ReadAny, Parallelism: parallelism,
+				Limit: wantRows + rangeSize, Policy: partition.ReadAny, Parallelism: parallelism,
 			})
 			must(err)
 			if len(recs) != wantRows {
@@ -115,12 +134,15 @@ func runE14() {
 	lc.StartBackground(4)
 	defer lc.StopBackground()
 
+	// The page query starts 500 rows from the end, so its LIMIT 400
+	// page is always full regardless of the dataset size.
+	pageStart := users - 500
 	expectPage := make([]string, 0, 400)
-	for i := 1900; i < 2300; i++ {
+	for i := pageStart; i < pageStart+400; i++ {
 		expectPage = append(expectPage, e14ID(i))
 	}
-	expectAll := make([]string, 0, e14Users)
-	for i := 0; i < e14Users; i++ {
+	expectAll := make([]string, 0, users)
+	for i := 0; i < users; i++ {
 		expectAll = append(expectAll, e14ID(i))
 	}
 
@@ -157,7 +179,7 @@ func runE14() {
 			defer wg.Done()
 			for i := 0; !stop.Load(); i++ {
 				if (s+i)%2 == 0 {
-					rows, err := lc.Query("pageUsers", map[string]any{"lo": e14ID(1900)})
+					rows, err := lc.Query("pageUsers", map[string]any{"lo": e14ID(pageStart)})
 					if err != nil {
 						scanErrs.Add(1)
 						continue
@@ -243,8 +265,8 @@ func runE14() {
 	lc.Repairs().Quiesce(10 * time.Second)
 
 	st := lc.RepairStats()
-	fmt.Printf("scatter-gather scan pipeline over %d ranges (%d users, 5 nodes, RF=2, 2ms simulated RTT)\n\n",
-		e14Users/e14RangeSize, e14Users)
+	fmt.Printf("scatter-gather scan pipeline over %d ranges (%d users, 5 nodes, RF=2, %v simulated RTT)\n\n",
+		users/rangeSize, users, rtt)
 	fmt.Printf("  %-34s %12.1f\n", "sequential scans/sec", seqRate)
 	fmt.Printf("  %-34s %12.1f\n", "parallel scans/sec", parRate)
 	fmt.Printf("  %-34s %12.2fx\n", "speedup", speedup)
@@ -255,14 +277,14 @@ func runE14() {
 	fmt.Printf("  %-34s %12d\n", "migration errors (non-gating)", migrationErrs.Load())
 	fmt.Printf("  %-34s %12d\n", "failovers", st.Failovers)
 
-	writeBenchSummary("e14", map[string]float64{
+	metrics := expgrid.Metrics{
 		"speedup":           speedup,
 		"parallel_scans_ps": parRate,
 		"churn_scans":       float64(scansDone.Load()),
 		"scan_errors":       float64(scanErrs.Load()),
 		"wrong_results":     float64(mismatches.Load()),
 		"migrations":        float64(migrations.Load()),
-	})
+	}
 
 	if speedup < 2.0 {
 		log.Fatalf("e14: parallel scatter-gather only %.2fx the sequential path (gate: >=2x at >=8 ranges)", speedup)
@@ -281,4 +303,5 @@ func runE14() {
 	fmt.Println("contract as writes, and fan-out latency no longer grows with the")
 	fmt.Println("number of partitions a query spans (FleetOpt's routing argument).")
 	must(mapValidate(lc, ns))
+	return metrics, nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"scads"
+	"scads/internal/expgrid"
 	"scads/internal/migration"
 	"scads/internal/planner"
 	"scads/internal/record"
@@ -33,12 +34,41 @@ import (
 //     rate-limited-compaction nodes; the fence pause must stay inside
 //     the e12 bound even with the storage engine compacting under the
 //     handoff.
-func runE17() {
-	hitRatio, warmP99, scanP99, speedup, stallP99 := e17CacheEffectiveness()
-	wrong, missing := e17CorrectnessChurn()
+//
+// Grid parameters: keys, value_size, reads, zipf_s, write_fraction
+// (YCSB-style read/write mix in the measured phase; 0 reproduces the
+// historical read-only measurement), block_cache_mb. All phase RNGs
+// derive from the row seed, so a fixed-seed row replays exactly.
+func runE17(p expgrid.Params) (expgrid.Metrics, error) {
+	cfg := e17Config{
+		keys:          p.Int("keys"),
+		valueSize:     p.Int("value_size"),
+		reads:         p.Int("reads"),
+		zipfS:         p.Get("zipf_s"),
+		writeFraction: p.Get("write_fraction"),
+		cacheBytes:    int64(p.Get("block_cache_mb") * (1 << 20)),
+		seed:          p.Seed,
+	}
+	switch {
+	case cfg.keys < 1000 || cfg.keys > 999999:
+		return nil, fmt.Errorf("e17: keys=%d outside 1000..999999 (6-digit key space)", cfg.keys)
+	case cfg.valueSize < 8:
+		return nil, fmt.Errorf("e17: value_size=%d must be >= 8 (values embed the key ordinal)", cfg.valueSize)
+	case cfg.reads < 1000:
+		return nil, fmt.Errorf("e17: reads=%d must be >= 1000", cfg.reads)
+	case cfg.zipfS <= 1:
+		return nil, fmt.Errorf("e17: zipf_s=%g must be > 1", cfg.zipfS)
+	case cfg.writeFraction < 0 || cfg.writeFraction > 0.9:
+		return nil, fmt.Errorf("e17: write_fraction=%g outside 0..0.9", cfg.writeFraction)
+	case cfg.cacheBytes < 1<<20:
+		return nil, fmt.Errorf("e17: block_cache_mb must be >= 1")
+	}
+
+	hitRatio, warmP99, scanP99, speedup, stallP99 := e17CacheEffectiveness(cfg)
+	wrong, missing := e17CorrectnessChurn(cfg.seed)
 	fenceP50 := e17FenceUnderCompaction()
 
-	writeBenchSummary("e17", map[string]float64{
+	metrics := expgrid.Metrics{
 		"block_cache_hit_ratio":    hitRatio,
 		"point_read_p99_us":        float64(warmP99.Microseconds()),
 		"scan100_p99_us":           float64(scanP99.Microseconds()),
@@ -47,7 +77,7 @@ func runE17() {
 		"wrong_reads":              float64(wrong),
 		"missing_reads":            float64(missing),
 		"fence_pause_p50_us":       float64(fenceP50.Microseconds()),
-	})
+	}
 	if wrong > 0 || missing > 0 {
 		log.Fatalf("e17: STORAGE ENGINE RETURNED BAD DATA UNDER CHURN: wrong=%d missing=%d", wrong, missing)
 	}
@@ -55,27 +85,30 @@ func runE17() {
 	fmt.Println("lookup, size-tiered background compaction keeps write stalls and")
 	fmt.Println("fence pauses bounded, and the churn phase shows the fast path never")
 	fmt.Println("trades away read-your-acknowledged-writes correctness.")
+	return metrics, nil
 }
 
-const (
-	e17Keys      = 20000
-	e17ValueSize = 64
-	e17Reads     = 40000
-)
+// e17Config carries the grid parameters through the three phases.
+type e17Config struct {
+	keys, valueSize, reads int
+	zipfS, writeFraction   float64
+	cacheBytes             int64
+	seed                   int64
+}
 
 func e17Key(i int) []byte { return []byte(fmt.Sprintf("user%06d", i)) }
 
-func e17Value(i int) []byte {
-	v := make([]byte, e17ValueSize)
+func e17Value(i, valueSize int) []byte {
+	v := make([]byte, valueSize)
 	copy(v, strconv.Itoa(i))
 	return v
 }
 
 // e17Workload loads a multi-table namespace and runs the zipfian
-// read+scan mix against it under a concurrent writer, returning point
-// read, scan and put latencies plus the block-cache hit ratio (0 for
-// the ablation).
-func e17Workload(blockCacheBytes int64) (pointLat, scanLat, putLat []time.Duration, hitRatio float64) {
+// read+scan mix (plus write_fraction in-line writes) against it under
+// a concurrent writer, returning point read, scan and put latencies
+// plus the block-cache hit ratio (0 for the ablation).
+func e17Workload(cfg e17Config, blockCacheBytes int64) (pointLat, scanLat, putLat []time.Duration, hitRatio float64) {
 	dir, err := os.MkdirTemp("", "scads-e17-*")
 	must(err)
 	defer os.RemoveAll(dir)
@@ -94,8 +127,8 @@ func e17Workload(blockCacheBytes int64) (pointLat, scanLat, putLat []time.Durati
 
 	// Load in key order; the 256 KiB memtable flushes dozens of tables
 	// and background compaction tiers them down to the MaxTables budget.
-	for i := 0; i < e17Keys; i++ {
-		_, err := ns.Put(e17Key(i), e17Value(i))
+	for i := 0; i < cfg.keys; i++ {
+		_, err := ns.Put(e17Key(i), e17Value(i, cfg.valueSize))
 		must(err)
 	}
 	must(ns.Flush())
@@ -113,16 +146,16 @@ func e17Workload(blockCacheBytes int64) (pointLat, scanLat, putLat []time.Durati
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		rng := rand.New(rand.NewSource(7))
+		rng := rand.New(rand.NewSource(cfg.seed*1000 + 7))
 		for {
 			select {
 			case <-stop:
 				return
 			default:
 			}
-			i := rng.Intn(e17Keys)
+			i := rng.Intn(cfg.keys)
 			t := time.Now()
-			_, err := ns.Put(e17Key(i), e17Value(i))
+			_, err := ns.Put(e17Key(i), e17Value(i, cfg.valueSize))
 			d := time.Since(t)
 			must(err)
 			putMu.Lock()
@@ -132,15 +165,19 @@ func e17Workload(blockCacheBytes int64) (pointLat, scanLat, putLat []time.Durati
 		}
 	}()
 
-	rng := rand.New(rand.NewSource(42))
-	zipf := rand.NewZipf(rng, 1.2, 1, e17Keys-1)
+	rng := rand.New(rand.NewSource(cfg.seed*1000 + 42))
+	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.keys-1))
+	// mixRng decides read-vs-write per measured op (YCSB-style); a
+	// separate stream so write_fraction=0 replays the historical
+	// read-only key sequence exactly.
+	mixRng := rand.New(rand.NewSource(cfg.seed*1000 + 43))
 	// Warm pass: populate whatever cache is configured.
-	for i := 0; i < e17Reads/4; i++ {
+	for i := 0; i < cfg.reads/4; i++ {
 		_, _, err := ns.Get(e17Key(int(zipf.Uint64())))
 		must(err)
 	}
-	pointLat = make([]time.Duration, 0, e17Reads)
-	for i := 0; i < e17Reads; i++ {
+	pointLat = make([]time.Duration, 0, cfg.reads)
+	for i := 0; i < cfg.reads; i++ {
 		if i%50 == 49 {
 			// A bounded contiguous scan rides along every 50th op.
 			startKey := int(zipf.Uint64())
@@ -151,6 +188,20 @@ func e17Workload(blockCacheBytes int64) (pointLat, scanLat, putLat []time.Durati
 				return n < 100
 			}))
 			scanLat = append(scanLat, time.Since(t))
+			continue
+		}
+		if cfg.writeFraction > 0 && mixRng.Float64() < cfg.writeFraction {
+			// In-line write to a zipfian key: the mixed workload hits
+			// the same hot set the reads do, so cache invalidation and
+			// memtable pressure land where they hurt.
+			k := int(zipf.Uint64())
+			t := time.Now()
+			_, err := ns.Put(e17Key(k), e17Value(k, cfg.valueSize))
+			d := time.Since(t)
+			must(err)
+			putMu.Lock()
+			putLat = append(putLat, d)
+			putMu.Unlock()
 			continue
 		}
 		key := e17Key(int(zipf.Uint64()))
@@ -174,10 +225,15 @@ func e17Workload(blockCacheBytes int64) (pointLat, scanLat, putLat []time.Durati
 	return pointLat, scanLat, putLat, hitRatio
 }
 
-func e17CacheEffectiveness() (hitRatio float64, warmP99, scanP99 time.Duration, speedup float64, stallP99 time.Duration) {
-	fmt.Printf("phase 1: %d zipfian reads + scans over %d keys, warm block cache vs uncached ablation\n\n", e17Reads, e17Keys)
-	warmPoint, warmScan, warmPut, warmRatio := e17Workload(64 << 20)
-	ablPoint, ablScan, _, _ := e17Workload(0)
+func e17CacheEffectiveness(cfg e17Config) (hitRatio float64, warmP99, scanP99 time.Duration, speedup float64, stallP99 time.Duration) {
+	if cfg.writeFraction > 0 {
+		fmt.Printf("phase 1: %d zipfian ops (%.0f%% writes) over %d keys, warm block cache vs uncached ablation\n\n",
+			cfg.reads, cfg.writeFraction*100, cfg.keys)
+	} else {
+		fmt.Printf("phase 1: %d zipfian reads + scans over %d keys, warm block cache vs uncached ablation\n\n", cfg.reads, cfg.keys)
+	}
+	warmPoint, warmScan, warmPut, warmRatio := e17Workload(cfg, cfg.cacheBytes)
+	ablPoint, ablScan, _, _ := e17Workload(cfg, 0)
 
 	warmMean, warmP99v := latSummary(warmPoint)
 	ablMean, ablP99 := latSummary(ablPoint)
@@ -216,8 +272,9 @@ func latSummary(lat []time.Duration) (mean, p99 time.Duration) {
 // e17CorrectnessChurn races verified readers against background tier
 // compaction and range truncation; every read of an acknowledged key
 // must return a value at least as new as its last acknowledged write,
-// and truncated ranges must read empty.
-func e17CorrectnessChurn() (wrong, missing int64) {
+// and truncated ranges must read empty. Reader RNGs derive from the
+// row seed.
+func e17CorrectnessChurn(seed int64) (wrong, missing int64) {
 	fmt.Println("\nphase 2: acknowledged-read verification under compaction + truncation churn")
 	dir, err := os.MkdirTemp("", "scads-e17-*")
 	must(err)
@@ -286,7 +343,7 @@ func e17CorrectnessChurn() (wrong, missing int64) {
 					wrongN.Add(1)
 				}
 			}
-		}(int64(g) + 99)
+		}(seed*1000 + int64(g) + 99)
 	}
 	wg.Add(1)
 	go func() { // truncator on a disjoint prefix

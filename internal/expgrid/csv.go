@@ -1,0 +1,155 @@
+package expgrid
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Every CSV the grid emits is validated against a declared schema
+// before the run is allowed to succeed: a harness that writes a
+// malformed artifact has failed exactly as hard as an experiment that
+// lost a write, because downstream analysis would silently misread
+// the paper's numbers.
+
+// ColumnKind is the value contract of one CSV column.
+type ColumnKind int
+
+const (
+	// ColString is a non-empty free-form cell.
+	ColString ColumnKind = iota
+	// ColInt is a base-10 integer cell.
+	ColInt
+	// ColFloat is a finite float cell (NaN and ±Inf are malformed: a
+	// mean of NaN means the aggregation itself is broken).
+	ColFloat
+)
+
+// Column is one schema column.
+type Column struct {
+	Name string
+	Kind ColumnKind
+}
+
+// Schema declares a CSV file's exact shape: header and per-column
+// value contracts.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// RunsSchema is the long-format per-repeat file: one line per
+// (row, repeat, metric) triple.
+var RunsSchema = Schema{
+	Name: "runs.csv",
+	Columns: []Column{
+		{"row", ColString},
+		{"experiment", ColString},
+		{"repeat", ColInt},
+		{"seed", ColInt},
+		{"metric", ColString},
+		{"value", ColFloat},
+	},
+}
+
+// GroupedSchema is the grouped summary file: one line per
+// (row, metric) with mean/std/min/max over the row's repeats.
+var GroupedSchema = Schema{
+	Name: "summary_grouped.csv",
+	Columns: []Column{
+		{"row", ColString},
+		{"experiment", ColString},
+		{"repeats", ColInt},
+		{"metric", ColString},
+		{"mean", ColFloat},
+		{"std", ColFloat},
+		{"min", ColFloat},
+		{"max", ColFloat},
+	},
+}
+
+// Header returns the schema's header record.
+func (s Schema) Header() []string {
+	h := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		h[i] = c.Name
+	}
+	return h
+}
+
+// Validate reads an entire CSV stream and checks it against the
+// schema: exact header, exact column count per record, and every cell
+// honoring its column's kind. Errors carry the 1-based line number.
+func (s Schema) Validate(r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // count checked per record for a precise error
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("%s: read header: %w", s.Name, err)
+	}
+	if !equalStrings(header, s.Header()) {
+		return fmt.Errorf("%s: header %q does not match schema %q", s.Name, header, s.Header())
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%s: line %d: %w", s.Name, line+1, err)
+		}
+		line++
+		if len(rec) != len(s.Columns) {
+			return fmt.Errorf("%s: line %d: %d fields, schema has %d", s.Name, line, len(rec), len(s.Columns))
+		}
+		for i, c := range s.Columns {
+			if err := validateCell(c.Kind, rec[i]); err != nil {
+				return fmt.Errorf("%s: line %d: column %s: %w", s.Name, line, c.Name, err)
+			}
+		}
+	}
+}
+
+func validateCell(kind ColumnKind, cell string) error {
+	switch kind {
+	case ColString:
+		if cell == "" {
+			return fmt.Errorf("empty cell")
+		}
+	case ColInt:
+		if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+			return fmt.Errorf("%q is not an integer", cell)
+		}
+	case ColFloat:
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return fmt.Errorf("%q is not a float", cell)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%q is not finite", cell)
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// formatFloat renders a metric value for CSV cells: shortest
+// round-trippable representation, so re-parsing reproduces the exact
+// float and fixed-seed runs emit bit-identical files.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

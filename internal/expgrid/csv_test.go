@@ -1,0 +1,75 @@
+package expgrid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateRunsCSV(t *testing.T) {
+	good := "row,experiment,repeat,seed,metric,value\n" +
+		"e12,e12,0,1,acked_writes,1800\n" +
+		"e12,e12,1,2,fence_pause_p50_us,312.5\n"
+	if err := RunsSchema.Validate(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid runs.csv rejected: %v", err)
+	}
+
+	cases := []struct {
+		name, body, want string
+	}{
+		{"wrong header",
+			"row,experiment,repeat,metric,value\na,b,0,m,1\n",
+			"does not match schema"},
+		{"missing field",
+			"row,experiment,repeat,seed,metric,value\ne12,e12,0,1,acked_writes\n",
+			"5 fields, schema has 6"},
+		{"extra field",
+			"row,experiment,repeat,seed,metric,value\ne12,e12,0,1,acked_writes,1,extra\n",
+			"7 fields, schema has 6"},
+		{"non-integer repeat",
+			"row,experiment,repeat,seed,metric,value\ne12,e12,first,1,acked_writes,1\n",
+			`"first" is not an integer`},
+		{"non-float value",
+			"row,experiment,repeat,seed,metric,value\ne12,e12,0,1,acked_writes,lots\n",
+			`"lots" is not a float`},
+		{"NaN value",
+			"row,experiment,repeat,seed,metric,value\ne12,e12,0,1,acked_writes,NaN\n",
+			"is not finite"},
+		{"empty metric name",
+			"row,experiment,repeat,seed,metric,value\ne12,e12,0,1,,1\n",
+			"empty cell"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := RunsSchema.Validate(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("malformed CSV accepted:\n%s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateGroupedCSV(t *testing.T) {
+	good := "row,experiment,repeats,metric,mean,std,min,max\n" +
+		"e12,e12,3,acked_writes,1800,12.5,1780,1810\n"
+	if err := GroupedSchema.Validate(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid summary_grouped.csv rejected: %v", err)
+	}
+	bad := "row,experiment,repeats,metric,mean,std,min,max\n" +
+		"e12,e12,3,acked_writes,1800,+Inf,1780,1810\n"
+	if err := GroupedSchema.Validate(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "not finite") {
+		t.Fatalf("Inf std accepted: %v", err)
+	}
+}
+
+func TestValidateErrorCarriesLineNumber(t *testing.T) {
+	body := "row,experiment,repeat,seed,metric,value\n" +
+		"e12,e12,0,1,acked_writes,1800\n" +
+		"e12,e12,1,2,acked_writes,broken\n"
+	err := RunsSchema.Validate(strings.NewReader(body))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a line-3 error, got %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package expgrid
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Row is one line of the experiment grid: run Experiment with Params
+// overriding its declared defaults, Repeats independent times, with
+// repeat r seeded Seed+r. ID names the row's artifacts (runs.csv
+// rows, BENCH_<id>.json) and must be unique across the grid.
+type Row struct {
+	ID         string             `json:"id"`
+	Experiment string             `json:"experiment"`
+	Params     map[string]float64 `json:"params,omitempty"`
+	Repeats    int                `json:"repeats"`
+	Seed       int64              `json:"seed"`
+	// Note is free-form documentation of why the row exists; it rides
+	// into the markdown report.
+	Note string `json:"note,omitempty"`
+}
+
+// Grid is the parsed, validated experiments.json.
+type Grid struct {
+	Rows []Row `json:"rows"`
+}
+
+// ParseGrid decodes and validates an experiments.json against the
+// registry. Every defect is reported (joined), not just the first, so
+// one CI failure shows the whole repair list: unknown experiments,
+// overrides of undeclared parameters, non-positive repeat counts,
+// duplicate or unusable row ids, and unknown JSON fields (a typoed
+// knob must fail loudly, not silently run the default).
+func ParseGrid(data []byte, reg *Registry) (*Grid, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("expgrid: parse grid: %w", err)
+	}
+	if len(g.Rows) == 0 {
+		return nil, errors.New("expgrid: grid declares no rows")
+	}
+	var errs []error
+	seen := make(map[string]bool, len(g.Rows))
+	for i, row := range g.Rows {
+		where := fmt.Sprintf("row %d (%q)", i, row.ID)
+		if !validRowID(row.ID) {
+			errs = append(errs, fmt.Errorf("%s: id must be non-empty [a-zA-Z0-9._-] (it names artifact files)", where))
+		} else if seen[row.ID] {
+			errs = append(errs, fmt.Errorf("%s: duplicate row id", where))
+		}
+		seen[row.ID] = true
+		exp, ok := reg.Lookup(row.Experiment)
+		if !ok {
+			errs = append(errs, fmt.Errorf("%s: unknown experiment %q", where, row.Experiment))
+		} else {
+			declared := make(map[string]bool, len(exp.Params))
+			for _, s := range exp.Params {
+				declared[s.Name] = true
+			}
+			for _, name := range sortedKeys(row.Params) {
+				if !declared[name] {
+					errs = append(errs, fmt.Errorf("%s: experiment %s has no parameter %q (see scads-bench -list)", where, row.Experiment, name))
+				}
+			}
+		}
+		if row.Repeats < 1 {
+			errs = append(errs, fmt.Errorf("%s: repeats must be >= 1, got %d", where, row.Repeats))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("expgrid: invalid grid: %w", errors.Join(errs...))
+	}
+	return &g, nil
+}
+
+// validRowID restricts row ids to filename-safe characters: they name
+// BENCH_<id>.json artifacts and CSV cells.
+func validRowID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package expgrid
+
+import (
+	"strings"
+	"testing"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Register(Experiment{
+		ID:   "fake",
+		Name: "fake experiment",
+		Params: []ParamSpec{
+			{Name: "value_size", Default: 64, Doc: "bytes per value"},
+			{Name: "nodes", Default: 3, Doc: "cluster size"},
+		},
+		Run: func(p Params) (Metrics, error) {
+			return Metrics{"ops": p.Get("value_size") * float64(p.Seed)}, nil
+		},
+	})
+	return reg
+}
+
+func TestParseGridValid(t *testing.T) {
+	g, err := ParseGrid([]byte(`{
+		"rows": [
+			{"id": "fake", "experiment": "fake", "repeats": 2, "seed": 1},
+			{"id": "fake-big", "experiment": "fake", "repeats": 1, "seed": 7,
+			 "params": {"value_size": 4096}, "note": "large values"}
+		]
+	}`), testRegistry(t))
+	if err != nil {
+		t.Fatalf("ParseGrid: %v", err)
+	}
+	if len(g.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(g.Rows))
+	}
+	if g.Rows[1].Params["value_size"] != 4096 {
+		t.Fatalf("override lost: %+v", g.Rows[1])
+	}
+}
+
+func TestParseGridErrors(t *testing.T) {
+	reg := testRegistry(t)
+	cases := []struct {
+		name, grid, want string
+	}{
+		{"unknown experiment",
+			`{"rows": [{"id": "x", "experiment": "nope", "repeats": 1}]}`,
+			`unknown experiment "nope"`},
+		{"unknown param override",
+			`{"rows": [{"id": "x", "experiment": "fake", "repeats": 1, "params": {"valuesize": 9}}]}`,
+			`no parameter "valuesize"`},
+		{"zero repeats",
+			`{"rows": [{"id": "x", "experiment": "fake", "repeats": 0}]}`,
+			"repeats must be >= 1"},
+		{"negative repeats",
+			`{"rows": [{"id": "x", "experiment": "fake", "repeats": -3}]}`,
+			"repeats must be >= 1"},
+		{"duplicate row id",
+			`{"rows": [{"id": "x", "experiment": "fake", "repeats": 1}, {"id": "x", "experiment": "fake", "repeats": 1}]}`,
+			"duplicate row id"},
+		{"empty row id",
+			`{"rows": [{"id": "", "experiment": "fake", "repeats": 1}]}`,
+			"id must be non-empty"},
+		{"filename-hostile row id",
+			`{"rows": [{"id": "a/b", "experiment": "fake", "repeats": 1}]}`,
+			"id must be non-empty"},
+		{"typoed field",
+			`{"rows": [{"id": "x", "experiment": "fake", "repeats": 1, "repeat": 3}]}`,
+			"unknown field"},
+		{"no rows", `{"rows": []}`, "no rows"},
+		{"malformed json", `{"rows": [`, "parse grid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseGrid([]byte(tc.grid), reg)
+			if err == nil {
+				t.Fatalf("ParseGrid accepted %s", tc.grid)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseGridReportsAllDefects(t *testing.T) {
+	_, err := ParseGrid([]byte(`{"rows": [
+		{"id": "a", "experiment": "nope", "repeats": 1},
+		{"id": "b", "experiment": "fake", "repeats": 0}
+	]}`), testRegistry(t))
+	if err == nil {
+		t.Fatal("ParseGrid accepted a doubly-broken grid")
+	}
+	for _, want := range []string{`unknown experiment "nope"`, "repeats must be >= 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q is missing %q", err, want)
+		}
+	}
+}
+
+func TestParamsResolution(t *testing.T) {
+	reg := testRegistry(t)
+	exp, _ := reg.Lookup("fake")
+	p := NewParams(exp.Params, map[string]float64{"value_size": 1024}, 9, 2)
+	if got := p.Get("value_size"); got != 1024 {
+		t.Fatalf("override: got %g", got)
+	}
+	if got := p.Int("nodes"); got != 3 {
+		t.Fatalf("default: got %d", got)
+	}
+	if p.Seed != 9 || p.Repeat != 2 {
+		t.Fatalf("seed/repeat: %+v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading an undeclared parameter did not panic")
+		}
+	}()
+	p.Get("undeclared")
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	reg := testRegistry(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.Register(Experiment{ID: "fake", Run: func(Params) (Metrics, error) { return nil, nil }})
+}

@@ -1,0 +1,249 @@
+package expgrid
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"scads/internal/clock"
+)
+
+// RepeatResult is one executed repeat of one grid row.
+type RepeatResult struct {
+	RowID      string
+	Experiment string
+	Repeat     int
+	Seed       int64
+	Metrics    Metrics
+	Duration   time.Duration
+}
+
+// RowResult is one executed grid row: every repeat plus the grouped
+// aggregates.
+type RowResult struct {
+	Row     Row
+	Repeats []RepeatResult
+	Grouped map[string]Agg
+}
+
+// GridResult is a full grid execution, rows in declaration order.
+type GridResult struct {
+	Rows []RowResult
+}
+
+// Runner executes a parsed grid and writes the summary artifacts.
+type Runner struct {
+	Registry *Registry
+	// OutDir receives runs.csv and summary_grouped.csv; created if
+	// missing. Empty disables artifact writing (tests aggregate the
+	// returned GridResult directly).
+	OutDir string
+	// MinRepeats raises every row's repeat count to at least this
+	// value — the nightly grid runs the same committed declaration at
+	// higher statistical power without editing it.
+	MinRepeats int
+	// Clock times repeats; nil uses the wall clock. Injected so the
+	// aggregation/summary paths stay inside the determinism scope.
+	Clock clock.Clock
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (r *Runner) clock() clock.Clock {
+	if r.Clock == nil {
+		return clock.Real{}
+	}
+	return r.Clock
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Run executes every grid row (optionally filtered to onlyRow) and,
+// when OutDir is set, writes and schema-validates runs.csv and
+// summary_grouped.csv. Any repeat error aborts the run attributed to
+// its row; artifact validation failures abort the run even though the
+// experiments themselves passed.
+func (r *Runner) Run(g *Grid, onlyRow string) (*GridResult, error) {
+	rows := g.Rows
+	if onlyRow != "" {
+		rows = nil
+		for _, row := range g.Rows {
+			if row.ID == onlyRow {
+				rows = append(rows, row)
+			}
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("expgrid: grid has no row %q", onlyRow)
+		}
+	}
+
+	res := &GridResult{}
+	clk := r.clock()
+	for _, row := range rows {
+		exp, ok := r.Registry.Lookup(row.Experiment)
+		if !ok {
+			// ParseGrid validated against the same registry; reaching
+			// here means the caller mixed registries.
+			return nil, fmt.Errorf("expgrid: row %s: unknown experiment %q", row.ID, row.Experiment)
+		}
+		repeats := row.Repeats
+		if repeats < r.MinRepeats {
+			repeats = r.MinRepeats
+		}
+		rr := RowResult{Row: row}
+		for rep := 0; rep < repeats; rep++ {
+			p := NewParams(exp.Params, row.Params, row.Seed+int64(rep), rep)
+			r.logf("grid row %s: %s repeat %d/%d (seed %d)", row.ID, exp.ID, rep+1, repeats, p.Seed)
+			start := clk.Now()
+			m, err := exp.Run(p)
+			if err != nil {
+				return nil, fmt.Errorf("expgrid: row %s repeat %d: %w", row.ID, rep, err)
+			}
+			rr.Repeats = append(rr.Repeats, RepeatResult{
+				RowID:      row.ID,
+				Experiment: row.Experiment,
+				Repeat:     rep,
+				Seed:       p.Seed,
+				Metrics:    m,
+				Duration:   clk.Since(start),
+			})
+		}
+		rr.Grouped = Aggregate(metricsOf(rr.Repeats))
+		res.Rows = append(res.Rows, rr)
+	}
+
+	if r.OutDir != "" {
+		if err := r.writeArtifacts(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func metricsOf(reps []RepeatResult) []Metrics {
+	ms := make([]Metrics, len(reps))
+	for i, rep := range reps {
+		ms[i] = rep.Metrics
+	}
+	return ms
+}
+
+// writeArtifacts emits runs.csv and summary_grouped.csv into OutDir
+// and re-reads both through their schemas — the validation runs on
+// the bytes on disk, not the in-memory rows, so an encoding bug
+// cannot ship a malformed artifact.
+func (r *Runner) writeArtifacts(res *GridResult) error {
+	if err := os.MkdirAll(r.OutDir, 0o755); err != nil {
+		return fmt.Errorf("expgrid: %w", err)
+	}
+	runsPath := filepath.Join(r.OutDir, RunsSchema.Name)
+	if err := writeCSV(runsPath, RunsSchema, runsRecords(res)); err != nil {
+		return err
+	}
+	groupedPath := filepath.Join(r.OutDir, GroupedSchema.Name)
+	if err := writeCSV(groupedPath, GroupedSchema, groupedRecords(res)); err != nil {
+		return err
+	}
+	for _, path := range []string{runsPath, groupedPath} {
+		if err := validateFile(path); err != nil {
+			return err
+		}
+	}
+	r.logf("grid artifacts: %s, %s (schema-validated)", runsPath, groupedPath)
+	return nil
+}
+
+func runsRecords(res *GridResult) [][]string {
+	var recs [][]string
+	for _, row := range res.Rows {
+		for _, rep := range row.Repeats {
+			for _, name := range sortedKeys(rep.Metrics) {
+				recs = append(recs, []string{
+					row.Row.ID,
+					row.Row.Experiment,
+					strconv.Itoa(rep.Repeat),
+					strconv.FormatInt(rep.Seed, 10),
+					name,
+					formatFloat(rep.Metrics[name]),
+				})
+			}
+		}
+	}
+	return recs
+}
+
+func groupedRecords(res *GridResult) [][]string {
+	var recs [][]string
+	for _, row := range res.Rows {
+		for _, name := range sortedKeys(row.Grouped) {
+			a := row.Grouped[name]
+			recs = append(recs, []string{
+				row.Row.ID,
+				row.Row.Experiment,
+				strconv.Itoa(a.N),
+				name,
+				formatFloat(a.Mean),
+				formatFloat(a.Std),
+				formatFloat(a.Min),
+				formatFloat(a.Max),
+			})
+		}
+	}
+	return recs
+}
+
+func writeCSV(path string, schema Schema, records [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("expgrid: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(schema.Header()); err != nil {
+		f.Close()
+		return fmt.Errorf("expgrid: %s: %w", path, err)
+	}
+	for _, rec := range records {
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("expgrid: %s: %w", path, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("expgrid: %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("expgrid: %s: %w", path, err)
+	}
+	return nil
+}
+
+// validateFile schema-checks an emitted CSV by filename.
+func validateFile(path string) error {
+	var schema Schema
+	switch filepath.Base(path) {
+	case RunsSchema.Name:
+		schema = RunsSchema
+	case GroupedSchema.Name:
+		schema = GroupedSchema
+	default:
+		return fmt.Errorf("expgrid: no schema for %s", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("expgrid: %w", err)
+	}
+	defer f.Close()
+	if err := schema.Validate(f); err != nil {
+		return fmt.Errorf("expgrid: emitted artifact failed validation: %w", err)
+	}
+	return nil
+}

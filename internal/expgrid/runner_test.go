@@ -1,0 +1,195 @@
+package expgrid
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scads/internal/clock"
+)
+
+// runnerRegistry registers a deterministic fake experiment whose
+// metrics are pure functions of its params and seed, so the runner's
+// seed-derivation and aggregation can be asserted exactly.
+func runnerRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Register(Experiment{
+		ID:   "det",
+		Name: "deterministic fake",
+		Params: []ParamSpec{
+			{Name: "base", Default: 100, Doc: "metric base value"},
+		},
+		Run: func(p Params) (Metrics, error) {
+			return Metrics{
+				"value":  p.Get("base") + float64(p.Seed),
+				"repeat": float64(p.Repeat),
+			}, nil
+		},
+	})
+	return reg
+}
+
+func runnerGrid(t *testing.T, reg *Registry, src string) *Grid {
+	t.Helper()
+	g, err := ParseGrid([]byte(src), reg)
+	if err != nil {
+		t.Fatalf("ParseGrid: %v", err)
+	}
+	return g
+}
+
+func TestRunnerSeedPolicyAndAggregation(t *testing.T) {
+	reg := runnerRegistry()
+	g := runnerGrid(t, reg, `{"rows": [
+		{"id": "det", "experiment": "det", "repeats": 3, "seed": 10},
+		{"id": "det-big", "experiment": "det", "repeats": 1, "seed": 50, "params": {"base": 1000}}
+	]}`)
+	out := t.TempDir()
+	r := &Runner{Registry: reg, OutDir: out, Clock: clock.NewVirtual(time.Unix(0, 0))}
+	res, err := r.Run(g, "")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	// Seeds derive as base+repeat: 10, 11, 12.
+	row := res.Rows[0]
+	for i, rep := range row.Repeats {
+		if rep.Seed != int64(10+i) {
+			t.Fatalf("repeat %d seed %d, want %d", i, rep.Seed, 10+i)
+		}
+		if rep.Metrics["value"] != float64(110+i) {
+			t.Fatalf("repeat %d metrics %v", i, rep.Metrics)
+		}
+	}
+	// Grouped mean of {110, 111, 112} = 111; std = 1.
+	if a := row.Grouped["value"]; a.Mean != 111 || a.Std != 1 || a.Min != 110 || a.Max != 112 || a.N != 3 {
+		t.Fatalf("grouped: %+v", a)
+	}
+	if a := res.Rows[1].Grouped["value"]; a.Mean != 1050 || a.N != 1 || a.Std != 0 {
+		t.Fatalf("override row grouped: %+v", a)
+	}
+
+	// Both artifacts exist and pass their schemas (Run already
+	// validated them; re-check from a clean read).
+	for _, name := range []string{RunsSchema.Name, GroupedSchema.Name} {
+		b, err := os.ReadFile(filepath.Join(out, name))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", name, err)
+		}
+		if name == RunsSchema.Name && !strings.Contains(string(b), "det-big,det,0,50,value,1050") {
+			t.Fatalf("runs.csv missing override row:\n%s", b)
+		}
+	}
+}
+
+// TestRunnerBitIdenticalArtifacts: same grid, same seeds, two fresh
+// runs — byte-identical CSVs. This is the fixed-seed reproducibility
+// contract CI relies on.
+func TestRunnerBitIdenticalArtifacts(t *testing.T) {
+	reg := runnerRegistry()
+	src := `{"rows": [{"id": "det", "experiment": "det", "repeats": 4, "seed": 3}]}`
+	read := func(dir string) (string, string) {
+		r := &Runner{Registry: reg, OutDir: dir, Clock: clock.NewVirtual(time.Unix(0, 0))}
+		if _, err := r.Run(runnerGrid(t, reg, src), ""); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		runs, err := os.ReadFile(filepath.Join(dir, RunsSchema.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		grouped, err := os.ReadFile(filepath.Join(dir, GroupedSchema.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(runs), string(grouped)
+	}
+	r1, g1 := read(t.TempDir())
+	r2, g2 := read(t.TempDir())
+	if r1 != r2 || g1 != g2 {
+		t.Fatalf("fixed-seed artifacts differ between runs:\n%s\nvs\n%s\n---\n%s\nvs\n%s", r1, r2, g1, g2)
+	}
+}
+
+func TestRunnerRowFilterAndMinRepeats(t *testing.T) {
+	reg := runnerRegistry()
+	g := runnerGrid(t, reg, `{"rows": [
+		{"id": "a", "experiment": "det", "repeats": 1, "seed": 1},
+		{"id": "b", "experiment": "det", "repeats": 2, "seed": 2}
+	]}`)
+	r := &Runner{Registry: reg, MinRepeats: 3, Clock: clock.NewVirtual(time.Unix(0, 0))}
+	res, err := r.Run(g, "a")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Row.ID != "a" {
+		t.Fatalf("filter: %+v", res.Rows)
+	}
+	if n := len(res.Rows[0].Repeats); n != 3 {
+		t.Fatalf("MinRepeats did not raise repeats: got %d", n)
+	}
+	if _, err := r.Run(g, "absent"); err == nil || !strings.Contains(err.Error(), `no row "absent"`) {
+		t.Fatalf("missing -grid-row not rejected: %v", err)
+	}
+}
+
+func TestRunnerAttributesExperimentError(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(Experiment{
+		ID: "boom",
+		Run: func(p Params) (Metrics, error) {
+			if p.Repeat == 1 {
+				return nil, os.ErrInvalid
+			}
+			return Metrics{"x": 1}, nil
+		},
+	})
+	g := runnerGrid(t, reg, `{"rows": [{"id": "boom", "experiment": "boom", "repeats": 2, "seed": 0}]}`)
+	r := &Runner{Registry: reg, Clock: clock.NewVirtual(time.Unix(0, 0))}
+	_, err := r.Run(g, "")
+	if err == nil || !strings.Contains(err.Error(), "row boom repeat 1") {
+		t.Fatalf("error not attributed to row/repeat: %v", err)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	reg := runnerRegistry()
+	g := runnerGrid(t, reg, `{"rows": [
+		{"id": "det", "experiment": "det", "repeats": 2, "seed": 10, "note": "baseline row"},
+		{"id": "det-free", "experiment": "det", "repeats": 1, "seed": 1, "params": {"base": 5}}
+	]}`)
+	r := &Runner{Registry: reg, Clock: clock.NewVirtual(time.Unix(0, 0))}
+	res, err := r.Run(g, "")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	baselines := map[string]map[string]Baseline{
+		"det": {
+			"value":  {Value: 110, Direction: "higher", Tolerance: 0.05},
+			"gone":   {Value: 1, Direction: "lower"},
+			"repeat": {Value: 10, Direction: "higher"}, // mean repeat is 0.5: regression
+		},
+	}
+	var b strings.Builder
+	if err := WriteReport(&b, res, baselines); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	report := b.String()
+	for _, want := range []string{
+		"# scads-bench experiment grid",
+		"## det (det, 2 repeat(s))",
+		"baseline row",
+		"| value | 110.5 |",
+		"**REGRESSION** (metric missing from run)",
+		"**REGRESSION** (higher bound 10)",
+		"_No committed baseline",
+		"Overrides: `base=5` (seed 1)",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}

@@ -17,6 +17,11 @@ var (
 		"scads/internal/cloudsim",
 		"scads/internal/sim",
 		"scads/internal/clock",
+		// The experiment-grid harness: fixed-seed rows must replay to
+		// bit-identical runs.csv / summary_grouped.csv bytes, so no
+		// wall-clock or unseeded randomness in parse/aggregate/report
+		// paths (the Runner times repeats through an injected Clock).
+		"scads/internal/expgrid",
 	}
 	DeterminismFiles = []string{
 		"scads:autoscale.go",
