@@ -19,6 +19,9 @@ import (
 //     (scads-ctl repairs renders the reply).
 //   - stats: coordinator-level counters (replication pending,
 //     migration cleanups pending) in the numeric stats fields.
+//   - tenants: the admission controller's per-tenant quota/shed/admit
+//     counters and in-flight watermark (scads-ctl tenants renders the
+//     reply).
 func (c *Cluster) AdminHandler() rpc.Handler {
 	return rpc.HandlerFunc(func(req rpc.Request) rpc.Response {
 		switch req.Method {
@@ -40,6 +43,15 @@ func (c *Cluster) AdminHandler() rpc.Handler {
 				QueueDepth:  s.Replication.Pending,
 				RecordCount: int64(s.Migration.CleanupPending),
 				Value:       []byte(fmt.Sprintf("maintenance=%d", s.Maintenance)),
+			}
+		case rpc.MethodTenants:
+			st := c.admission.Stats()
+			return rpc.Response{
+				ID:          req.ID,
+				Found:       true,
+				Value:       []byte(st.Describe()),
+				QueueDepth:  st.InFlight,
+				RecordCount: int64(st.ShedQuota + st.ShedOverload()),
 			}
 		case rpc.MethodBatch:
 			return rpc.ServeBatch(c.AdminHandler(), req)

@@ -1,6 +1,6 @@
 package main
 
-// The experiment grid: e12–e17 register with internal/expgrid as
+// The experiment grid: e12–e18 register with internal/expgrid as
 // parameterized experiments (params in, typed metrics out), and the
 // committed experiments.json at the repository root declares which
 // rows — base configurations plus workload variants (value sizes,
@@ -85,6 +85,20 @@ func gridRegistry() *expgrid.Registry {
 			{Name: "block_cache_mb", Default: 64, Doc: "decoded-block cache size for the warm run, MiB"},
 		},
 		Run: runE17,
+	})
+	reg.Register(expgrid.Experiment{
+		ID:   "e18",
+		Name: "Multi-tenant admission: noisy-neighbor SLO isolation, priority-ordered sheds, zero acked loss",
+		Params: []expgrid.ParamSpec{
+			{Name: "tenants", Default: 4, Doc: "compliant committed tenants with zipf-skewed quotas (2-4)"},
+			{Name: "adv_workers", Default: 48, Doc: "unpaced goroutines driving the adversarial tenant"},
+			{Name: "quota_ops", Default: 400, Doc: "base ops/sec quota; tenant i gets quota_ops/(i+1)"},
+			{Name: "run_ms", Default: 1500, Doc: "flood duration, milliseconds"},
+			{Name: "max_inflight", Default: 16, Doc: "coordinator in-flight watermark ceiling"},
+			{Name: "slo_ms", Default: 100, Doc: "compliant-tenant p99 write SLO, milliseconds (hard gate)"},
+			{Name: "rtt_ms", Default: 2, Doc: "simulated per-call network latency, milliseconds"},
+		},
+		Run: runE18,
 	})
 	return reg
 }

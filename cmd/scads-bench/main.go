@@ -64,7 +64,7 @@ var legacyExperiments = []struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (e1..e17, e4a..e4e) or 'all'")
+	exp := flag.String("exp", "", "experiment id (e1..e18, e4a..e4e) or 'all'")
 	csvDir := flag.String("csv", "", "directory for per-experiment output files plus index.csv")
 	jsonDir := flag.String("bench-json", "", "directory for machine-readable BENCH_<exp>.json summaries")
 	compare := flag.String("compare", "", "compare BENCH_*.json summaries in this directory against committed baselines and exit non-zero on regression")

@@ -15,6 +15,7 @@
 //	scads-ctl -addr host:7070 fence   -ns tbl_users -start a -end b
 //	scads-ctl -addr host:7070 unfence -ns tbl_users -start a -end b
 //	scads-ctl -addr coord:7071 repairs     # coordinator admin port
+//	scads-ctl -addr coord:7071 tenants     # admission quota/shed counters
 //
 // watermark prints the namespace's apply epoch/sequence — the delta
 // baseline online migrations catch up from (plus the node's highest
@@ -206,6 +207,20 @@ func runOne(tr rpc.Transport, addr, cmd string, p params) error {
 		fmt.Printf("%s: epoch=%d seq=%d\n", addr, resp.Epoch, resp.Watermark)
 		return nil
 
+	case "tenants":
+		resp, err := tr.Call(addr, rpc.Request{Method: rpc.MethodTenants})
+		if err != nil {
+			return err
+		}
+		if er := resp.Error(); er != nil {
+			return er
+		}
+		fmt.Printf("%s: in-flight=%d total-sheds=%d\n", addr, resp.QueueDepth, resp.RecordCount)
+		for _, line := range strings.Split(strings.TrimRight(string(resp.Value), "\n"), "\n") {
+			fmt.Printf("%s:   %s\n", addr, line)
+		}
+		return nil
+
 	case "repairs":
 		resp, err := tr.Call(addr, rpc.Request{Method: rpc.MethodRepairs})
 		if err != nil {
@@ -246,7 +261,7 @@ func runOne(tr rpc.Transport, addr, cmd string, p params) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (ping, stats, get, scan, droprange, watermark, fence, unfence, repairs)", cmd)
+		return fmt.Errorf("unknown command %q (ping, stats, get, scan, droprange, watermark, fence, unfence, repairs, tenants)", cmd)
 	}
 }
 

@@ -22,6 +22,10 @@ var (
 		// wall-clock or unseeded randomness in parse/aggregate/report
 		// paths (the Runner times repeats through an injected Clock).
 		"scads/internal/expgrid",
+		// The front-door admission controller: token-bucket refill and
+		// hot-tenant windows run off the injected clock so the e18
+		// shed-order gates replay deterministically.
+		"scads/internal/admission",
 	}
 	DeterminismFiles = []string{
 		"scads:autoscale.go",

@@ -34,6 +34,17 @@ var classifierNames = map[string]bool{
 	"Is":            true, // errors.Is(err, rpc.ErrFenced) etc.
 }
 
+// overloadClassifierNames are the helpers that classify backpressure
+// (rpc.ErrOverloaded with its retry-after hint). Wherever ErrFenced
+// classification is required — node response errors on fence-capable
+// paths — the overload taxonomy is required too: a node that sheds
+// under its handler bound answers exactly where a fence would, and an
+// unclassified shed turns backpressure into a client-visible failure.
+var overloadClassifierNames = map[string]bool{
+	"IsOverloaded": true,
+	"Is":           true, // errors.Is(err, rpc.ErrOverloaded)
+}
+
 // NewRPCRetry builds the rpcretry analyzer for the coordinator
 // packages in packages. The invariant (PRs 2–3): coordinator
 // write/read/scan paths must never surface a raw transport error —
@@ -57,8 +68,8 @@ func NewRPCRetry(packages []string) *analysis.Analyzer {
 	pkgSet := stringSet(packages)
 	a := &analysis.Analyzer{
 		Name: "rpcretry",
-		Doc: "coordinator paths must classify transport errors (ErrFenced/unreachable) through the shared " +
-			"retry-budget helpers instead of returning them raw",
+		Doc: "coordinator paths must classify transport errors (ErrFenced/unreachable/ErrOverloaded) through " +
+			"the shared retry-budget helpers instead of returning them raw",
 		Keys: []string{"rpcretry"},
 	}
 	a.Run = func(pass *analysis.Pass) error {
@@ -104,7 +115,7 @@ func checkRetryFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			}
 		case fenceCapable && isResponseError(pass, call) && len(as.Lhs) == 1:
 			if obj := assignedObject(pass, as.Lhs[0]); obj != nil {
-				tracked[obj] = "node response error from a fence-capable method"
+				tracked[obj] = trackedRespError
 			}
 		}
 		return true
@@ -112,31 +123,54 @@ func checkRetryFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 
 	// Pass 2: a classifier call anywhere in the function absolves the
 	// variable it inspects (the retry-loop idiom tests the error and
-	// loops; the default branch may then return it raw).
+	// loops; the default branch may then return it raw). Fence and
+	// overload are separate families: node response errors on
+	// fence-capable paths must be routed through both.
 	classified := make(map[types.Object]bool)
+	overloadClassified := make(map[types.Object]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !isClassifierCall(pass, call) {
+		if !ok {
+			return true
+		}
+		legacy := isClassifierCall(pass, call, classifierNames)
+		overload := isClassifierCall(pass, call, overloadClassifierNames)
+		if !legacy && !overload {
 			return true
 		}
 		for _, arg := range call.Args {
 			if id, ok := arg.(*ast.Ident); ok {
 				if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] != "" {
-					classified[obj] = true
+					if legacy {
+						classified[obj] = true
+					}
+					if overload {
+						overloadClassified[obj] = true
+					}
 				}
 			}
 		}
 		return true
 	})
 
-	// Pass 3: report escapes of unclassified tracked errors.
+	// Pass 3: report escapes of unclassified tracked errors. Overload
+	// classification is demanded only of node response errors on
+	// fence-capable paths — that is where ErrOverloaded arrives
+	// (transport-level failures are the unreachable taxonomy).
 	escape := func(id *ast.Ident, obj types.Object, how string) {
-		if classified[obj] {
+		needsOverload := tracked[obj] == trackedRespError
+		switch {
+		case classified[obj] && (!needsOverload || overloadClassified[obj]):
 			return
+		case classified[obj]:
+			pass.Report(id.Pos(), "rpcretry",
+				"%s %q escapes %s without overload classification: fence-capable paths must also route it through rpc.IsOverloaded and honor the retry-after hint (or suppress with the reason callers own the budget)",
+				tracked[obj], obj.Name(), how)
+		default:
+			pass.Report(id.Pos(), "rpcretry",
+				"%s %q escapes %s without fence/unreachable classification: route it through rpc.IsFenced/rpc.IsUnreachable/rpc.IsOverloaded/partition.IsUnavailable and the shared retry budgets (or suppress with the reason callers own the budget)",
+				tracked[obj], obj.Name(), how)
 		}
-		pass.Report(id.Pos(), "rpcretry",
-			"%s %q escapes %s without fence/unreachable classification: route it through rpc.IsFenced/rpc.IsUnreachable/partition.IsUnavailable and the shared retry budgets (or suppress with the reason callers own the budget)",
-			tracked[obj], obj.Name(), how)
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
@@ -151,7 +185,7 @@ func checkRetryFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				// the raw node error goes straight out.
 				if call, ok := res.(*ast.CallExpr); ok && fenceCapable && isResponseError(pass, call) {
 					pass.Report(call.Pos(), "rpcretry",
-						"raw Response.Error() returned from a fence-capable path: classify it (rpc.IsFenced/partition.IsUnavailable) before surfacing (or suppress with the reason callers own the budget)")
+						"raw Response.Error() returned from a fence-capable path: classify it (rpc.IsFenced/rpc.IsOverloaded/partition.IsUnavailable) before surfacing (or suppress with the reason callers own the budget)")
 				}
 			}
 		case *ast.KeyValueExpr:
@@ -242,12 +276,17 @@ func isResponseError(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return isRPCNamed(t, "Response")
 }
 
-func isClassifierCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+// trackedRespError is the birth description of a node response error
+// on a fence-capable path — the tracked kind that must pass both the
+// fence/unreachable and the overload classifier families.
+const trackedRespError = "node response error from a fence-capable method"
+
+func isClassifierCall(pass *analysis.Pass, call *ast.CallExpr, names map[string]bool) bool {
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
-		return classifierNames[fun.Sel.Name]
+		return names[fun.Sel.Name]
 	case *ast.Ident:
-		return classifierNames[fun.Name]
+		return names[fun.Name]
 	}
 	return false
 }

@@ -62,6 +62,29 @@ func dynamicMethod(t rpc.Transport, addr, method string) error {
 	return resp.Error() // want `raw Response\.Error\(\) returned from a fence-capable path`
 }
 
+// fenceOnlyClassified routes the node error through the fence family
+// but never the overload family: a node shedding under its handler
+// bound would surface as a raw failure instead of a retry-after wait.
+func fenceOnlyClassified(t rpc.Transport, addr string, key []byte) error {
+	resp, _ := t.Call(addr, rpc.Request{Method: rpc.MethodPut, Key: key})
+	nerr := resp.Error()
+	if nerr == nil || rpc.IsFenced(nerr) {
+		return nil
+	}
+	return nerr // want `node response error from a fence-capable method "nerr" escapes via return without overload classification`
+}
+
+// fullyClassified tests the node error through both families; the
+// default branch may then surface it raw (the retry-loop idiom).
+func fullyClassified(t rpc.Transport, addr string, key []byte) error {
+	resp, _ := t.Call(addr, rpc.Request{Method: rpc.MethodPut, Key: key})
+	nerr := resp.Error()
+	if nerr == nil || rpc.IsFenced(nerr) || rpc.IsOverloaded(nerr) {
+		return nil
+	}
+	return nerr
+}
+
 // respErrorGet surfaces a point-get's semantic error verbatim: point
 // gets are never fenced, so the node error is the real answer.
 func respErrorGet(t rpc.Transport, addr string, key []byte) error {

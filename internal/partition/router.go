@@ -132,6 +132,13 @@ func (r *Router) getUntil(m *Map, namespace string, key []byte, policy ReadPolic
 				continue // failover to the next replica
 			}
 			if e := resp.Error(); e != nil {
+				if rpc.IsOverloaded(e) {
+					// The replica shed the read under its handler
+					// bound: fail over to the next replica; if every
+					// replica sheds, the outer loop backs off for the
+					// hinted interval under the shared budget.
+					continue
+				}
 				return nil, 0, false, e
 			}
 			return resp.Value, resp.Version, resp.Found, nil
@@ -265,6 +272,12 @@ func (r *Router) GetFrom(namespace, nodeID string, key []byte) ([]byte, uint64, 
 		return nil, 0, false, err
 	}
 	if e := resp.Error(); e != nil {
+		if rpc.IsOverloaded(e) {
+			// The pinned replica shed the read: classify like a down
+			// node so the session read path fails over to the next
+			// replica instead of surfacing raw backpressure.
+			return nil, 0, false, fmt.Errorf("%w: %s shed the read: %v", ErrNoReplicaAvailable, nodeID, e)
+		}
 		return nil, 0, false, e
 	}
 	return resp.Value, resp.Version, resp.Found, nil
@@ -326,6 +339,14 @@ func (r *Router) write(namespace string, key, value []byte, method string) (uint
 				// lands on the new primary.
 				fenceAttempts++
 				time.Sleep(rpc.FenceRetryPause)
+				continue
+			}
+			if rpc.IsOverloaded(e) && time.Now().Before(downDeadline) {
+				// The primary shed the write under its handler bound:
+				// honor the retry-after hint under the shared
+				// wall-clock budget — backpressure delays the write,
+				// it does not fail it.
+				time.Sleep(rpc.RetryAfter(e))
 				continue
 			}
 			return 0, nil, e

@@ -31,6 +31,10 @@ type ScanOptions struct {
 	// router's configured default; 1 degenerates to the sequential
 	// range-at-a-time path (the ablation baseline).
 	Parallelism int
+	// Tenant is the admission-control identity the scan is accounted
+	// to; it rides each sub-scan's request envelope so node-side
+	// accounting can attribute the bytes.
+	Tenant string
 }
 
 // scanSub is one fixed sub-interval of the scan, assigned to a worker.
@@ -227,11 +231,12 @@ func (r *Router) scanInterval(namespace string, start, end []byte, limit int, o 
 		rng := m.Lookup(start)
 		subEnd := minKey(end, rng.End)
 		req := rpc.Request{
-			Method: rpc.MethodScan, Namespace: namespace,
+			Method: rpc.MethodScan, Namespace: namespace, Tenant: o.Tenant,
 			Start: start, End: subEnd, Limit: limit,
 			Projection: o.Projection, Preds: o.Preds,
 		}
-		var fenced bool
+		var fenced, overloaded bool
+		var retryAfter time.Duration
 		for _, id := range r.replicaOrder(rng.Replicas, o.Policy) {
 			addr, ok := r.addrOf(id)
 			if !ok {
@@ -248,6 +253,15 @@ func (r *Router) scanInterval(namespace string, start, end []byte, limit int, o 
 					// others.
 					fenced = true
 					break
+				}
+				if rpc.IsOverloaded(e) {
+					// The replica shed this sub-scan under its handler
+					// bound: honor its retry-after hint, but first give
+					// the remaining replicas a chance — they may have
+					// headroom.
+					overloaded = true
+					retryAfter = rpc.RetryAfter(e)
+					continue
 				}
 				return scanPage{err: e}
 			}
@@ -267,6 +281,16 @@ func (r *Router) scanInterval(namespace string, start, end []byte, limit int, o 
 				return scanPage{err: rpc.ErrFenced}
 			}
 			time.Sleep(rpc.FenceRetryPause)
+			continue
+		}
+		if overloaded {
+			// Every reachable replica shed the sub-scan: back off for
+			// the hinted interval under the scan's shared wall-clock
+			// budget instead of hammering a saturated node.
+			if time.Now().After(deadline) {
+				return scanPage{err: rpc.Overloaded(retryAfter, "scan retry budget exhausted")}
+			}
+			time.Sleep(retryAfter)
 			continue
 		}
 		// Every replica unreachable: likely a crash window the repair

@@ -92,6 +92,13 @@ func (b *Batcher) Call(addr string, req Request) (Response, error) {
 	if req.Method == MethodBatch {
 		return b.next.Call(addr, req)
 	}
+	if IsControlMethod(req.Method) {
+		// Control-plane probes bypass coalescing: wrapped in a
+		// MethodBatch envelope they would lose their control
+		// classification and queue behind data-plane work at a
+		// saturated server instead of using its reserved headroom.
+		return b.next.Call(addr, req)
+	}
 	key := batchKey{addr: addr, method: req.Method}
 	c := &batchCall{req: req, done: make(chan struct{})}
 

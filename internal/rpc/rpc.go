@@ -58,7 +58,27 @@ const (
 	// counters and in-flight jobs for operator tooling (scads-ctl
 	// repairs).
 	MethodRepairs = "repairs"
+
+	// MethodTenants is served by a coordinator's admin handler: it
+	// reports the admission controller's per-tenant quota/shed/admit
+	// counters for operator tooling (scads-ctl tenants).
+	MethodTenants = "tenants"
 )
+
+// controlMethods are the cheap control-plane probes (failure
+// detection, operator tooling) that must never queue behind bulk
+// data-plane work: the server keeps dedicated handler headroom for
+// them, and the Batcher never coalesces them into data batches.
+var controlMethods = map[string]bool{
+	MethodPing:    true,
+	MethodStats:   true,
+	MethodRepairs: true,
+	MethodTenants: true,
+}
+
+// IsControlMethod reports whether method is a control-plane probe
+// entitled to the server's reserved handler headroom.
+func IsControlMethod(method string) bool { return controlMethods[method] }
 
 // Request is the single request envelope for all methods. Unused
 // fields stay at their zero values; the wire codec encodes a zero
@@ -70,6 +90,12 @@ type Request struct {
 	ID        uint64
 	Method    string
 	Namespace string
+
+	// Tenant is the admission-control identity of the session that
+	// originated the request (empty for the default tenant). It rides
+	// the envelope so per-tenant accounting survives coordinator →
+	// node fan-out (scans debit the tenant's scan-byte quota).
+	Tenant string
 
 	Key   []byte
 	Value []byte
@@ -243,6 +269,70 @@ func IsUnreachable(err error) bool {
 	return strings.Contains(s, "node unreachable") ||
 		strings.Contains(s, "connection refused") ||
 		strings.Contains(s, "connection reset")
+}
+
+// ErrOverloaded is the wire error returned when a server sheds a
+// request instead of queueing it: the node's per-connection handler
+// bound is saturated, or the coordinator's admission controller
+// rejected the tenant (quota exhausted or priority shed under
+// measured overload). It is backpressure, not failure — the work was
+// never started, so the caller should wait the retry-after hint and
+// try again under its normal retry budget instead of hammering.
+var ErrOverloaded = errors.New("rpc: overloaded")
+
+// DefaultRetryAfter is the retry-after hint used when an overload
+// rejection carries none (or the hint failed to parse off the wire).
+const DefaultRetryAfter = 10 * time.Millisecond
+
+// Overloaded builds a classified overload rejection carrying a
+// retry-after hint and a human-readable reason. The hint travels
+// inside the message so it survives the string-typed wire boundary;
+// RetryAfter recovers it on the far side.
+func Overloaded(retryAfter time.Duration, reason string) error {
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	if reason == "" {
+		return fmt.Errorf("%w, retry after %s", ErrOverloaded, retryAfter)
+	}
+	return fmt.Errorf("%w, retry after %s: %s", ErrOverloaded, retryAfter, reason)
+}
+
+// IsOverloaded reports whether err is an overload shed, across error
+// wrapping and across the wire boundary (errors arrive
+// re-materialised from strings).
+func IsOverloaded(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	return strings.Contains(err.Error(), "rpc: overloaded")
+}
+
+// RetryAfter extracts the retry-after hint from an overload
+// rejection, across the wire boundary. Non-overload errors and
+// rejections without a parseable hint yield DefaultRetryAfter, so
+// callers can sleep the result unconditionally.
+func RetryAfter(err error) time.Duration {
+	if err == nil {
+		return DefaultRetryAfter
+	}
+	s := err.Error()
+	i := strings.Index(s, "retry after ")
+	if i < 0 {
+		return DefaultRetryAfter
+	}
+	s = s[i+len("retry after "):]
+	if j := strings.IndexAny(s, ":,; "); j >= 0 {
+		s = s[:j]
+	}
+	d, perr := time.ParseDuration(s)
+	if perr != nil || d <= 0 {
+		return DefaultRetryAfter
+	}
+	return d
 }
 
 // IsSnapshotGap reports whether err is a delta-baseline gap, across

@@ -10,10 +10,24 @@ import (
 )
 
 // maxConnHandlers bounds concurrently dispatched handlers per server
-// connection. When the bound is hit the connection's read loop blocks,
-// which backpressures the peer through TCP instead of queueing
-// unbounded work.
+// connection. Data-plane requests past the bound are shed with an
+// ErrOverloaded response carrying a retry-after hint — explicit
+// backpressure the caller's retry budget understands — instead of
+// blocking the read loop, which would silently queue every method
+// (including failure-detection pings) behind bulk work via TCP.
 const maxConnHandlers = 256
+
+// controlHandlerReserve is the slice of maxConnHandlers held back for
+// control-plane methods (MethodPing, MethodStats, MethodRepairs …):
+// however saturated the data plane is, a heartbeat probe always finds
+// a free handler, so the repair detector cannot false-positive a node
+// that is merely busy.
+const controlHandlerReserve = 8
+
+// shedRetryAfter is the retry-after hint attached to handler-bound
+// sheds. One hint fits all: the bound clears as fast as the slowest
+// in-flight handler, which is ~ms for everything but bulk scans.
+const shedRetryAfter = 5 * time.Millisecond
 
 // serverWriteTimeout bounds one response write. It exists for the
 // half-open case — a client host that vanished without FIN/RST would
@@ -105,7 +119,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	var wmu sync.Mutex // serialises response frames onto the socket
-	sem := make(chan struct{}, maxConnHandlers)
+	// Two pools: data-plane handlers take from dataSem and are shed
+	// (never queued) when it is empty; control-plane probes take from
+	// ctrlSem, a reserve the data plane cannot consume. The blocking
+	// acquire on ctrlSem is safe — only cheap probes hold it.
+	dataSem := make(chan struct{}, maxConnHandlers-controlHandlerReserve)
+	ctrlSem := make(chan struct{}, controlHandlerReserve)
+	writeResp := func(resp *Response) {
+		bp := encodeResponseFrame(resp)
+		wmu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+		_, werr := conn.Write(*bp)
+		wmu.Unlock()
+		putFrameBuf(bp)
+		if werr != nil {
+			// Unblock the read loop; remaining handlers drain
+			// against the closed socket.
+			conn.Close()
+		}
+	}
 	var scratch []byte // reusable: request decode detaches every retained byte
 	for {
 		payload, err := readFrameInto(conn, &scratch)
@@ -118,7 +150,22 @@ func (s *Server) serveConn(conn net.Conn) {
 			// recovered; drop the connection.
 			return
 		}
-		sem <- struct{}{}
+		sem := dataSem
+		if IsControlMethod(req.Method) {
+			sem = ctrlSem
+			sem <- struct{}{}
+		} else {
+			select {
+			case sem <- struct{}{}:
+			default:
+				// Handler bound saturated: shed instead of blocking
+				// the read loop, so control frames behind this one
+				// still reach their reserved headroom promptly.
+				shed := Response{ID: req.ID, Err: ErrString(Overloaded(shedRetryAfter, "server handler bound saturated"))}
+				writeResp(&shed)
+				continue
+			}
+		}
 		handlers.Add(1)
 		go func() {
 			defer func() {
@@ -127,17 +174,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}()
 			resp := s.handler.Serve(req)
 			resp.ID = req.ID
-			bp := encodeResponseFrame(&resp)
-			wmu.Lock()
-			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
-			_, werr := conn.Write(*bp)
-			wmu.Unlock()
-			putFrameBuf(bp)
-			if werr != nil {
-				// Unblock the read loop; remaining handlers drain
-				// against the closed socket.
-				conn.Close()
-			}
+			writeResp(&resp)
 		}()
 	}
 }

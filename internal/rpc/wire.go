@@ -259,7 +259,7 @@ const (
 	minWireString   = 1  // length byte
 	minWirePred     = 3  // column len + op + value len
 	minWireRecord   = 4  // flags + version + key len + value len
-	minWireRequest  = 15 // every fixed field at its zero encoding
+	minWireRequest  = 16 // every fixed field at its zero encoding
 	minWireResponse = 13
 )
 
@@ -299,6 +299,7 @@ func appendRequest(dst []byte, req *Request) []byte {
 		dst = appendStr(dst, req.Method)
 	}
 	dst = appendStr(dst, req.Namespace)
+	dst = appendStr(dst, req.Tenant)
 	dst = appendBlob(dst, req.Key)
 	dst = appendBlob(dst, req.Value)
 	dst = appendBlob(dst, req.Start)
@@ -358,6 +359,9 @@ func readRequest(r *wireReader, depth int, req *Request) error {
 		return err
 	}
 	if req.Namespace, err = r.str(); err != nil {
+		return err
+	}
+	if req.Tenant, err = r.str(); err != nil {
 		return err
 	}
 	if req.Key, err = r.blob(); err != nil {

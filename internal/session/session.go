@@ -19,6 +19,7 @@ type Session struct {
 	level consistency.SessionLevel
 
 	mu     sync.Mutex
+	tenant string
 	floors map[floorKey]floor
 }
 
@@ -41,6 +42,28 @@ func New(level consistency.SessionLevel) *Session {
 
 // Level returns the session's guarantee level.
 func (s *Session) Level() consistency.SessionLevel { return s.level }
+
+// BindTenant attaches an admission-control tenant identity to the
+// session; every operation issued through the session is accounted to
+// that tenant's quotas and priority class. Nil-safe no-op.
+func (s *Session) BindTenant(tenant string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tenant = tenant
+	s.mu.Unlock()
+}
+
+// Tenant returns the bound tenant identity ("" = default tenant).
+func (s *Session) Tenant() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenant
+}
 
 // ObserveWrite records that this session wrote key at version.
 // Relevant only for read-your-writes.

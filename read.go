@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"scads/internal/admission"
 	"scads/internal/consistency"
 	"scads/internal/partition"
 	"scads/internal/planner"
@@ -49,7 +50,15 @@ func (c *Cluster) getSession(table string, pk row.Row, sess *session.Session) (r
 		return nil, false, fmt.Errorf("scads: no partition map for %s", ns)
 	}
 	rng := m.Lookup(key)
+	// Load is recorded before admission so shed demand stays visible
+	// to the balancer: sustained skew should trigger rebalancing, not
+	// vanish behind the front door.
 	c.loads.Record(ns, rng.Start, key)
+	release, err := c.admit(sess.Tenant(), admission.OpRead, 1)
+	if err != nil {
+		return nil, false, err
+	}
+	defer release()
 	spec := c.specFor(table)
 	bound := spec.Staleness
 	tracker := c.pump.Tracker()
@@ -155,6 +164,11 @@ func (c *Cluster) getMulti(table string, pks []row.Row) ([]row.Row, []bool, erro
 		keys[i] = key
 		c.loads.Record(ns, m.Lookup(key).Start, key)
 	}
+	release, err := c.admit("", admission.OpRead, float64(len(pks)))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
 	res, err := c.router.GetBatch(ns, keys, partition.ReadPrimary)
 	if err != nil {
 		return nil, nil, err
@@ -205,26 +219,28 @@ func (c *Cluster) GetStall(table string, pk row.Row, sess *session.Session, time
 
 // InsertSession is Insert plus read-your-writes bookkeeping: the
 // session records the write so its later reads are guaranteed to see
-// it.
+// it. The write is accounted to the session's bound tenant.
 func (c *Cluster) InsertSession(table string, r row.Row, sess *session.Session) error {
-	if err := c.Insert(table, r); err != nil {
+	ver, err := c.insertAs(table, r, sess.Tenant())
+	if err != nil {
 		return err
 	}
-	c.observeOwnWrite(table, r, sess, false)
+	c.observeOwnWrite(table, r, sess, false, ver)
 	return nil
 }
 
 // DeleteSession is Delete plus read-your-writes bookkeeping.
 func (c *Cluster) DeleteSession(table string, pk row.Row, sess *session.Session) error {
-	if err := c.Delete(table, pk); err != nil {
+	ver, err := c.deleteAs(table, pk, sess.Tenant())
+	if err != nil {
 		return err
 	}
-	c.observeOwnWrite(table, pk, sess, true)
+	c.observeOwnWrite(table, pk, sess, true, ver)
 	return nil
 }
 
-func (c *Cluster) observeOwnWrite(table string, pk row.Row, sess *session.Session, deleted bool) {
-	if sess == nil {
+func (c *Cluster) observeOwnWrite(table string, pk row.Row, sess *session.Session, deleted bool, version uint64) {
+	if sess == nil || version == 0 {
 		return
 	}
 	t, err := c.tableDef(table)
@@ -235,23 +251,33 @@ func (c *Cluster) observeOwnWrite(table string, pk row.Row, sess *session.Sessio
 	if err != nil {
 		return
 	}
-	// The write's exact version is internal; the coordinator's current
-	// HLC is an upper bound that is ≥ the assigned version and < any
-	// later write, so it is a correct floor.
-	sess.ObserveWrite(table, key, c.lastVersion.Load(), deleted)
+	// The floor is the write's exact assigned version. An upper bound
+	// (the coordinator's current HLC) is NOT correct here: concurrent
+	// writers to other keys advance the HLC between this write's
+	// versioning and its observation, and a floor above the record's
+	// real version makes the session reject every replica — including
+	// the primary that holds the write.
+	sess.ObserveWrite(table, key, version, deleted)
 }
 
 // Query executes a declared query template with the given parameters,
 // returning at most its LIMIT rows in index order. Every execution is
 // a single bounded contiguous range read (§3.1).
 func (c *Cluster) Query(name string, params map[string]any) ([]row.Row, error) {
+	return c.QuerySession(name, params, nil)
+}
+
+// QuerySession is Query with the execution accounted to the session's
+// bound tenant: the scan passes the tenant's admission gate and its
+// result size is debited against the tenant's scan-byte quota.
+func (c *Cluster) QuerySession(name string, params map[string]any, sess *session.Session) ([]row.Row, error) {
 	start := c.clk.Now()
-	rows, err := c.query(name, params)
+	rows, err := c.query(name, params, sess.Tenant())
 	c.record(start, err)
 	return rows, err
 }
 
-func (c *Cluster) query(name string, params map[string]any) ([]row.Row, error) {
+func (c *Cluster) query(name string, params map[string]any, tenant string) ([]row.Row, error) {
 	plan := c.Plan(name)
 	if plan == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownQuery, name)
@@ -269,6 +295,11 @@ func (c *Cluster) query(name string, params map[string]any) ([]row.Row, error) {
 		if m, ok := c.router.Map(plan.Namespace); ok {
 			c.loads.Record(plan.Namespace, m.Lookup(startKey).Start, startKey)
 		}
+		release, err := c.admit(tenant, admission.OpRead, 1)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		val, _, found, err := c.router.Get(plan.Namespace, startKey, partition.ReadAny)
 		if err != nil || !found {
 			return nil, err
@@ -294,11 +325,17 @@ func (c *Cluster) query(name string, params map[string]any) ([]row.Row, error) {
 		}
 	}
 
+	release, err := c.admit(tenant, admission.OpScan, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
 	// Scatter-gather scan with pushdown: residual filters and (when the
 	// plan narrows stored rows) the projection travel with the request,
 	// so storage nodes return pre-filtered, pre-projected rows instead
 	// of the coordinator decoding every base row.
-	opts := partition.ScanOptions{Limit: plan.Limit, Policy: partition.ReadAny}
+	opts := partition.ScanOptions{Limit: plan.Limit, Policy: partition.ReadAny, Tenant: tenant}
 	filters, err := planner.ComputeFilters(plan, norm)
 	if err != nil {
 		return nil, err
@@ -315,6 +352,14 @@ func (c *Cluster) query(name string, params map[string]any) ([]row.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Scan-byte quotas are post-paid: the result size isn't known
+	// until the fan-out returns, so the tenant's bucket is debited
+	// after the fact and an overdraw blocks the *next* scan.
+	var scanBytes int64
+	for _, rec := range recs {
+		scanBytes += int64(len(rec.Value))
+	}
+	c.admission.DebitScanBytes(tenant, scanBytes)
 	out := make([]row.Row, 0, len(recs))
 	for _, rec := range recs {
 		r, err := row.Decode(rec.Value)

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scads/internal/admission"
 	"scads/internal/analyzer"
 	"scads/internal/balancer"
 	"scads/internal/clock"
@@ -97,6 +98,13 @@ type Config struct {
 	// RepairNow drives one sweep synchronously for deterministic tests
 	// and operator tooling.
 	Repair repair.Config
+	// Admission configures the front-door admission controller:
+	// per-tenant token-bucket quotas, priority-aware overload
+	// shedding, and hot-tenant detection. The zero value admits
+	// everything (no quotas, no in-flight watermark), so existing
+	// single-tenant deployments are unaffected. Admission.Clock is
+	// overridden with the cluster Clock.
+	Admission admission.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -145,7 +153,8 @@ type Cluster struct {
 	rowMergeMu sync.RWMutex
 	rowMerges  map[string]RowMergeFunc
 
-	loads *balancer.Tracker
+	loads     *balancer.Tracker
+	admission *admission.Controller
 
 	lastVersion atomic.Uint64
 	readRR      atomic.Uint64
@@ -198,6 +207,9 @@ func Open(cfg Config) (*Cluster, error) {
 		maint:      newMaintQueue(),
 		loads:      balancer.NewTracker(),
 	}
+	admCfg := cfg.Admission
+	admCfg.Clock = cfg.Clock
+	c.admission = admission.New(admCfg)
 	if cfg.ScanParallelism > 0 {
 		c.router.SetScanParallelism(cfg.ScanParallelism)
 	}
@@ -347,6 +359,36 @@ func (c *Cluster) RepairNow() { c.repairs.Sweep() }
 // Monitor exposes the SLA monitor.
 func (c *Cluster) Monitor() *sla.Monitor { return c.monitor }
 
+// Admission exposes the front-door admission controller (tenant
+// configuration, stats, hot-tenant queries).
+func (c *Cluster) Admission() *admission.Controller { return c.admission }
+
+// SetTenant installs or replaces a tenant's admission quota and
+// priority class at runtime.
+func (c *Cluster) SetTenant(name string, cfg admission.TenantConfig) {
+	c.admission.SetTenant(name, cfg)
+}
+
+// HotTenants reports tenants whose sustained demand rate dominates the
+// mean — the rebalancing signal for skew the front door would
+// otherwise shed forever.
+func (c *Cluster) HotTenants() []admission.TenantDemand {
+	return c.admission.HotTenants()
+}
+
+// admit gates one front-door operation through the admission
+// controller. The returned release must be called when the operation
+// finishes (it closes the in-flight accounting overload shedding
+// watches); on rejection the error wraps rpc.ErrOverloaded with a
+// retry-after hint and release is a no-op.
+func (c *Cluster) admit(tenant string, op admission.Op, cost float64) (func(), error) {
+	release, err := c.admission.Admit(tenant, op, cost)
+	if err != nil {
+		return func() {}, err
+	}
+	return release, nil
+}
+
 // Clock exposes the cluster's time source.
 func (c *Cluster) Clock() clock.Clock { return c.clk }
 
@@ -436,6 +478,7 @@ type Stats struct {
 	Batching    rpc.BatcherStats // request coalescing (zero when disabled)
 	Migration   migration.Stats  // online range-migration activity
 	Repair      repair.Stats     // self-healing crash-recovery activity
+	Admission   admission.Stats  // front-door quotas / overload shedding
 }
 
 // Stats returns a snapshot.
@@ -446,6 +489,7 @@ func (c *Cluster) Stats() Stats {
 		SLA:         c.monitor.Summary(),
 		Migration:   c.migrations.Stats(),
 		Repair:      c.repairs.Stats(),
+		Admission:   c.admission.Stats(),
 	}
 	if c.batcher != nil {
 		s.Batching = c.batcher.Stats()

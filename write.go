@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"scads/internal/admission"
 	"scads/internal/consistency"
 	"scads/internal/partition"
 	"scads/internal/planner"
@@ -19,10 +20,44 @@ import (
 // table, honouring the table's declared write-consistency mode, and
 // schedules asynchronous index maintenance and replication.
 func (c *Cluster) Insert(table string, r row.Row) error {
-	start := c.clk.Now()
-	err := c.write(table, r, writeUpsert)
-	c.record(start, err)
+	_, err := c.insertAs(table, r, "")
 	return err
+}
+
+// insertAs is Insert accounted to a tenant (InsertSession routes the
+// session's bound tenant here; plain Insert uses the default tenant).
+// It returns the version assigned to the write, the session floor for
+// read-your-writes.
+func (c *Cluster) insertAs(table string, r row.Row, tenant string) (uint64, error) {
+	start := c.clk.Now()
+	var ver uint64
+	release, err := c.admitWrite(table, r, tenant, 1)
+	if err == nil {
+		ver, err = c.write(table, r, writeUpsert)
+	}
+	release()
+	c.record(start, err)
+	return ver, err
+}
+
+// admitWrite gates one keyed write through the admission controller.
+// Shed writes still record their load against the balancer's tracker
+// so sustained skew triggers rebalancing instead of vanishing behind
+// the front door. The returned release is always safe to call.
+func (c *Cluster) admitWrite(table string, pk row.Row, tenant string, cost float64) (func(), error) {
+	release, err := c.admit(tenant, admission.OpWrite, cost)
+	if err == nil {
+		return release, nil
+	}
+	if t, terr := c.tableDef(table); terr == nil {
+		if key, kerr := pkKey(t, pk); kerr == nil {
+			ns := planner.TableNamespace(table)
+			if m, ok := c.router.Map(ns); ok {
+				c.loads.Record(ns, m.Lookup(key).Start, key)
+			}
+		}
+	}
+	return release, err
 }
 
 // Update applies a full-row write with the same semantics as Insert
@@ -51,6 +86,24 @@ func (c *Cluster) insertBatch(table string, rows []row.Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	// One admission for the whole batch at its row-count cost; the
+	// conflict-aware fallback below goes through c.write directly
+	// (not Insert), so the batch is never double-charged.
+	release, err := c.admit("", admission.OpWrite, float64(len(rows)))
+	if err != nil {
+		if t, terr := c.tableDef(table); terr == nil {
+			ns := planner.TableNamespace(table)
+			if m, ok := c.router.Map(ns); ok {
+				for _, r := range rows {
+					if key, kerr := pkKey(t, r); kerr == nil {
+						c.loads.Record(ns, m.Lookup(key).Start, key)
+					}
+				}
+			}
+		}
+		return err
+	}
+	defer release()
 	t, err := c.tableDef(table)
 	if err != nil {
 		return err
@@ -60,7 +113,7 @@ func (c *Cluster) insertBatch(table string, rows []row.Row) error {
 		// Conflict-aware modes need an atomic read-modify-write per
 		// row; the transport-level batcher still coalesces their RPCs.
 		for _, r := range rows {
-			if err := c.write(table, r, writeUpsert); err != nil {
+			if _, err := c.write(table, r, writeUpsert); err != nil {
 				return err
 			}
 		}
@@ -202,6 +255,12 @@ func (c *Cluster) UpdateFunc(table string, pk row.Row, fn func(cur row.Row) (row
 }
 
 func (c *Cluster) updateFunc(table string, pk row.Row, fn func(cur row.Row) (row.Row, error)) error {
+	release, err := c.admitWrite(table, pk, "", 1)
+	if err != nil {
+		release()
+		return err
+	}
+	defer release()
 	t, err := c.tableDef(table)
 	if err != nil {
 		return err
@@ -224,35 +283,51 @@ func (c *Cluster) updateFunc(table string, pk row.Row, fn func(cur row.Row) (row
 			if cur == nil {
 				return nil
 			}
-			return c.applyWrite(t, key, cur, nil)
+			_, err := c.applyWrite(t, key, cur, nil)
+			return err
 		}
 		normalized, err := c.normalizeRow(t, next)
 		if err != nil {
 			return err
 		}
-		return c.applyWrite(t, key, cur, normalized)
+		_, err = c.applyWrite(t, key, cur, normalized)
+		return err
 	})
 }
 
 // Delete tombstones the row with the given primary key.
 func (c *Cluster) Delete(table string, pk row.Row) error {
-	start := c.clk.Now()
-	err := c.delete(table, pk)
-	c.record(start, err)
+	_, err := c.deleteAs(table, pk, "")
 	return err
 }
 
-func (c *Cluster) delete(table string, pk row.Row) error {
+// deleteAs is Delete accounted to a tenant (DeleteSession routes the
+// session's bound tenant here). It returns the tombstone's version (0
+// when the row did not exist and nothing was written).
+func (c *Cluster) deleteAs(table string, pk row.Row, tenant string) (uint64, error) {
+	start := c.clk.Now()
+	var ver uint64
+	release, err := c.admitWrite(table, pk, tenant, 1)
+	if err == nil {
+		ver, err = c.delete(table, pk)
+	}
+	release()
+	c.record(start, err)
+	return ver, err
+}
+
+func (c *Cluster) delete(table string, pk row.Row) (uint64, error) {
 	t, err := c.tableDef(table)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	key, err := pkKey(t, pk)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	ns := planner.TableNamespace(table)
-	return c.serializer.Do(ns, key, func() error {
+	var ver uint64
+	err = c.serializer.Do(ns, key, func() error {
 		cur, _, err := c.readRow(ns, key)
 		if err != nil {
 			return err
@@ -260,8 +335,10 @@ func (c *Cluster) delete(table string, pk row.Row) error {
 		if cur == nil {
 			return nil
 		}
-		return c.applyWrite(t, key, cur, nil)
+		ver, err = c.applyWrite(t, key, cur, nil)
+		return err
 	})
+	return ver, err
 }
 
 type writeKind int
@@ -271,19 +348,20 @@ const (
 )
 
 // write implements Insert/Update: mode-dependent conflict handling,
-// then the common apply path.
-func (c *Cluster) write(table string, r row.Row, _ writeKind) error {
+// then the common apply path. It returns the version assigned to the
+// write.
+func (c *Cluster) write(table string, r row.Row, _ writeKind) (uint64, error) {
 	t, err := c.tableDef(table)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	normalized, err := c.normalizeRow(t, r)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	key, err := pkKey(t, normalized)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	ns := planner.TableNamespace(table)
 	spec := c.specFor(table)
@@ -291,7 +369,8 @@ func (c *Cluster) write(table string, r row.Row, _ writeKind) error {
 	switch spec.Write {
 	case consistency.Serializable, consistency.MergeFunction:
 		// Both modes need the current value atomically.
-		return c.serializer.Do(ns, key, func() error {
+		var ver uint64
+		err := c.serializer.Do(ns, key, func() error {
 			cur, _, err := c.readRow(ns, key)
 			if err != nil {
 				return err
@@ -304,12 +383,14 @@ func (c *Cluster) write(table string, r row.Row, _ writeKind) error {
 				}
 				next = merged
 			}
-			return c.applyWrite(t, key, cur, next)
+			ver, err = c.applyWrite(t, key, cur, next)
+			return err
 		})
+		return ver, err
 	default: // last-write-wins
 		cur, _, err := c.readRow(ns, key)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		return c.applyWrite(t, key, cur, normalized)
 	}
@@ -384,6 +465,11 @@ func (c *Cluster) applyToPrimary(ns string, m *partition.Map, key []byte, recs [
 			// reason: recovery is driven by the repair goroutine, not
 			// by clock time.
 			time.Sleep(rpc.DownRetryPause)
+		case rpc.IsOverloaded(err) && time.Now().Before(downDeadline):
+			// The node shed the apply under its handler bound: honor
+			// the retry-after hint under the same wall-clock budget,
+			// so backpressure slows writes instead of failing them.
+			time.Sleep(rpc.RetryAfter(err))
 		default:
 			return rng, err
 		}
@@ -426,8 +512,11 @@ func (c *Cluster) enqueueReplication(ns string, m *partition.Map, key []byte, re
 // applyWrite is the common write path: version the record, write the
 // table primary, enqueue replication to secondaries, and enqueue
 // asynchronous index maintenance with the namespace's staleness
-// deadline.
-func (c *Cluster) applyWrite(t *query.TableDef, key []byte, oldRow, newRow row.Row) error {
+// deadline. It returns the version assigned to the record — the exact
+// session floor for read-your-writes (an upper bound like the
+// coordinator's current HLC would overshoot under concurrent writers
+// and make the session reject even the primary's answer).
+func (c *Cluster) applyWrite(t *query.TableDef, key []byte, oldRow, newRow row.Row) (uint64, error) {
 	ns := planner.TableNamespace(t.Name)
 	rec := record.Record{Key: key, Version: c.nextVersion()}
 	if newRow == nil {
@@ -435,19 +524,19 @@ func (c *Cluster) applyWrite(t *query.TableDef, key []byte, oldRow, newRow row.R
 	} else {
 		val, err := row.Encode(newRow)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rec.Value = val
 	}
 
 	m, ok := c.router.Map(ns)
 	if !ok {
-		return fmt.Errorf("scads: no partition map for %s", ns)
+		return 0, fmt.Errorf("scads: no partition map for %s", ns)
 	}
 	c.loads.Record(ns, m.Lookup(key).Start, key)
 	rng, err := c.applyToPrimary(ns, m, key, []record.Record{rec})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	bound := c.stalenessBound(t.Name)
 	c.enqueueReplication(ns, m, key, rec, rng, bound)
@@ -461,7 +550,7 @@ func (c *Cluster) applyWrite(t *query.TableDef, key []byte, oldRow, newRow row.R
 		newRow:   newRow,
 		deadline: c.clk.Now().Add(bound),
 	})
-	return nil
+	return rec.Version, nil
 }
 
 // readRow fetches the current row from the primary (nil when absent).
